@@ -1,0 +1,174 @@
+package aplus
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - offset lists versus bitmaps for secondary indexes (the alternative
+//     the paper weighs in Section III-B3): space is reported as a custom
+//     metric and access time is the benchmark measurement, across
+//     predicate selectivities;
+//   - shared versus owned partition levels for secondary vertex-
+//     partitioned indexes;
+//   - sorted (galloping) intersection versus binary-join probing on a
+//     triangle workload.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/exec"
+	"github.com/aplusdb/aplus/internal/gen"
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/opt"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/query"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func ablationGraph() *storage.Graph {
+	cfg := gen.BerkStan
+	cfg.Financial = true
+	cfg.Seed = 11
+	return gen.Build(cfg)
+}
+
+// BenchmarkAblationOffsetVsBitmap measures read cost of the two secondary
+// representations at three predicate selectivities. Offset lists touch
+// only indexed edges; bitmaps scan every primary entry, so their relative
+// cost grows as the predicate gets more selective — the paper's
+// qualitative argument, measured.
+func BenchmarkAblationOffsetVsBitmap(b *testing.B) {
+	g := ablationGraph()
+	p, err := index.BuildPrimary(g, index.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sel := range []struct {
+		name string
+		amt  int64
+	}{
+		{"sel50", 500}, {"sel10", 900}, {"sel1", 990},
+	} {
+		viewPred := pred.Predicate{}.And(pred.ConstTerm(pred.VarAdj, storage.PropAmount, pred.GT, storage.Int(sel.amt)))
+		off, err := index.BuildVertexPartitioned(p, index.VPDef{
+			View: index.View1Hop{Name: "off" + sel.name, Pred: viewPred},
+			Dirs: []index.Direction{index.FW},
+			Cfg:  index.DefaultConfig(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bm, err := index.BuildBitmapVP(p, "bm"+sel.name, viewPred, []index.Direction{index.FW})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("offsets/%s", sel.name), func(b *testing.B) {
+			b.ReportMetric(float64(off.MemoryBytes()), "bytes")
+			var sink int
+			for i := 0; i < b.N; i++ {
+				for v := 0; v < g.NumVertices(); v++ {
+					l := off.List(index.FW, storage.VertexID(v), nil)
+					for k := 0; k < l.Len(); k++ {
+						sink += int(l.Nbr(k))
+					}
+				}
+			}
+			_ = sink
+		})
+		b.Run(fmt.Sprintf("bitmap/%s", sel.name), func(b *testing.B) {
+			b.ReportMetric(float64(bm.MemoryBytes()), "bytes")
+			var sink int
+			for i := 0; i < b.N; i++ {
+				for v := 0; v < g.NumVertices(); v++ {
+					l := bm.List(index.FW, storage.VertexID(v), nil)
+					for k := 0; k < l.Len(); k++ {
+						sink += int(l.Nbr(k))
+					}
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAblationSharedLevels compares building and storing a secondary
+// index that shares the primary's partition levels against one that owns
+// its levels (forced by a trivially-true predicate, which disables
+// sharing).
+func BenchmarkAblationSharedLevels(b *testing.B) {
+	g := ablationGraph()
+	p, err := index.BuildPrimary(g, index.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	citySort := index.Config{
+		Partitions: index.DefaultConfig().Partitions,
+		Sorts:      []index.SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}},
+	}
+	b.Run("shared", func(b *testing.B) {
+		var mem int64
+		for i := 0; i < b.N; i++ {
+			v, err := index.BuildVertexPartitioned(p, index.VPDef{
+				View: index.View1Hop{Name: "s"},
+				Dirs: []index.Direction{index.FW},
+				Cfg:  citySort,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mem = v.MemoryBytes()
+		}
+		b.ReportMetric(float64(mem), "bytes")
+	})
+	b.Run("owned", func(b *testing.B) {
+		// amt >= 1 keeps every edge but forces private partition levels.
+		keepAll := pred.Predicate{}.And(pred.ConstTerm(pred.VarAdj, storage.PropAmount, pred.GE, storage.Int(1)))
+		var mem int64
+		for i := 0; i < b.N; i++ {
+			v, err := index.BuildVertexPartitioned(p, index.VPDef{
+				View: index.View1Hop{Name: "o", Pred: keepAll},
+				Dirs: []index.Direction{index.FW},
+				Cfg:  citySort,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mem = v.MemoryBytes()
+		}
+		b.ReportMetric(float64(mem), "bytes")
+	})
+}
+
+// BenchmarkAblationWCOJVsBinary measures the triangle query under the full
+// WCOJ plan space versus binary joins on the same store.
+func BenchmarkAblationWCOJVsBinary(b *testing.B) {
+	g := ablationGraph()
+	s, err := index.NewStore(g, index.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := query.Parse("MATCH a1-[e1]->a2-[e2]->a3, a3-[e3]->a1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []struct {
+		name string
+		mode opt.Mode
+	}{
+		{"wcoj", opt.ModeDefault},
+		{"binary", opt.ModeBinaryJoin},
+	} {
+		plan, err := opt.Optimize(s, q, m.mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.name, func(b *testing.B) {
+			var icost int64
+			for i := 0; i < b.N; i++ {
+				rt := exec.NewRuntime(s)
+				plan.Count(rt)
+				icost = rt.ICost
+			}
+			b.ReportMetric(float64(icost), "icost")
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package aplus
+
+import (
+	"fmt"
+
+	"github.com/aplusdb/aplus/internal/advisor"
+	"github.com/aplusdb/aplus/internal/query"
+)
+
+// Recommendation is a suggested secondary A+ index for a workload.
+type Recommendation struct {
+	// DDL is the CREATE command that installs the index (pass to Exec).
+	DDL string
+	// Benefit is the estimated total i-cost reduction across the workload.
+	Benefit float64
+	// MemBytes is the measured footprint of the candidate.
+	MemBytes int64
+}
+
+// Advise analyses a workload of queries and recommends secondary indexes,
+// in the style of classic "what-if" index advisors (the paper's Section
+// IV-D): each candidate is derived from the workload's predicates, built,
+// scored by re-optimizing every query, then dropped. budgetBytes limits
+// the combined footprint of the selection (0 = unlimited). The database is
+// left unchanged.
+func (db *DB) Advise(workload []string, budgetBytes int64) ([]Recommendation, error) {
+	if err := db.ensureStore(); err != nil {
+		return nil, err
+	}
+	var qs []*query.Graph
+	for _, src := range workload {
+		q, err := query.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("aplus: workload query %q: %w", src, err)
+		}
+		qs = append(qs, q)
+	}
+	cands, err := advisor.Recommend(db.store, qs, budgetBytes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Recommendation, len(cands))
+	for i, c := range cands {
+		out[i] = Recommendation{DDL: c.DDL, Benefit: c.Benefit, MemBytes: c.MemBytes}
+	}
+	return out, nil
+}

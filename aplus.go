@@ -1,0 +1,340 @@
+// Package aplus is an embeddable, in-memory graph database engine built
+// around A+ indexes: tunable, space-efficient adjacency-list indexes with
+// materialized-view support, as described in "A+ Indexes: Tunable and
+// Space-Efficient Adjacency Lists in Graph Database Management Systems"
+// (ICDE 2021).
+//
+// The engine stores property graphs, answers an openCypher MATCH/WHERE
+// subset with worst-case-optimal join plans, and lets applications tailor
+// its adjacency-list indexes to their workload:
+//
+//   - the primary A+ indexes can be reconfigured with arbitrary nested
+//     partitioning and sorting criteria (RECONFIGURE PRIMARY INDEXES …);
+//   - secondary vertex-partitioned indexes materialize predicate-filtered
+//     1-hop views in byte-packed offset lists (CREATE 1-HOP VIEW …);
+//   - secondary edge-partitioned indexes materialize 2-hop views that give
+//     constant-time access to the adjacency of an edge (CREATE 2-HOP
+//     VIEW …).
+//
+// A minimal session:
+//
+//	db := aplus.New()
+//	alice, _ := db.AddVertex("Customer", aplus.Props{"name": "Alice"})
+//	acct, _ := db.AddVertex("Account", aplus.Props{"city": "SF"})
+//	db.AddEdge(alice, acct, "Owns", nil)
+//	n, _ := db.Count("MATCH (c:Customer)-[:Owns]->(a:Account) WHERE a.city = 'SF'")
+package aplus
+
+import (
+	"fmt"
+
+	"github.com/aplusdb/aplus/internal/exec"
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/opt"
+	"github.com/aplusdb/aplus/internal/query"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// VertexID identifies a vertex.
+type VertexID = storage.VertexID
+
+// EdgeID identifies an edge.
+type EdgeID = storage.EdgeID
+
+// Props carries property values for loading: int/int64/float64/string/bool.
+type Props map[string]any
+
+// PlannerOptions restrict the optimizer's plan space; the zero value is the
+// full A+ plan space. They exist for experiments that emulate systems with
+// fixed adjacency-list indexes.
+type PlannerOptions struct {
+	// BinaryJoinsOnly removes multiway intersections (WCOJ) from the plan
+	// space, as in Neo4j-class systems.
+	BinaryJoinsOnly bool
+	// IgnoreSecondaryIndexes hides secondary A+ indexes from the planner.
+	IgnoreSecondaryIndexes bool
+	// NoSortedSegments forbids binary-searched segment access inside
+	// sorted lists.
+	NoSortedSegments bool
+}
+
+func (p PlannerOptions) mode() opt.Mode {
+	return opt.Mode{
+		DisableWCOJ:        p.BinaryJoinsOnly,
+		DisableSecondary:   p.IgnoreSecondaryIndexes,
+		DisableSegments:    p.NoSortedSegments,
+		DisableMultiExtend: p.BinaryJoinsOnly,
+	}
+}
+
+// DB is an in-memory graph database with A+ indexes.
+type DB struct {
+	g     *storage.Graph
+	store *index.Store
+
+	// Planner controls the optimizer's plan space for subsequent queries.
+	Planner PlannerOptions
+}
+
+// New returns an empty database with the default index configuration
+// (partition by edge label, sort by neighbour ID).
+func New() *DB {
+	return &DB{g: storage.NewGraph()}
+}
+
+// newFromGraph wraps an existing internal graph (used by the generator
+// helpers and the experiment harness).
+func newFromGraph(g *storage.Graph) *DB { return &DB{g: g} }
+
+// ensureStore builds the primary indexes lazily after loading.
+func (db *DB) ensureStore() error {
+	if db.store != nil {
+		return nil
+	}
+	s, err := index.NewStore(db.g, index.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	db.store = s
+	return nil
+}
+
+// AddVertex appends a vertex. label may be empty.
+func (db *DB) AddVertex(label string, props Props) (VertexID, error) {
+	v := db.g.AddVertex(label)
+	for k, val := range props {
+		sv, err := toValue(val)
+		if err != nil {
+			return v, fmt.Errorf("aplus: property %q: %w", k, err)
+		}
+		if err := db.g.SetVertexProp(v, k, sv); err != nil {
+			return v, err
+		}
+	}
+	return v, nil
+}
+
+// AddEdge appends an edge. Before the first query the edge goes straight
+// into the graph; afterwards it is routed through index maintenance
+// (update buffers merged at a threshold, as in Section IV-C of the paper).
+func (db *DB) AddEdge(src, dst VertexID, label string, props Props) (EdgeID, error) {
+	vals := make(map[string]storage.Value, len(props))
+	for k, val := range props {
+		sv, err := toValue(val)
+		if err != nil {
+			return 0, fmt.Errorf("aplus: property %q: %w", k, err)
+		}
+		vals[k] = sv
+	}
+	if db.store != nil {
+		return db.store.InsertEdge(src, dst, label, vals)
+	}
+	e, err := db.g.AddEdge(src, dst, label)
+	if err != nil {
+		return 0, err
+	}
+	for k, v := range vals {
+		if err := db.g.SetEdgeProp(e, k, v); err != nil {
+			return 0, err
+		}
+	}
+	return e, nil
+}
+
+// DeleteEdge tombstones an edge; the tombstone is merged out of the
+// indexes at the next buffer merge.
+func (db *DB) DeleteEdge(e EdgeID) error {
+	if db.store != nil {
+		return db.store.DeleteEdge(e)
+	}
+	return db.g.DeleteEdge(e)
+}
+
+// Flush merges all pending index update buffers.
+func (db *DB) Flush() error {
+	if db.store == nil {
+		return nil
+	}
+	return db.store.Flush()
+}
+
+// Exec runs an index DDL command: RECONFIGURE PRIMARY INDEXES …,
+// CREATE 1-HOP VIEW …, or CREATE 2-HOP VIEW ….
+func (db *DB) Exec(ddl string) error {
+	if err := db.ensureStore(); err != nil {
+		return err
+	}
+	d, err := query.ParseDDL(ddl)
+	if err != nil {
+		return err
+	}
+	switch d := d.(type) {
+	case query.Reconfigure:
+		return db.store.Reconfigure(d.Cfg)
+	case query.Create1Hop:
+		_, err := db.store.CreateVertexPartitioned(d.Def)
+		return err
+	case query.Create2Hop:
+		_, err := db.store.CreateEdgePartitioned(d.Def)
+		return err
+	default:
+		return fmt.Errorf("aplus: unsupported DDL")
+	}
+}
+
+// DropIndex removes a secondary index by view name.
+func (db *DB) DropIndex(name string) bool {
+	if db.store == nil {
+		return false
+	}
+	return db.store.DropIndex(name)
+}
+
+// Row is one query match: variable name to matched entity ID.
+type Row struct {
+	Vertices map[string]VertexID
+	Edges    map[string]EdgeID
+}
+
+// Metrics reports the work a query execution performed.
+type Metrics struct {
+	// ICost is the number of adjacency-list entries read (the paper's
+	// intersection-cost metric).
+	ICost int64
+	// PredEvals is the number of per-entry predicate evaluations.
+	PredEvals int64
+	// EstimatedICost is the optimizer's cost estimate for the chosen plan.
+	EstimatedICost float64
+}
+
+// Count runs a query and returns the number of matches.
+func (db *DB) Count(cypher string) (int64, error) {
+	n, _, err := db.CountProfiled(cypher)
+	return n, err
+}
+
+// CountProfiled runs a query and also reports execution metrics.
+func (db *DB) CountProfiled(cypher string) (int64, Metrics, error) {
+	plan, rt, err := db.plan(cypher)
+	if err != nil {
+		return 0, Metrics{}, err
+	}
+	n := plan.Count(rt)
+	return n, Metrics{ICost: rt.ICost, PredEvals: rt.PredEvals, EstimatedICost: plan.EstimatedICost}, nil
+}
+
+// Query streams matches to fn; returning false stops early.
+func (db *DB) Query(cypher string, fn func(Row) bool) error {
+	plan, rt, err := db.plan(cypher)
+	if err != nil {
+		return err
+	}
+	plan.Execute(rt, func(b *exec.Binding) bool {
+		row := Row{Vertices: make(map[string]VertexID), Edges: make(map[string]EdgeID)}
+		for i, name := range plan.VertexNames {
+			row.Vertices[name] = b.V[i]
+		}
+		for i, name := range plan.EdgeNames {
+			row.Edges[name] = b.E[i]
+		}
+		return fn(row)
+	})
+	return nil
+}
+
+// Explain returns the physical plan chosen for a query.
+func (db *DB) Explain(cypher string) (string, error) {
+	plan, _, err := db.plan(cypher)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
+}
+
+func (db *DB) plan(cypher string) (*exec.Plan, *exec.Runtime, error) {
+	if err := db.ensureStore(); err != nil {
+		return nil, nil, err
+	}
+	q, err := query.Parse(cypher)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := opt.Optimize(db.store, q, db.Planner.mode())
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, exec.NewRuntime(db.store), nil
+}
+
+// VertexProp reads a vertex property (nil when absent).
+func (db *DB) VertexProp(v VertexID, key string) any {
+	return fromValue(db.g.VertexProp(v, key))
+}
+
+// EdgeProp reads an edge property (nil when absent).
+func (db *DB) EdgeProp(e EdgeID, key string) any {
+	return fromValue(db.g.EdgeProp(e, key))
+}
+
+// Stats summarizes the database and index footprints.
+type Stats struct {
+	NumVertices, NumEdges      int
+	GraphBytes                 int64
+	PrimaryLevelBytes          int64
+	PrimaryIDListBytes         int64
+	SecondaryIndexBytes        int64
+	IndexedEdgesIncludingViews int64
+}
+
+// Stats reports sizes; index fields are zero before the first query or DDL.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		NumVertices: db.g.NumVertices(),
+		NumEdges:    db.g.NumLiveEdges(),
+		GraphBytes:  db.g.MemoryBytes(),
+	}
+	if db.store != nil {
+		is := db.store.Stats()
+		st.PrimaryLevelBytes = is.PrimaryLevels
+		st.PrimaryIDListBytes = is.PrimaryIDLists
+		st.SecondaryIndexBytes = is.SecondaryBytes
+		st.IndexedEdgesIncludingViews = is.IndexedEdges
+	}
+	return st
+}
+
+func toValue(v any) (storage.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return storage.NullValue, nil
+	case int:
+		return storage.Int(int64(x)), nil
+	case int32:
+		return storage.Int(int64(x)), nil
+	case int64:
+		return storage.Int(x), nil
+	case float64:
+		return storage.Float(x), nil
+	case string:
+		return storage.Str(x), nil
+	case bool:
+		return storage.Bool(x), nil
+	default:
+		return storage.NullValue, fmt.Errorf("unsupported property type %T", v)
+	}
+}
+
+func fromValue(v storage.Value) any {
+	switch v.Kind {
+	case storage.KindInt:
+		return v.I
+	case storage.KindFloat:
+		return v.F
+	case storage.KindString:
+		return v.S
+	case storage.KindBool:
+		return v.I != 0
+	default:
+		return nil
+	}
+}

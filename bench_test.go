@@ -1,0 +1,113 @@
+package aplus
+
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per table plus the Section V-F maintenance micro-benchmark; each reports
+// the average speedup of the tuned configuration over the default D as a
+// custom metric, which is the paper's headline comparison. The underlying
+// per-query rows are printed by cmd/aplusbench.
+//
+// The benchmarks run the scaled datasets at a further reduced factor so a
+// full -bench=. pass stays in the minutes range; cmd/aplusbench runs the
+// full scaled presets.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/harness"
+)
+
+const benchScale = 0.25
+
+// geoMeanSpeedup returns the geometric-mean runtime speedup of the tuned
+// configuration over the base across all (dataset, query) pairs.
+func geoMeanSpeedup(rows []harness.Row, base, tuned string) float64 {
+	baseline := map[string]float64{}
+	for _, r := range rows {
+		if r.Config == base {
+			baseline[r.Dataset+"/"+r.Query] = r.Seconds
+		}
+	}
+	logSum, n := 0.0, 0
+	for _, r := range rows {
+		if r.Config != tuned {
+			continue
+		}
+		if b, ok := baseline[r.Dataset+"/"+r.Query]; ok && r.Seconds > 0 && b > 0 {
+			logSum += math.Log(b / r.Seconds)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// BenchmarkTable1Datasets regenerates Table I (dataset statistics).
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.Table1(harness.Options{Scale: benchScale})
+		if len(rows) != 4 {
+			b.Fatal("expected 4 datasets")
+		}
+	}
+}
+
+// BenchmarkTable2PrimaryReconfig regenerates Table II: SQ1–SQ13 under the
+// D, Ds and Dp primary-index configurations.
+func BenchmarkTable2PrimaryReconfig(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table2(harness.Options{Scale: benchScale, Verify: true})
+	}
+	b.ReportMetric(geoMeanSpeedup(rows, "D", "Ds"), "Ds-speedup")
+	b.ReportMetric(geoMeanSpeedup(rows, "D", "Dp"), "Dp-speedup")
+}
+
+// BenchmarkTable3MagicRecs regenerates Table III: MR1–MR3 under D and
+// D+VPt.
+func BenchmarkTable3MagicRecs(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table3(harness.Options{Scale: benchScale, Verify: true})
+	}
+	b.ReportMetric(geoMeanSpeedup(rows, "D", "D+VPt"), "VPt-speedup")
+}
+
+// BenchmarkTable4FraudDetection regenerates Table IV: MF1–MF5 under D,
+// D+VPc and D+VPc+EPc.
+func BenchmarkTable4FraudDetection(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table4(harness.Options{Scale: benchScale, Verify: true})
+	}
+	b.ReportMetric(geoMeanSpeedup(rows, "D", "D+VPc"), "VPc-speedup")
+	b.ReportMetric(geoMeanSpeedup(rows, "D", "D+VPc+EPc"), "EPc-speedup")
+}
+
+// BenchmarkTable5Baselines regenerates Table V: GraphflowDB D/Dp versus
+// fixed-index binary-join baselines.
+func BenchmarkTable5Baselines(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table5(harness.Options{Scale: benchScale, Verify: true})
+	}
+	b.ReportMetric(geoMeanSpeedup(rows, "TG", "D"), "D-vs-TG")
+	b.ReportMetric(geoMeanSpeedup(rows, "N4", "D"), "D-vs-N4")
+}
+
+// BenchmarkMaintenance regenerates the Section V-F insert-throughput
+// micro-benchmark.
+func BenchmarkMaintenance(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Maintenance(harness.Options{Scale: 0.2})
+	}
+	// Report LJ insert rates for the lightest and heaviest configurations.
+	for _, r := range rows {
+		if r.Dataset == "LJ2,4" && (r.Config == "Ds" || r.Config == "Dps+EPt") {
+			b.ReportMetric(float64(r.Count)/r.Seconds, r.Config+"-edges/s")
+		}
+	}
+}

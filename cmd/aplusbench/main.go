@@ -1,0 +1,48 @@
+// Command aplusbench regenerates the paper's evaluation tables on the
+// scaled synthetic datasets.
+//
+// Usage:
+//
+//	aplusbench -exp table2 [-scale 0.5]
+//	aplusbench -exp all
+//
+// Experiments: table1, table2, table3, table4, table5, maintenance, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/aplusdb/aplus/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|all")
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
+	verify := flag.Bool("verify", true, "cross-check counts across configurations")
+	flag.Parse()
+
+	o := harness.Options{Out: os.Stdout, Scale: *scale, Verify: *verify}
+	run := map[string]func(harness.Options) []harness.Row{
+		"table1":      harness.Table1,
+		"table2":      harness.Table2,
+		"table3":      harness.Table3,
+		"table4":      harness.Table4,
+		"table5":      harness.Table5,
+		"maintenance": harness.Maintenance,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "maintenance"} {
+			run[name](o)
+		}
+		return
+	}
+	f, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	f(o)
+}

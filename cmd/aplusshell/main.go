@@ -1,0 +1,135 @@
+// Command aplusshell is a small interactive shell over an aplus database.
+//
+// It starts with a synthetic dataset (configurable with flags) and accepts:
+//
+//	MATCH ...                     run a query, print the match count
+//	RECONFIGURE PRIMARY INDEXES   index DDL
+//	CREATE 1-HOP VIEW ... / CREATE 2-HOP VIEW ...
+//	:explain MATCH ...            show the physical plan
+//	:rows N MATCH ...             print the first N matches
+//	:advise MATCH ... [; MATCH ...]   recommend indexes for a workload
+//	:stats                        database and index sizes
+//	:quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	aplus "github.com/aplusdb/aplus"
+)
+
+func main() {
+	preset := flag.String("preset", "berkstan", "dataset preset: orkut|livejournal|wikitopcats|berkstan")
+	scale := flag.Float64("scale", 1.0, "dataset scale")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	flag.Parse()
+
+	db, err := aplus.Generate(aplus.DatasetConfig{
+		Preset: *preset, Scale: *scale, Seed: *seed, Financial: true, Time: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := db.Stats()
+	fmt.Printf("aplus shell — %s (%d vertices, %d edges). Type :quit to exit.\n",
+		*preset, st.NumVertices, st.NumEdges)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("aplus> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := eval(db, line); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func eval(db *aplus.DB, line string) error {
+	lower := strings.ToLower(line)
+	switch {
+	case lower == ":quit" || lower == ":q" || lower == "exit":
+		return errQuit
+	case lower == ":stats":
+		st := db.Stats()
+		fmt.Printf("vertices=%d edges=%d graph=%dB primary(levels=%dB idlists=%dB) secondary=%dB\n",
+			st.NumVertices, st.NumEdges, st.GraphBytes,
+			st.PrimaryLevelBytes, st.PrimaryIDListBytes, st.SecondaryIndexBytes)
+		return nil
+	case strings.HasPrefix(lower, ":explain "):
+		plan, err := db.Explain(line[len(":explain "):])
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	case strings.HasPrefix(lower, ":rows "):
+		rest := strings.TrimSpace(line[len(":rows "):])
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: :rows N MATCH ...")
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("bad row count %q", fields[0])
+		}
+		printed := 0
+		err = db.Query(fields[1], func(r aplus.Row) bool {
+			fmt.Printf("%v %v\n", r.Vertices, r.Edges)
+			printed++
+			return printed < n
+		})
+		return err
+	case strings.HasPrefix(lower, ":advise "):
+		var workload []string
+		for _, q := range strings.Split(line[len(":advise "):], ";") {
+			if q = strings.TrimSpace(q); q != "" {
+				workload = append(workload, q)
+			}
+		}
+		recs, err := db.Advise(workload, 0)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			fmt.Println("no beneficial indexes found")
+		}
+		for _, r := range recs {
+			fmt.Printf("benefit=%.0f mem=%dB  %s\n", r.Benefit, r.MemBytes, r.DDL)
+		}
+		return nil
+	case strings.HasPrefix(lower, "match "):
+		n, m, err := db.CountProfiled(line)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d matches (i-cost %d)\n", n, m.ICost)
+		return nil
+	case strings.HasPrefix(lower, "reconfigure ") || strings.HasPrefix(lower, "create "):
+		if err := db.Exec(line); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	default:
+		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :stats, :quit)")
+	}
+}

@@ -1,0 +1,70 @@
+package aplus
+
+import (
+	"fmt"
+
+	"github.com/aplusdb/aplus/internal/gen"
+)
+
+// DatasetConfig describes a synthetic benchmark graph. The presets mirror
+// the paper's datasets (Table I) at reduced scale with matching average
+// degrees; see DESIGN.md for the substitution rationale.
+type DatasetConfig struct {
+	// Preset selects a base: "orkut", "livejournal", "wikitopcats",
+	// "berkstan". Empty means use NumVertices/AvgDegree directly.
+	Preset      string
+	NumVertices int
+	AvgDegree   float64
+	// VertexLabels and EdgeLabels give the G_{i,j} random label counts.
+	VertexLabels, EdgeLabels int
+	// Financial decorates vertices with acc/city and edges with
+	// amt/date/currency; Time adds a time property to edges.
+	Financial bool
+	Time      bool
+	Seed      int64
+	// Scale multiplies the preset's vertex count (0 = 1.0).
+	Scale float64
+}
+
+// Generate builds a synthetic database from a config.
+func Generate(cfg DatasetConfig) (*DB, error) {
+	var base gen.Config
+	switch cfg.Preset {
+	case "orkut":
+		base = gen.Orkut
+	case "livejournal":
+		base = gen.LiveJournal
+	case "wikitopcats":
+		base = gen.WikiTopcats
+	case "berkstan":
+		base = gen.BerkStan
+	case "":
+		if cfg.NumVertices <= 0 || cfg.AvgDegree <= 0 {
+			return nil, fmt.Errorf("aplus: NumVertices and AvgDegree required without a preset")
+		}
+		base = gen.Config{Name: "custom", NumVertices: cfg.NumVertices, AvgDegree: cfg.AvgDegree}
+	default:
+		return nil, fmt.Errorf("aplus: unknown preset %q", cfg.Preset)
+	}
+	if cfg.Scale > 0 {
+		base.NumVertices = int(float64(base.NumVertices) * cfg.Scale)
+	}
+	if cfg.NumVertices > 0 {
+		base.NumVertices = cfg.NumVertices
+	}
+	if cfg.AvgDegree > 0 {
+		base.AvgDegree = cfg.AvgDegree
+	}
+	base = base.WithLabels(cfg.VertexLabels, cfg.EdgeLabels)
+	base.Financial = cfg.Financial
+	base.Time = cfg.Time
+	base.Seed = cfg.Seed
+	return newFromGraph(gen.Build(base)), nil
+}
+
+// PropertyPercentile returns the value at a percentile of a non-null
+// integer edge property — handy for choosing predicate constants with a
+// target selectivity (the paper's 5%-selective α values).
+func (db *DB) PropertyPercentile(prop string, pct float64) (int64, bool) {
+	return gen.PercentileInt(db.g, prop, pct)
+}

@@ -1,0 +1,58 @@
+// Labelled subgraph matching: the Section V-B scenario. The same cyclic
+// query runs under three primary-index configurations — the default D,
+// Ds (lists re-sorted by neighbour label), and Dp (a second partitioning
+// level on neighbour labels) — showing how RECONFIGURE PRIMARY INDEXES
+// tunes the system to a workload without touching the data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	aplus "github.com/aplusdb/aplus"
+)
+
+func main() {
+	db, err := aplus.Generate(aplus.DatasetConfig{
+		Preset:       "berkstan",
+		VertexLabels: 4,
+		EdgeLabels:   2,
+		Seed:         3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	fmt.Printf("labelled graph: %d vertices, %d edges, 4 vertex labels, 2 edge labels\n",
+		st.NumVertices, st.NumEdges)
+
+	// A labelled diamond (SQ7-shaped).
+	q := `MATCH (a:V0)-[e1:E0]->(b:V1), (a)-[e2:E0]->(c:V1), (b)-[e3:E1]->(d:V0), (c)-[e4:E1]->(d)`
+
+	run := func(config string) {
+		start := time.Now()
+		n, m, err := db.CountProfiled(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s diamond: %8d matches in %8v (i-cost %d)\n",
+			config, n, time.Since(start).Round(time.Microsecond), m.ICost)
+	}
+
+	run("D")
+
+	if err := db.Exec("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.label"); err != nil {
+		log.Fatal(err)
+	}
+	run("Ds")
+
+	if err := db.Exec("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, vnbr.label"); err != nil {
+		log.Fatal(err)
+	}
+	run("Dp")
+
+	after := db.Stats()
+	fmt.Printf("\nDp partition levels: %.1f KB over %.1f KB of ID lists (the paper's ~1.05-1.15x)\n",
+		float64(after.PrimaryLevelBytes)/1024, float64(after.PrimaryIDListBytes)/1024)
+}

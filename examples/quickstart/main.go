@@ -1,0 +1,94 @@
+// Quickstart: build the paper's running example (Figure 1), ask the
+// paper's example queries, and tune the indexes with the paper's DDL.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	aplus "github.com/aplusdb/aplus"
+)
+
+func main() {
+	db := aplus.New()
+
+	// Accounts v1..v5 and customers (Figure 1).
+	type acct struct{ acc, city string }
+	var accounts []aplus.VertexID
+	for _, a := range []acct{{"SV", "SF"}, {"CQ", "SF"}, {"SV", "BOS"}, {"CQ", "BOS"}, {"SV", "LA"}} {
+		v, err := db.AddVertex("Account", aplus.Props{"acc": a.acc, "city": a.city})
+		if err != nil {
+			log.Fatal(err)
+		}
+		accounts = append(accounts, v)
+	}
+	var customers []aplus.VertexID
+	for _, name := range []string{"Charles", "Alice", "Bob"} {
+		v, err := db.AddVertex("Customer", aplus.Props{"name": name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		customers = append(customers, v)
+	}
+	// Ownerships: Alice owns v1 and v2.
+	owns := [][2]int{{0, 2}, {0, 3}, {1, 0}, {1, 1}, {2, 4}}
+	for _, o := range owns {
+		if _, err := db.AddEdge(customers[o[0]], accounts[o[1]], "O", nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A few transfers with amount/currency/date.
+	type tfr struct {
+		src, dst int
+		label    string
+		amt      int
+		cur      string
+		date     int
+	}
+	for _, t := range []tfr{
+		{0, 2, "W", 200, "EUR", 4},
+		{0, 1, "W", 25, "EUR", 17},
+		{0, 4, "DD", 30, "EUR", 18},
+		{0, 3, "W", 80, "USD", 20},
+		{1, 2, "DD", 75, "USD", 7},
+		{1, 3, "W", 75, "USD", 8},
+		{1, 4, "DD", 10, "GBP", 13},
+		{4, 2, "W", 5, "GBP", 19},
+	} {
+		if _, err := db.AddEdge(accounts[t.src], accounts[t.dst], t.label,
+			aplus.Props{"amt": t.amt, "currency": t.cur, "date": t.date}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Example 2 of the paper: Wire transfers from the accounts Alice owns.
+	q := "MATCH (c:Customer)-[r1:O]->(a1:Account)-[r2:W]->(a2:Account) WHERE c.name = 'Alice'"
+	n, err := db.Count(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wire transfers from Alice's accounts: %d\n", n)
+
+	// Example 4: tune the primary index for currency-equality workloads.
+	if err := db.Exec(`RECONFIGURE PRIMARY INDEXES
+		PARTITION BY eadj.label, eadj.currency
+		SORT BY vnbr.city`); err != nil {
+		log.Fatal(err)
+	}
+	n, m, err := db.CountProfiled(q + ", r2.currency = 'EUR'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("...in EUR after reconfiguration: %d (i-cost %d)\n", n, m.ICost)
+
+	// Inspect the chosen plan.
+	plan, err := db.Explain(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan:\n%s", plan)
+
+	st := db.Stats()
+	fmt.Printf("\n%d vertices, %d edges; primary index: %d B levels + %d B ID lists\n",
+		st.NumVertices, st.NumEdges, st.PrimaryLevelBytes, st.PrimaryIDListBytes)
+}

@@ -1,0 +1,181 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/exec"
+	"github.com/aplusdb/aplus/internal/gen"
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/opt"
+	"github.com/aplusdb/aplus/internal/query"
+)
+
+func testStore(t *testing.T) *index.Store {
+	t.Helper()
+	cfg := gen.BerkStan
+	cfg.NumVertices = 300
+	cfg.Financial = true
+	cfg.Time = true
+	cfg.Seed = 5
+	s, err := index.NewStore(gen.Build(cfg), index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func parseAll(t *testing.T, srcs ...string) []*query.Graph {
+	t.Helper()
+	var out []*query.Graph
+	for _, src := range srcs {
+		q, err := query.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func TestRecommendCityEquality(t *testing.T) {
+	s := testStore(t)
+	w := parseAll(t,
+		"MATCH a1-[e1]->a2, a1-[e2]->a3 WHERE a2.city = a3.city",
+	)
+	recs, err := Recommend(s, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("expected a recommendation for the city-equality workload")
+	}
+	found := false
+	for _, r := range recs {
+		if r.VP != nil && len(r.VP.Cfg.Sorts) == 1 && r.VP.Cfg.Sorts[0].Prop == "city" {
+			found = true
+			if r.Benefit <= 0 || r.MemBytes <= 0 {
+				t.Error("benefit/memory not measured")
+			}
+			if !strings.Contains(r.DDL, "SORT BY vnbr.city") {
+				t.Errorf("DDL = %s", r.DDL)
+			}
+		}
+	}
+	if !found {
+		t.Error("city-sorted VP candidate missing")
+	}
+	// The store must be left unchanged.
+	if len(s.VertexIndexes()) != 0 || len(s.EdgeIndexes()) != 0 {
+		t.Error("recommendation run leaked indexes into the store")
+	}
+}
+
+func TestRecommendTimeRange(t *testing.T) {
+	s := testStore(t)
+	w := parseAll(t,
+		"MATCH a1-[e1]->a2 WHERE e1.time < 50000, a1.ID < 30",
+	)
+	recs, err := Recommend(s, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.VP != nil && len(r.VP.Cfg.Sorts) == 1 && r.VP.Cfg.Sorts[0].Prop == "time" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("time-sorted VP candidate missing; got %d candidates", len(recs))
+	}
+}
+
+func TestRecommendInterEdgePredicate(t *testing.T) {
+	s := testStore(t)
+	w := parseAll(t,
+		"MATCH a1-[e1]->a2-[e2]->a3 WHERE e1.date < e2.date, e1.amt > e2.amt, a1.ID < 30",
+	)
+	recs, err := Recommend(s, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ep *Candidate
+	for i := range recs {
+		if recs[i].EP != nil {
+			ep = &recs[i]
+		}
+	}
+	if ep == nil {
+		t.Fatal("2-hop view candidate missing")
+	}
+	if ep.EP.View.Dir != index.DestinationFW || len(ep.EP.View.Pred.Terms) != 2 {
+		t.Errorf("EP candidate malformed: %+v", ep.EP.View)
+	}
+	// Applying the top EP recommendation must actually reduce measured
+	// i-cost on the workload.
+	qg := w[0]
+	planBefore, err := opt.Optimize(s, qg, opt.ModeDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtBefore := exec.NewRuntime(s)
+	nBefore := planBefore.Count(rtBefore)
+	if _, err := s.CreateEdgePartitioned(*ep.EP); err != nil {
+		t.Fatal(err)
+	}
+	planAfter, err := opt.Optimize(s, qg, opt.ModeDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtAfter := exec.NewRuntime(s)
+	nAfter := planAfter.Count(rtAfter)
+	if nBefore != nAfter {
+		t.Fatalf("recommendation changed results: %d vs %d", nBefore, nAfter)
+	}
+	if rtAfter.ICost >= rtBefore.ICost {
+		t.Errorf("recommended index did not reduce i-cost: %d -> %d", rtBefore.ICost, rtAfter.ICost)
+	}
+}
+
+func TestRecommendBudget(t *testing.T) {
+	s := testStore(t)
+	w := parseAll(t,
+		"MATCH a1-[e1]->a2, a1-[e2]->a3 WHERE a2.city = a3.city",
+		"MATCH a1-[e1]->a2 WHERE e1.time < 50000, a1.ID < 30",
+	)
+	all, err := Recommend(s, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Skip("not enough candidates to exercise the budget")
+	}
+	budget := all[0].MemBytes // room for exactly the best one
+	picked, err := Recommend(s, w, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var used int64
+	for _, r := range picked {
+		used += r.MemBytes
+	}
+	if used > budget {
+		t.Errorf("budget exceeded: %d > %d", used, budget)
+	}
+	if len(picked) == 0 {
+		t.Error("budget fitting the best candidate selected nothing")
+	}
+}
+
+func TestRecommendNoOpportunities(t *testing.T) {
+	s := testStore(t)
+	w := parseAll(t, "MATCH a1-[e1]->a2")
+	recs, err := Recommend(s, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("plain scan workload should yield no candidates, got %d", len(recs))
+	}
+}

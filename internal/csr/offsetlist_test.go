@@ -1,0 +1,181 @@
+package csr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOffsetListsRoundTrip(t *testing.T) {
+	b := NewOffsetBuilder(3, []int{2})
+	// owner 0, bucket 0: offsets {4, 2}; bucket 1: {0}
+	b.Add(OffsetEntry{Owner: 0, Offset: 4}, []uint16{0})
+	b.Add(OffsetEntry{Owner: 0, Offset: 2}, []uint16{0})
+	b.Add(OffsetEntry{Owner: 0, Offset: 0}, []uint16{1})
+	// owner 2, bucket 1: {9}
+	b.Add(OffsetEntry{Owner: 2, Offset: 9}, []uint16{1})
+	o := b.Build(func(owner uint32) uint32 { return 10 })
+
+	if o.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", o.Len())
+	}
+	l := o.BucketList(0, []uint16{0})
+	if l.Len() != 2 {
+		t.Fatalf("bucket list len = %d", l.Len())
+	}
+	// Without sort keys, offsets order ascending.
+	if l.At(0) != 2 || l.At(1) != 4 {
+		t.Errorf("bucket0 = [%d %d], want [2 4]", l.At(0), l.At(1))
+	}
+	if l := o.BucketList(0, []uint16{1}); l.Len() != 1 || l.At(0) != 0 {
+		t.Error("bucket1 wrong")
+	}
+	if l := o.OwnerList(1); l.Len() != 0 {
+		t.Error("owner1 should be empty")
+	}
+	if l := o.OwnerList(2); l.Len() != 1 || l.At(0) != 9 {
+		t.Error("owner2 wrong")
+	}
+}
+
+func TestOffsetListsSortKeys(t *testing.T) {
+	b := NewOffsetBuilder(1, nil)
+	b.Add(OffsetEntry{Owner: 0, Offset: 0, Sort: [2]uint64{30, 0}}, nil)
+	b.Add(OffsetEntry{Owner: 0, Offset: 1, Sort: [2]uint64{10, 0}}, nil)
+	b.Add(OffsetEntry{Owner: 0, Offset: 2, Sort: [2]uint64{20, 0}}, nil)
+	o := b.Build(func(uint32) uint32 { return 3 })
+	l := o.OwnerList(0)
+	want := []uint32{1, 2, 0}
+	for i := range want {
+		if l.At(i) != want[i] {
+			t.Fatalf("order by sort key: got %d at %d, want %d", l.At(i), i, want[i])
+		}
+	}
+}
+
+func TestOffsetListsWidthPerGroup(t *testing.T) {
+	// 130 owners -> 3 groups. Group 0 has short lists (1 byte), group 1 has
+	// a long list (2 bytes), group 2 short again.
+	b := NewOffsetBuilder(130, nil)
+	b.Add(OffsetEntry{Owner: 3, Offset: 200}, nil)
+	b.Add(OffsetEntry{Owner: 70, Offset: 60000}, nil)
+	b.Add(OffsetEntry{Owner: 129, Offset: 5}, nil)
+	o := b.Build(func(owner uint32) uint32 {
+		switch owner / GroupSize {
+		case 0:
+			return 256
+		case 1:
+			return 65000
+		default:
+			return 10
+		}
+	})
+	if o.groupWidth[0] != 1 || o.groupWidth[1] != 2 || o.groupWidth[2] != 1 {
+		t.Fatalf("group widths = %v", o.groupWidth)
+	}
+	if l := o.OwnerList(3); l.At(0) != 200 {
+		t.Error("1-byte group decode")
+	}
+	if l := o.OwnerList(70); l.At(0) != 60000 {
+		t.Error("2-byte group decode")
+	}
+	if l := o.OwnerList(129); l.At(0) != 5 {
+		t.Error("group 2 decode")
+	}
+	// Packed data: 1 + 2 + 1 bytes.
+	if len(o.data) != 4 {
+		t.Errorf("data = %d bytes, want 4", len(o.data))
+	}
+}
+
+func TestOffsetListsSharedLevels(t *testing.T) {
+	// Primary with one level; shared secondary re-sorts the same edges.
+	pb := NewBuilder(2, []int{2})
+	pb.Add(Entry{Owner: 0, Nbr: 3, EID: 0}, []uint16{0})
+	pb.Add(Entry{Owner: 0, Nbr: 1, EID: 1}, []uint16{0})
+	pb.Add(Entry{Owner: 1, Nbr: 2, EID: 2}, []uint16{1})
+	p := pb.Build()
+
+	sb := NewSharedOffsetBuilder(p)
+	// Secondary sorts bucket (0,0) in reverse: offsets {1,0} by sort key.
+	sb.Add(OffsetEntry{Owner: 0, Offset: 0, Sort: [2]uint64{2, 0}}, []uint16{0})
+	sb.Add(OffsetEntry{Owner: 0, Offset: 1, Sort: [2]uint64{1, 0}}, []uint16{0})
+	sb.Add(OffsetEntry{Owner: 1, Offset: 0, Sort: [2]uint64{1, 0}}, []uint16{1})
+	o := sb.Build(func(owner uint32) uint32 {
+		lo, hi := p.OwnerRange(owner)
+		return hi - lo
+	})
+	if !o.SharedLevels() {
+		t.Fatal("expected shared levels")
+	}
+	l := o.BucketList(0, []uint16{0})
+	if l.Len() != 2 || l.At(0) != 1 || l.At(1) != 0 {
+		t.Errorf("shared bucket list wrong: len=%d", l.Len())
+	}
+	// Memory excludes the offsets array.
+	mem := o.MemoryBytes()
+	own := NewOffsetBuilder(2, []int{2})
+	own.Add(OffsetEntry{Owner: 0, Offset: 0}, []uint16{0})
+	own.Add(OffsetEntry{Owner: 0, Offset: 1}, []uint16{0})
+	own.Add(OffsetEntry{Owner: 1, Offset: 0}, []uint16{1})
+	o2 := own.Build(func(uint32) uint32 { return 2 })
+	if mem >= o2.MemoryBytes() {
+		t.Errorf("shared (%d bytes) should be smaller than owned (%d bytes)", mem, o2.MemoryBytes())
+	}
+}
+
+func TestOffsetListsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 15; trial++ {
+		owners := 1 + rng.Intn(200)
+		cards := []int{1 + rng.Intn(3)}
+		b := NewOffsetBuilder(owners, cards)
+		type rec struct {
+			owner uint32
+			c0    uint16
+			off   uint32
+		}
+		var recs []rec
+		maxList := uint32(1 + rng.Intn(100000))
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			r := rec{uint32(rng.Intn(owners)), uint16(rng.Intn(cards[0])), uint32(rng.Intn(int(maxList)))}
+			recs = append(recs, r)
+			b.Add(OffsetEntry{Owner: r.owner, Offset: r.off}, []uint16{r.c0})
+		}
+		o := b.Build(func(uint32) uint32 { return maxList })
+		for owner := uint32(0); owner < uint32(owners); owner++ {
+			for c0 := uint16(0); c0 < uint16(cards[0]); c0++ {
+				var want []uint32
+				for _, r := range recs {
+					if r.owner == owner && r.c0 == c0 {
+						want = append(want, r.off)
+					}
+				}
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				l := o.BucketList(owner, []uint16{c0})
+				if l.Len() != len(want) {
+					t.Fatalf("len mismatch owner=%d", owner)
+				}
+				for i := range want {
+					if l.At(i) != want[i] {
+						t.Fatalf("decode mismatch: got %d want %d", l.At(i), want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOffsetListsAtGlobal(t *testing.T) {
+	b := NewOffsetBuilder(130, nil)
+	for i := 0; i < 130; i++ {
+		b.Add(OffsetEntry{Owner: uint32(i), Offset: uint32(i)}, nil)
+	}
+	o := b.Build(func(uint32) uint32 { return 130 })
+	for i := uint32(0); i < 130; i++ {
+		if o.At(i) != i {
+			t.Fatalf("At(%d) = %d", i, o.At(i))
+		}
+	}
+}

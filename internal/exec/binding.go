@@ -1,0 +1,44 @@
+// Package exec implements the query processor of the system: push-based
+// physical operators over A+ indexes. The operator set mirrors
+// GraphflowDB's as described in Section IV-A of the paper: SCAN,
+// EXTEND/INTERSECT (E/I, the WCOJ operator performing z-way intersections
+// of neighbour-ID-sorted lists), MULTI-EXTEND (intersections of lists
+// sorted on other properties, extending to one or more query vertices), and
+// FILTER.
+package exec
+
+import (
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// Binding is a partial match: assignments of data vertices/edges to query
+// vertex/edge slots.
+type Binding struct {
+	V []storage.VertexID
+	E []storage.EdgeID
+}
+
+// NewBinding allocates a binding for the given slot counts.
+func NewBinding(numV, numE int) *Binding {
+	return &Binding{V: make([]storage.VertexID, numV), E: make([]storage.EdgeID, numE)}
+}
+
+// Runtime carries the execution context and accumulates the i-cost metric
+// (total adjacency-list entries accessed), which is both the optimizer's
+// cost model and a useful observable in tests.
+type Runtime struct {
+	Store *index.Store
+	G     *storage.Graph
+
+	// ICost counts adjacency entries read from lists.
+	ICost int64
+	// PredEvals counts per-entry predicate evaluations (the quantity that
+	// secondary indexes with matching sort orders reduce; Section V-C1).
+	PredEvals int64
+}
+
+// NewRuntime builds a runtime over a store.
+func NewRuntime(s *index.Store) *Runtime {
+	return &Runtime{Store: s, G: s.Graph()}
+}

@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CloseEdgeOp matches a query edge whose endpoints are both already bound,
+// by probing the owner's adjacency list for the target vertex. This is the
+// only way binary-join-only systems (the paper's Neo4j/TigerGraph-class
+// baselines) can close cycles; WCOJ plans instead fold such edges into
+// multiway intersections.
+type CloseEdgeOp struct {
+	List       ListRef
+	TargetSlot int
+	// Sorted enables binary search; unsorted lists are scanned linearly,
+	// as in systems with unsorted adjacency lists.
+	Sorted bool
+}
+
+func (o *CloseEdgeOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+	target := b.V[o.TargetSlot]
+	ok := true
+	done := forEachCombo([]ListRef{o.List}, func(codes [][]uint16) bool {
+		l := o.List.fetchWith(rt, b, codes[0])
+		n := l.Len()
+		lo, hi := 0, n
+		if o.Sorted {
+			lo = sort.Search(n, func(i int) bool { return l.Nbr(i) >= target })
+			hi = lo
+			for hi < n && l.Nbr(hi) == target {
+				hi++
+			}
+		}
+		for i := lo; i < hi || (!o.Sorted && i < n); i++ {
+			if l.Nbr(i) != target {
+				continue
+			}
+			b.E[o.List.EdgeSlot] = l.Edge(i)
+			if !next() {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return done && ok
+}
+
+func (o *CloseEdgeOp) explain() string {
+	mode := "scan"
+	if o.Sorted {
+		mode = "bsearch"
+	}
+	return fmt.Sprintf("CLOSE e%d: v%d in %s (%s)", o.List.EdgeSlot, o.TargetSlot, o.List.String(), mode)
+}

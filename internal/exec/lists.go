@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aplusdb/aplus/internal/index"
+)
+
+// ListKind selects which index a ListRef reads.
+type ListKind uint8
+
+const (
+	// ListPrimary reads a primary A+ index list.
+	ListPrimary ListKind = iota
+	// ListVP reads a secondary vertex-partitioned index list.
+	ListVP
+	// ListEP reads a secondary edge-partitioned index list.
+	ListEP
+)
+
+// Segment restricts a fetched list to the entries whose first sort-key
+// ordinal lies in [Lo, Hi), located by binary search — the paper's
+// "binary searches inside lists" access path (e.g. a neighbour-label
+// segment under Ds, or a time-prefix under VPt).
+//
+// DynEq, when set, narrows the segment at runtime to entries whose sort-key
+// value equals a bound variable's property (e.g. a2.city = a1.city with a1
+// already matched); the static bounds are ignored in that case.
+type Segment struct {
+	Key    index.SortKey
+	Lo, Hi uint64
+	HasLo  bool
+	HasHi  bool
+	DynEq  *Operand
+}
+
+// ListRef describes one adjacency list access in a plan: which index, which
+// owner (a bound vertex slot for vertex-partitioned lists or a bound edge
+// slot for edge-partitioned lists), the resolved partition-bucket prefix,
+// an optional sorted segment, and the edge slot the matched edge binds to.
+type ListRef struct {
+	Kind ListKind
+	Dir  index.Direction          // list direction (primary and VP)
+	VP   *index.VertexPartitioned // when Kind == ListVP
+	EP   *index.EdgePartitioned   // when Kind == ListEP
+
+	OwnerVertexSlot int // owner binding slot (vertex-partitioned kinds)
+	OwnerEdgeSlot   int // owner binding slot (edge-partitioned kind)
+
+	Codes    []uint16 // resolved partition codes (prefix)
+	Seg      *Segment
+	EdgeSlot int // where the matched edge is bound
+
+	// Expand lists the innermost-bucket code completions of Codes. Sorted
+	// access (segments and intersections) is only meaningful inside one
+	// innermost bucket; when Codes is a strict prefix of the partition
+	// levels, the optimizer expands the remaining levels here and the
+	// operators process each bucket combination separately.
+	Expand [][]uint16
+}
+
+// choices returns the bucket alternatives to process for sorted access.
+func (r ListRef) choices() [][]uint16 {
+	if len(r.Expand) > 0 {
+		return r.Expand
+	}
+	return [][]uint16{r.Codes}
+}
+
+// ExpandChoices enumerates every completion of prefix across the remaining
+// partition-level cardinalities (including the null buckets).
+func ExpandChoices(prefix []uint16, cards []int) [][]uint16 {
+	rest := cards[len(prefix):]
+	out := [][]uint16{append([]uint16(nil), prefix...)}
+	for _, card := range rest {
+		var next [][]uint16
+		for _, p := range out {
+			for c := 0; c < card; c++ {
+				next = append(next, append(append([]uint16(nil), p...), uint16(c)))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// Fetch resolves the list under the current binding (using r.Codes) and
+// counts its length toward the runtime's i-cost.
+func (r ListRef) Fetch(rt *Runtime, b *Binding) index.AdjList {
+	return r.fetchWith(rt, b, r.Codes)
+}
+
+func (r ListRef) fetchWith(rt *Runtime, b *Binding, codes []uint16) index.AdjList {
+	var l index.AdjList
+	switch r.Kind {
+	case ListPrimary:
+		l = rt.Store.Primary().List(r.Dir, b.V[r.OwnerVertexSlot], codes)
+	case ListVP:
+		l = r.VP.List(r.Dir, b.V[r.OwnerVertexSlot], codes)
+	case ListEP:
+		l = r.EP.List(b.E[r.OwnerEdgeSlot], codes)
+	}
+	if r.Seg != nil {
+		l = segmentList(rt, b, l, *r.Seg)
+	}
+	rt.ICost += int64(l.Len())
+	return l
+}
+
+// segmentList binary-searches the [Lo, Hi) ordinal range of the first sort
+// key inside a list sorted on it.
+func segmentList(rt *Runtime, b *Binding, l index.AdjList, seg Segment) index.AdjList {
+	g := rt.G
+	n := l.Len()
+	segLo, segHi := seg.Lo, seg.Hi
+	hasLo, hasHi := seg.HasLo, seg.HasHi
+	if seg.DynEq != nil {
+		v := seg.DynEq.Value(rt, b)
+		ord, ok := index.OrdinalOfValue(g, seg.Key, v)
+		if !ok || v.IsNull() {
+			return l.Slice(0, 0)
+		}
+		segLo, segHi = ord, ord+1
+		hasLo, hasHi = true, true
+	}
+	ordAt := func(i int) uint64 {
+		nbr, e := l.Get(i)
+		return index.SortKeyOrdinal(g, seg.Key, e, nbr)
+	}
+	lo := 0
+	if hasLo {
+		lo = sort.Search(n, func(i int) bool { return ordAt(i) >= segLo })
+	}
+	hi := n
+	if hasHi {
+		hi = sort.Search(n, func(i int) bool { return ordAt(i) >= segHi })
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return l.Slice(lo, hi)
+}
+
+// String implements fmt.Stringer (used by plan explanations).
+func (r ListRef) String() string {
+	var base string
+	switch r.Kind {
+	case ListPrimary:
+		base = fmt.Sprintf("primary.%v(v%d)", r.Dir, r.OwnerVertexSlot)
+	case ListVP:
+		base = fmt.Sprintf("%s.%v(v%d)", r.VP.Name(), r.Dir, r.OwnerVertexSlot)
+	case ListEP:
+		base = fmt.Sprintf("%s(e%d)", r.EP.Name(), r.OwnerEdgeSlot)
+	}
+	if len(r.Codes) > 0 {
+		base += fmt.Sprintf("/buckets%v", r.Codes)
+	}
+	if r.Seg != nil {
+		base += fmt.Sprintf("/seg(%s)", r.Seg.Key)
+	}
+	return base
+}
+
+// nbrDirection returns which endpoint of a matched edge is the neighbour
+// for this list (needed to fill the other endpoint when binding edges).
+func (r ListRef) nbrDirection() index.Direction {
+	if r.Kind == ListEP {
+		return r.EP.EPDir().AdjDirection()
+	}
+	return r.Dir
+}

@@ -1,0 +1,525 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// Op is a physical operator. run processes the current binding and calls
+// next for every produced extension; returning false aborts the pipeline.
+type Op interface {
+	run(rt *Runtime, b *Binding, next func() bool) bool
+	explain() string
+}
+
+// ScanVertexOp binds a vertex slot by scanning the vertex table (or jumping
+// straight to an exact ID). Terms are vertex-local predicates evaluated
+// during the scan.
+type ScanVertexOp struct {
+	Slot     int
+	HasLabel bool
+	Label    storage.LabelID
+	ExactID  *storage.VertexID
+	Terms    []CompiledTerm
+}
+
+func (o *ScanVertexOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+	tryOne := func(v storage.VertexID) bool {
+		if o.HasLabel && rt.G.VertexLabel(v) != o.Label {
+			return true
+		}
+		b.V[o.Slot] = v
+		if !evalAll(rt, b, o.Terms) {
+			return true
+		}
+		return next()
+	}
+	if o.ExactID != nil {
+		if int(*o.ExactID) >= rt.G.NumVertices() {
+			return true
+		}
+		return tryOne(*o.ExactID)
+	}
+	for v := 0; v < rt.G.NumVertices(); v++ {
+		if !tryOne(storage.VertexID(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *ScanVertexOp) explain() string {
+	s := fmt.Sprintf("SCAN v%d", o.Slot)
+	if o.ExactID != nil {
+		s += fmt.Sprintf(" id=%d", *o.ExactID)
+	}
+	if o.HasLabel {
+		s += fmt.Sprintf(" label=%d", o.Label)
+	}
+	for _, t := range o.Terms {
+		s += " " + t.String()
+	}
+	return s
+}
+
+// ScanEdgeOp binds an edge slot (and both endpoint vertex slots) by
+// scanning the edge table or jumping to an exact edge ID — the entry point
+// for plans anchored at an edge, like Example 7's r1.eID = t13.
+type ScanEdgeOp struct {
+	EdgeSlot, SrcSlot, DstSlot int
+	HasLabel                   bool
+	Label                      storage.LabelID
+	ExactID                    *storage.EdgeID
+	Terms                      []CompiledTerm
+}
+
+func (o *ScanEdgeOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+	tryOne := func(e storage.EdgeID) bool {
+		if rt.G.EdgeDeleted(e) {
+			return true
+		}
+		if o.HasLabel && rt.G.EdgeLabel(e) != o.Label {
+			return true
+		}
+		b.E[o.EdgeSlot] = e
+		b.V[o.SrcSlot] = rt.G.Src(e)
+		b.V[o.DstSlot] = rt.G.Dst(e)
+		if !evalAll(rt, b, o.Terms) {
+			return true
+		}
+		return next()
+	}
+	if o.ExactID != nil {
+		if int(*o.ExactID) >= rt.G.NumEdges() {
+			return true
+		}
+		return tryOne(*o.ExactID)
+	}
+	for e := 0; e < rt.G.NumEdges(); e++ {
+		if !tryOne(storage.EdgeID(e)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *ScanEdgeOp) explain() string {
+	s := fmt.Sprintf("SCAN-EDGE e%d (v%d->v%d)", o.EdgeSlot, o.SrcSlot, o.DstSlot)
+	if o.ExactID != nil {
+		s += fmt.Sprintf(" id=%d", *o.ExactID)
+	}
+	return s
+}
+
+// ExtendIntersectOp is the system's primary join operator (E/I): it
+// intersects z >= 1 neighbour-ID-sorted adjacency lists and extends the
+// partial match by one query vertex, binding each list's matched edge. With
+// z = 1 no intersection is performed — a plain EXTEND.
+type ExtendIntersectOp struct {
+	Lists      []ListRef
+	TargetSlot int
+}
+
+func (o *ExtendIntersectOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+	if len(o.Lists) == 1 && o.Lists[0].Seg == nil {
+		// Plain EXTEND: order within the list is irrelevant, a prefix-coded
+		// multi-bucket range is fine.
+		r := o.Lists[0]
+		l := r.Fetch(rt, b)
+		for i := 0; i < l.Len(); i++ {
+			nbr, e := l.Get(i)
+			b.V[o.TargetSlot] = nbr
+			b.E[r.EdgeSlot] = e
+			if !next() {
+				return false
+			}
+		}
+		return true
+	}
+	// Sorted access (segments or intersections) works bucket-by-bucket:
+	// process each combination of the lists' innermost-bucket choices.
+	return forEachCombo(o.Lists, func(codes [][]uint16) bool {
+		lists := make([]index.AdjList, len(o.Lists))
+		for i, r := range o.Lists {
+			lists[i] = r.fetchWith(rt, b, codes[i])
+			if lists[i].Len() == 0 {
+				return true
+			}
+		}
+		if len(lists) == 1 {
+			r := o.Lists[0]
+			l := lists[0]
+			for i := 0; i < l.Len(); i++ {
+				nbr, e := l.Get(i)
+				b.V[o.TargetSlot] = nbr
+				b.E[r.EdgeSlot] = e
+				if !next() {
+					return false
+				}
+			}
+			return true
+		}
+		return o.intersect(rt, b, lists, next)
+	})
+}
+
+// forEachCombo walks the cartesian product of each list's bucket choices.
+func forEachCombo(lists []ListRef, f func(codes [][]uint16) bool) bool {
+	z := len(lists)
+	choices := make([][][]uint16, z)
+	idx := make([]int, z)
+	for i, r := range lists {
+		choices[i] = r.choices()
+	}
+	codes := make([][]uint16, z)
+	for {
+		for i := 0; i < z; i++ {
+			codes[i] = choices[i][idx[i]]
+		}
+		if !f(codes) {
+			return false
+		}
+		// Odometer advance.
+		i := z - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(choices[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return true
+		}
+	}
+}
+
+// intersect performs a z-way sorted intersection with duplicate-aware runs
+// (parallel edges produce one output per edge combination).
+func (o *ExtendIntersectOp) intersect(rt *Runtime, b *Binding, lists []index.AdjList, next func() bool) bool {
+	z := len(lists)
+	pos := make([]int, z)
+	runEnd := make([]int, z)
+	for {
+		// Propose the maximum current neighbour.
+		var target storage.VertexID
+		for i := 0; i < z; i++ {
+			if pos[i] >= lists[i].Len() {
+				return true
+			}
+			if n := lists[i].Nbr(pos[i]); n > target {
+				target = n
+			}
+		}
+		// Advance every list to >= target; restart when overshooting.
+		agreed := true
+		for i := 0; i < z; i++ {
+			pos[i] = gallopTo(lists[i], pos[i], target)
+			if pos[i] >= lists[i].Len() {
+				return true
+			}
+			if lists[i].Nbr(pos[i]) != target {
+				agreed = false
+			}
+		}
+		if !agreed {
+			continue
+		}
+		// Compute per-list runs of the matched neighbour.
+		for i := 0; i < z; i++ {
+			j := pos[i]
+			for j < lists[i].Len() && lists[i].Nbr(j) == target {
+				j++
+			}
+			runEnd[i] = j
+		}
+		b.V[o.TargetSlot] = target
+		if !o.emitRuns(rt, b, lists, pos, runEnd, 0, next) {
+			return false
+		}
+		for i := 0; i < z; i++ {
+			pos[i] = runEnd[i]
+		}
+	}
+}
+
+// emitRuns emits the cross product of edge choices across lists.
+func (o *ExtendIntersectOp) emitRuns(rt *Runtime, b *Binding, lists []index.AdjList, pos, runEnd []int, i int, next func() bool) bool {
+	if i == len(lists) {
+		return next()
+	}
+	for k := pos[i]; k < runEnd[i]; k++ {
+		b.E[o.Lists[i].EdgeSlot] = lists[i].Edge(k)
+		if !o.emitRuns(rt, b, lists, pos, runEnd, i+1, next) {
+			return false
+		}
+	}
+	return true
+}
+
+// gallopTo returns the first position >= from whose neighbour is >= target,
+// using exponential probing followed by binary search.
+func gallopTo(l index.AdjList, from int, target storage.VertexID) int {
+	n := l.Len()
+	if from >= n || l.Nbr(from) >= target {
+		return from
+	}
+	step := 1
+	lo := from
+	hi := from + step
+	for hi < n && l.Nbr(hi) < target {
+		lo = hi
+		step *= 2
+		hi = lo + step
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.Nbr(mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (o *ExtendIntersectOp) explain() string {
+	parts := make([]string, len(o.Lists))
+	for i, r := range o.Lists {
+		parts[i] = r.String()
+	}
+	name := "EXTEND"
+	if len(o.Lists) > 1 {
+		name = "E/I"
+	}
+	return fmt.Sprintf("%s v%d <- %s", name, o.TargetSlot, strings.Join(parts, " ∩ "))
+}
+
+// MEGroup is one extension target of a MULTI-EXTEND: the lists whose
+// neighbour must agree for this target.
+type MEGroup struct {
+	TargetSlot int
+	Lists      []ListRef
+}
+
+// MultiExtendOp intersects lists that are sorted on a property other than
+// neighbour IDs and extends the partial match by one or more query vertices
+// at once (Section IV-A). All lists across all groups must share the sort
+// key; matches are combinations with equal sort-key value in every list,
+// e.g. "accounts in the same city" joins.
+type MultiExtendOp struct {
+	Key    index.SortKey
+	Groups []MEGroup
+}
+
+type meCursor struct {
+	list  index.AdjList
+	ref   ListRef
+	group int
+	pos   int
+	end   int // run end for the current ordinal
+}
+
+func (o *MultiExtendOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+	var refs []ListRef
+	var groups []int
+	for gi, g := range o.Groups {
+		for _, r := range g.Lists {
+			refs = append(refs, r)
+			groups = append(groups, gi)
+		}
+	}
+	return forEachCombo(refs, func(codes [][]uint16) bool {
+		var cursors []meCursor
+		for i, r := range refs {
+			l := r.fetchWith(rt, b, codes[i])
+			if l.Len() == 0 {
+				return true
+			}
+			cursors = append(cursors, meCursor{list: l, ref: r, group: groups[i]})
+		}
+		return o.merge(rt, b, cursors, next)
+	})
+}
+
+func (o *MultiExtendOp) merge(rt *Runtime, b *Binding, cursors []meCursor, next func() bool) bool {
+	g := rt.G
+	ordAt := func(c *meCursor, i int) uint64 {
+		nbr, e := c.list.Get(i)
+		return index.SortKeyOrdinal(g, o.Key, e, nbr)
+	}
+	nullOrd := ^uint64(0)
+	for {
+		// Find the max current ordinal.
+		var target uint64
+		for i := range cursors {
+			if cursors[i].pos >= cursors[i].list.Len() {
+				return true
+			}
+			if o := ordAt(&cursors[i], cursors[i].pos); o > target {
+				target = o
+			}
+		}
+		if target == nullOrd {
+			// NULL sort values never join (null city matches nothing).
+			return true
+		}
+		agreed := true
+		for i := range cursors {
+			c := &cursors[i]
+			for c.pos < c.list.Len() && ordAt(c, c.pos) < target {
+				c.pos++
+			}
+			if c.pos >= c.list.Len() {
+				return true
+			}
+			if ordAt(c, c.pos) != target {
+				agreed = false
+			}
+		}
+		if !agreed {
+			continue
+		}
+		for i := range cursors {
+			c := &cursors[i]
+			j := c.pos
+			for j < c.list.Len() && ordAt(c, j) == target {
+				j++
+			}
+			c.end = j
+		}
+		if !o.emitGroups(rt, b, cursors, 0, next) {
+			return false
+		}
+		for i := range cursors {
+			cursors[i].pos = cursors[i].end
+		}
+	}
+}
+
+// emitGroups walks groups in order, intersecting each group's runs on the
+// neighbour and emitting the cross product across groups.
+func (o *MultiExtendOp) emitGroups(rt *Runtime, b *Binding, cursors []meCursor, gi int, next func() bool) bool {
+	if gi == len(o.Groups) {
+		return next()
+	}
+	// Collect this group's cursors.
+	var mine []*meCursor
+	for i := range cursors {
+		if cursors[i].group == gi {
+			mine = append(mine, &cursors[i])
+		}
+	}
+	target := o.Groups[gi].TargetSlot
+	if len(mine) == 1 {
+		c := mine[0]
+		for k := c.pos; k < c.end; k++ {
+			nbr, e := c.list.Get(k)
+			b.V[target] = nbr
+			b.E[c.ref.EdgeSlot] = e
+			if !o.emitGroups(rt, b, cursors, gi+1, next) {
+				return false
+			}
+		}
+		return true
+	}
+	// Multiple lists for one target: the runs are sorted by neighbour
+	// within the equal-ordinal region; intersect them.
+	idx := make([]int, len(mine))
+	for i, c := range mine {
+		idx[i] = c.pos
+	}
+	for {
+		var nbrTarget storage.VertexID
+		for i, c := range mine {
+			if idx[i] >= c.end {
+				return true
+			}
+			if n := c.list.Nbr(idx[i]); n > nbrTarget {
+				nbrTarget = n
+			}
+		}
+		agreed := true
+		for i, c := range mine {
+			for idx[i] < c.end && c.list.Nbr(idx[i]) < nbrTarget {
+				idx[i]++
+			}
+			if idx[i] >= c.end {
+				return true
+			}
+			if c.list.Nbr(idx[i]) != nbrTarget {
+				agreed = false
+			}
+		}
+		if !agreed {
+			continue
+		}
+		runEnds := make([]int, len(mine))
+		for i, c := range mine {
+			j := idx[i]
+			for j < c.end && c.list.Nbr(j) == nbrTarget {
+				j++
+			}
+			runEnds[i] = j
+		}
+		b.V[target] = nbrTarget
+		var emitEdges func(i int) bool
+		emitEdges = func(i int) bool {
+			if i == len(mine) {
+				return o.emitGroups(rt, b, cursors, gi+1, next)
+			}
+			for k := idx[i]; k < runEnds[i]; k++ {
+				b.E[mine[i].ref.EdgeSlot] = mine[i].list.Edge(k)
+				if !emitEdges(i + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		if !emitEdges(0) {
+			return false
+		}
+		for i := range mine {
+			idx[i] = runEnds[i]
+		}
+	}
+}
+
+func (o *MultiExtendOp) explain() string {
+	var parts []string
+	for _, g := range o.Groups {
+		var ls []string
+		for _, r := range g.Lists {
+			ls = append(ls, r.String())
+		}
+		parts = append(parts, fmt.Sprintf("v%d<-%s", g.TargetSlot, strings.Join(ls, "∩")))
+	}
+	return fmt.Sprintf("MULTI-EXTEND on %s: %s", o.Key, strings.Join(parts, " ⋈ "))
+}
+
+// FilterOp evaluates residual predicates that the chosen indexes did not
+// already guarantee.
+type FilterOp struct {
+	Terms []CompiledTerm
+}
+
+func (o *FilterOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+	if !evalAll(rt, b, o.Terms) {
+		return true
+	}
+	return next()
+}
+
+func (o *FilterOp) explain() string {
+	parts := make([]string, len(o.Terms))
+	for i, t := range o.Terms {
+		parts[i] = t.String()
+	}
+	return "FILTER " + strings.Join(parts, " AND ")
+}

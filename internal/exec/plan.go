@@ -1,0 +1,54 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is a linear pipeline of physical operators producing complete
+// matches of a query graph.
+type Plan struct {
+	Ops []Op
+	// NumV and NumE size the binding.
+	NumV, NumE int
+	// VertexNames and EdgeNames map binding slots back to query variables
+	// (for explanations and result rendering).
+	VertexNames []string
+	EdgeNames   []string
+	// EstimatedICost is the optimizer's cost estimate for the plan.
+	EstimatedICost float64
+}
+
+// Execute streams complete matches into emit; returning false from emit
+// stops execution early. The binding passed to emit is reused — copy it if
+// retaining.
+func (p *Plan) Execute(rt *Runtime, emit func(*Binding) bool) {
+	b := NewBinding(p.NumV, p.NumE)
+	var run func(i int) bool
+	run = func(i int) bool {
+		if i == len(p.Ops) {
+			return emit(b)
+		}
+		return p.Ops[i].run(rt, b, func() bool { return run(i + 1) })
+	}
+	run(0)
+}
+
+// Count executes the plan and returns the number of matches.
+func (p *Plan) Count(rt *Runtime) int64 {
+	var n int64
+	p.Execute(rt, func(*Binding) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Explain renders the pipeline, one operator per line.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	for i, op := range p.Ops {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, op.explain())
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func TestBuildDeterministic(t *testing.T) {
+	cfg := Config{Name: "t", NumVertices: 200, AvgDegree: 5, Seed: 9, Financial: true, Time: true}
+	g1 := Build(cfg)
+	g2 := Build(cfg)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("non-deterministic edge count")
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		e := storage.EdgeID(i)
+		if g1.Src(e) != g2.Src(e) || g1.Dst(e) != g2.Dst(e) {
+			t.Fatalf("edge %d differs between builds", i)
+		}
+		if !g1.EdgeProp(e, storage.PropAmount).Equal(g2.EdgeProp(e, storage.PropAmount)) {
+			t.Fatalf("edge %d amount differs", i)
+		}
+	}
+}
+
+func TestBuildMatchesTargets(t *testing.T) {
+	cfg := Config{Name: "t", NumVertices: 1000, AvgDegree: 12, Seed: 1}
+	g := Build(cfg)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if got := g.AvgDegree(); got < 11.5 || got > 12.5 {
+		t.Errorf("avg degree = %.2f, want ~12", got)
+	}
+}
+
+func TestBuildPowerLawish(t *testing.T) {
+	g := Build(Config{Name: "t", NumVertices: 2000, AvgDegree: 10, Seed: 2})
+	// The maximum degree should be well above the average (heavy tail)
+	// but not absorb most of the graph.
+	deg := make([]int, g.NumVertices())
+	for i := 0; i < g.NumEdges(); i++ {
+		deg[g.Src(storage.EdgeID(i))]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 40 {
+		t.Errorf("max degree %d too uniform for a power law", maxDeg)
+	}
+	if maxDeg > g.NumEdges()/2 {
+		t.Errorf("max degree %d absorbs most edges", maxDeg)
+	}
+}
+
+func TestBuildLabels(t *testing.T) {
+	g := Build(Config{Name: "t", NumVertices: 500, AvgDegree: 4, VertexLabels: 3, EdgeLabels: 2, Seed: 5})
+	seenV := map[storage.LabelID]bool{}
+	for i := 0; i < g.NumVertices(); i++ {
+		seenV[g.VertexLabel(storage.VertexID(i))] = true
+	}
+	if len(seenV) != 3 {
+		t.Errorf("vertex labels used = %d, want 3", len(seenV))
+	}
+	seenE := map[storage.LabelID]bool{}
+	for i := 0; i < g.NumEdges(); i++ {
+		seenE[g.EdgeLabel(storage.EdgeID(i))] = true
+	}
+	if len(seenE) != 2 {
+		t.Errorf("edge labels used = %d, want 2", len(seenE))
+	}
+}
+
+func TestFinancialDecoration(t *testing.T) {
+	g := Build(Config{Name: "t", NumVertices: 100, AvgDegree: 5, Seed: 3, Financial: true})
+	for i := 0; i < g.NumEdges(); i++ {
+		e := storage.EdgeID(i)
+		amt := g.EdgeProp(e, storage.PropAmount)
+		if amt.IsNull() || amt.I < 1 || amt.I > 1000 {
+			t.Fatalf("edge %d amount out of range: %v", i, amt)
+		}
+		date := g.EdgeProp(e, storage.PropDate)
+		if date.IsNull() || date.I < 1 || date.I > 5*365 {
+			t.Fatalf("edge %d date out of range: %v", i, date)
+		}
+	}
+	for i := 0; i < g.NumVertices(); i++ {
+		v := storage.VertexID(i)
+		acc := g.VertexProp(v, storage.PropAcc)
+		if acc.S != "CQ" && acc.S != "SV" {
+			t.Fatalf("vertex %d acc = %v", i, acc)
+		}
+		if g.VertexProp(v, storage.PropCity).IsNull() {
+			t.Fatalf("vertex %d missing city", i)
+		}
+	}
+}
+
+func TestPercentileInt(t *testing.T) {
+	g := Build(Config{Name: "t", NumVertices: 500, AvgDegree: 10, Seed: 4, Time: true})
+	p5, ok := PercentileInt(g, "time", 5)
+	if !ok {
+		t.Fatal("no time column")
+	}
+	p95, _ := PercentileInt(g, "time", 95)
+	if p5 >= p95 {
+		t.Errorf("p5 %d >= p95 %d", p5, p95)
+	}
+	// Roughly 5% of edges should be below p5.
+	count := 0
+	for i := 0; i < g.NumEdges(); i++ {
+		if v := g.EdgeProp(storage.EdgeID(i), "time"); !v.IsNull() && v.I < p5 {
+			count++
+		}
+	}
+	frac := float64(count) / float64(g.NumEdges())
+	if frac < 0.02 || frac > 0.08 {
+		t.Errorf("p5 selectivity = %.3f, want ~0.05", frac)
+	}
+	if _, ok := PercentileInt(g, "nope", 5); ok {
+		t.Error("missing column should not resolve")
+	}
+}
+
+func TestPresetsScale(t *testing.T) {
+	for _, c := range []Config{Orkut, LiveJournal, WikiTopcats, BerkStan} {
+		if c.NumVertices <= 0 || c.AvgDegree <= 0 {
+			t.Errorf("preset %s incomplete", c.Name)
+		}
+	}
+	lj := LiveJournal.WithLabels(2, 4)
+	if lj.Name != "LJ2,4" {
+		t.Errorf("labelled name = %q", lj.Name)
+	}
+}

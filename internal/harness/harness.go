@@ -1,0 +1,227 @@
+// Package harness regenerates the paper's evaluation artifacts: Tables
+// I–V and the Section V-F maintenance micro-benchmark. Each experiment
+// builds the scaled synthetic datasets, applies the paper's index
+// configurations, runs the workload under every configuration, verifies
+// that all configurations agree on the result counts, and prints rows in
+// the shape of the paper's tables (runtime, speedup over D, memory,
+// index-creation/reconfiguration time).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/aplusdb/aplus/internal/exec"
+	"github.com/aplusdb/aplus/internal/gen"
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/opt"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/query"
+	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/workload"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Out receives the formatted table (io.Discard when nil).
+	Out io.Writer
+	// Scale multiplies dataset sizes (1.0 = the scaled presets).
+	Scale float64
+	// Verify cross-checks result counts across configurations and panics
+	// on disagreement; it is cheap relative to the runs themselves.
+	Verify bool
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1.0
+	}
+	return o.Scale
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// Row is one measurement.
+type Row struct {
+	Table   string
+	Dataset string
+	Config  string
+	Query   string
+	Seconds float64
+	Count   int64
+	ICost   int64
+	MemMB   float64
+	// Setup is index-creation (IC) or reconfiguration (IR) time in
+	// seconds, reported once per configuration.
+	Setup float64
+	// IndexedEdges is |E_indexed| for Table IV.
+	IndexedEdges int64
+}
+
+// measured runs one query under a mode and returns its row fields.
+func measure(s *index.Store, mode opt.Mode, q workload.Query) (float64, int64, int64, error) {
+	qg, err := query.Parse(q.Cypher)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("%s: %w", q.Name, err)
+	}
+	plan, err := opt.Optimize(s, qg, mode)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("%s: %w", q.Name, err)
+	}
+	rt := exec.NewRuntime(s)
+	start := time.Now()
+	n := plan.Count(rt)
+	return time.Since(start).Seconds(), n, rt.ICost, nil
+}
+
+func scaled(c gen.Config, scale float64) gen.Config {
+	c.NumVertices = int(float64(c.NumVertices) * scale)
+	if c.NumVertices < 64 {
+		c.NumVertices = 64
+	}
+	return c
+}
+
+func memMB(s *index.Store) float64 {
+	return float64(s.Stats().TotalBytes()) / (1 << 20)
+}
+
+// verifyCounts panics when two configurations disagree on a query's count
+// — configurations change access paths, never results.
+func verifyCounts(table string, counts map[string]map[string]int64) {
+	var ref string
+	for cfg := range counts {
+		ref = cfg
+		break
+	}
+	for cfg, byQuery := range counts {
+		for qn, n := range byQuery {
+			if want, ok := counts[ref][qn]; ok && n != want {
+				panic(fmt.Sprintf("%s: %s disagrees with %s on %s: %d vs %d", table, cfg, ref, qn, n, want))
+			}
+		}
+	}
+}
+
+// header prints a table banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+func printRow(w io.Writer, r Row, base *Row) {
+	speedup := ""
+	if base != nil && r.Seconds > 0 {
+		speedup = fmt.Sprintf(" (%.2fx)", base.Seconds/r.Seconds)
+	}
+	fmt.Fprintf(w, "%-8s %-12s %-6s %10.4fs%s  count=%-10d icost=%-10d\n",
+		r.Dataset, r.Config, r.Query, r.Seconds, speedup, r.Count, r.ICost)
+}
+
+// buildStore builds a store with a primary configuration.
+func buildStore(g *storage.Graph, cfg index.Config) *index.Store {
+	s, err := index.NewStore(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Named primary configurations from the paper.
+
+// ConfigD is the system default: partition by edge label, sort by
+// neighbour ID.
+func ConfigD() index.Config { return index.DefaultConfig() }
+
+// ConfigDs keeps D's partitioning but sorts by neighbour label, then ID
+// (Table II).
+func ConfigDs() index.Config {
+	c := index.DefaultConfig()
+	c.Sorts = []index.SortKey{{Var: pred.VarNbr, Prop: pred.PropLabel}}
+	return c
+}
+
+// ConfigDp adds a second partitioning level on the neighbour's label
+// (Table II).
+func ConfigDp() index.Config {
+	c := index.DefaultConfig()
+	c.Partitions = append(c.Partitions, index.PartitionKey{Var: pred.VarNbr, Prop: pred.PropLabel})
+	return c
+}
+
+// ConfigUnsorted keeps label partitioning but leaves lists in insertion
+// order (edge-ID order), emulating linked-list adjacency stores.
+func ConfigUnsorted() index.Config {
+	c := index.DefaultConfig()
+	c.Sorts = []index.SortKey{{Var: pred.VarAdj, Prop: pred.PropID}}
+	return c
+}
+
+// VPtDef is Table III's secondary index: forward, shares the primary's
+// partitioning, sorts on the edge's time property.
+func VPtDef() index.VPDef {
+	return index.VPDef{
+		View: index.View1Hop{Name: "VPt"},
+		Dirs: []index.Direction{index.FW},
+		Cfg: index.Config{
+			Partitions: index.DefaultConfig().Partitions,
+			Sorts:      []index.SortKey{{Var: pred.VarAdj, Prop: "time"}},
+		},
+	}
+}
+
+// VPcDef is Table IV's secondary index: both directions, shares the
+// primary's partitioning, sorts on the neighbour's city.
+func VPcDef() index.VPDef {
+	return index.VPDef{
+		View: index.View1Hop{Name: "VPc"},
+		Dirs: []index.Direction{index.FW, index.BW},
+		Cfg: index.Config{
+			Partitions: index.DefaultConfig().Partitions,
+			Sorts:      []index.SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}},
+		},
+	}
+}
+
+// EPcDef is Section V-D's edge-partitioned index: the MoneyFlow 2-hop view
+// with the banded amount predicate, second-level partitioning on the
+// neighbour's account type, sorted by the neighbour's city.
+func EPcDef(alpha int64) index.EPDef {
+	return index.EPDef{
+		View: index.View2Hop{
+			Name: "EPc",
+			Dir:  index.DestinationFW,
+			Pred: pred.Predicate{}.
+				And(pred.VarTerm(pred.VarBound, storage.PropDate, pred.LT, pred.VarAdj, storage.PropDate)).
+				And(pred.VarTerm(pred.VarAdj, storage.PropAmount, pred.LT, pred.VarBound, storage.PropAmount)).
+				And(pred.VarTermShift(pred.VarBound, storage.PropAmount, pred.LT, pred.VarAdj, storage.PropAmount, alpha)),
+		},
+		Cfg: index.Config{
+			Partitions: []index.PartitionKey{{Var: pred.VarNbr, Prop: storage.PropAcc}},
+			Sorts:      []index.SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}},
+		},
+	}
+}
+
+// EPtDef is the maintenance benchmark's edge-partitioned index: a banded
+// time predicate at roughly 1% selectivity.
+func EPtDef(alpha int64) index.EPDef {
+	return index.EPDef{
+		View: index.View2Hop{
+			Name: "EPt",
+			Dir:  index.DestinationFW,
+			Pred: pred.Predicate{}.
+				And(pred.VarTerm(pred.VarBound, "time", pred.LT, pred.VarAdj, "time")).
+				And(pred.VarTermShift(pred.VarAdj, "time", pred.LT, pred.VarBound, "time", alpha)),
+		},
+		Cfg: index.Config{
+			Partitions: index.DefaultConfig().Partitions,
+			Sorts:      []index.SortKey{{Var: pred.VarAdj, Prop: "time"}},
+		},
+	}
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallOpts runs experiments at reduced scale with verification on; the
+// point of these tests is that every configuration agrees on result counts
+// and the experiments complete.
+func smallOpts() Options { return Options{Scale: 0.08, Verify: true} }
+
+func configSet(rows []Row) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range rows {
+		out[r.Config] = true
+	}
+	return out
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1(Options{Scale: 0.1})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 datasets", len(rows))
+	}
+	for _, r := range rows {
+		if r.Count <= 0 {
+			t.Errorf("%s has no edges", r.Dataset)
+		}
+	}
+}
+
+func TestTable2SmallScale(t *testing.T) {
+	rows := Table2(smallOpts())
+	cfgs := configSet(rows)
+	for _, want := range []string{"D", "Ds", "Dp"} {
+		if !cfgs[want] {
+			t.Errorf("missing config %s", want)
+		}
+	}
+	// Dp must not shrink ID lists but may grow level memory slightly.
+	var dMem, dpMem float64
+	for _, r := range rows {
+		if strings.HasPrefix(r.Dataset, "Ork") && r.Query == "SQ1" {
+			switch r.Config {
+			case "D":
+				dMem = r.MemMB
+			case "Dp":
+				dpMem = r.MemMB
+			}
+		}
+	}
+	if dpMem < dMem {
+		t.Errorf("Dp memory %.3f < D memory %.3f", dpMem, dMem)
+	}
+}
+
+func TestTable3SmallScale(t *testing.T) {
+	rows := Table3(smallOpts())
+	// The time-sorted index must prune list accesses on the queries whose
+	// cost the first extensions dominate (MR1, MR2). MR3's totals at this
+	// tiny test scale are dominated by the closing intersections, whose
+	// plan choice can differ between configs, so only the sum is bounded.
+	icostD := map[string]int64{}
+	icostVPt := map[string]int64{}
+	for _, r := range rows {
+		switch r.Config {
+		case "D":
+			icostD[r.Query] += r.ICost
+		case "D+VPt":
+			icostVPt[r.Query] += r.ICost
+		}
+	}
+	for _, q := range []string{"MR1", "MR2"} {
+		if icostVPt[q] > icostD[q] {
+			t.Errorf("%s: D+VPt i-cost %d > D %d", q, icostVPt[q], icostD[q])
+		}
+	}
+	var sumD, sumVPt int64
+	for q := range icostD {
+		sumD += icostD[q]
+		sumVPt += icostVPt[q]
+	}
+	if float64(sumVPt) > 1.6*float64(sumD) {
+		t.Errorf("D+VPt total i-cost %d far exceeds D %d", sumVPt, sumD)
+	}
+}
+
+func TestTable4SmallScale(t *testing.T) {
+	rows := Table4(smallOpts())
+	var icostD, icostVPc int64
+	for _, r := range rows {
+		switch r.Config {
+		case "D":
+			icostD += r.ICost
+		case "D+VPc":
+			icostVPc += r.ICost
+		}
+	}
+	if icostVPc > icostD {
+		t.Errorf("D+VPc total i-cost %d > D %d", icostVPc, icostD)
+	}
+	// EPc must be reported with more indexed edges than the primary alone.
+	sawEPc := false
+	for _, r := range rows {
+		if r.Config == "D+VPc+EPc" && r.IndexedEdges > 0 {
+			sawEPc = true
+		}
+	}
+	if !sawEPc {
+		t.Error("EPc rows missing indexed-edge counts")
+	}
+}
+
+func TestTable5SmallScale(t *testing.T) {
+	rows := Table5(smallOpts())
+	cfgs := configSet(rows)
+	for _, want := range []string{"D", "Dp", "TG", "N4"} {
+		if !cfgs[want] {
+			t.Errorf("missing system %s", want)
+		}
+	}
+}
+
+func TestMaintenanceSmallScale(t *testing.T) {
+	rows := Maintenance(Options{Scale: 0.05})
+	if len(rows) != 10 { // 2 datasets x 5 configs
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 || r.Count <= 0 {
+			t.Errorf("%s/%s: degenerate measurement", r.Dataset, r.Config)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/aplusdb/aplus/internal/gen"
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// Maintenance reproduces the Section V-F micro-benchmark: load 50% of a
+// dataset, then insert the remaining edges one at a time through the
+// update-buffer path, under five configurations of increasing maintenance
+// work: Ds (no partitioning, neighbour-sorted), Dp (label-partitioned),
+// Dps (label-partitioned + sorted), Dps+VPt, and Dps+EPt (banded time
+// predicate at ~1% selectivity).
+func Maintenance(o Options) []Row {
+	w := o.out()
+	header(w, "Maintenance: insert throughput (Section V-F)")
+	var rows []Row
+	for _, cfg := range []struct {
+		base   gen.Config
+		vl, el int
+	}{
+		{gen.LiveJournal, 2, 4},
+		{gen.BerkStan, 2, 2},
+	} {
+		c := scaled(cfg.base.WithLabels(cfg.vl, cfg.el), o.scale())
+		c.Time = true
+		full := gen.Build(c)
+		name := cfg.base.Name + dsSuffix(cfg.vl, cfg.el)
+
+		for _, mc := range maintenanceConfigs() {
+			s, pending := halfLoadedStore(full, mc.primary)
+			for _, create := range mc.secondaries {
+				create(s)
+			}
+			start := time.Now()
+			for _, e := range pending {
+				if _, err := s.InsertEdge(e.src, e.dst, e.label, e.props); err != nil {
+					panic(err)
+				}
+			}
+			secs := time.Since(start).Seconds()
+			rate := float64(len(pending)) / secs
+			fmt.Fprintf(w, "%-8s %-9s %8d inserts in %8.3fs  -> %10.0f edges/s\n",
+				name, mc.name, len(pending), secs, rate)
+			rows = append(rows, Row{
+				Table: "maintenance", Dataset: name, Config: mc.name,
+				Seconds: secs, Count: int64(len(pending)),
+			})
+		}
+	}
+	return rows
+}
+
+type pendingEdge struct {
+	src, dst storage.VertexID
+	label    string
+	props    map[string]storage.Value
+}
+
+// halfLoadedStore builds a graph with all vertices and the first half of
+// full's edges, returning the store and the edges still to insert.
+func halfLoadedStore(full *storage.Graph, cfg index.Config) (*index.Store, []pendingEdge) {
+	g := storage.NewGraph()
+	for i := 0; i < full.NumVertices(); i++ {
+		g.AddVertex(full.Catalog().VertexLabelName(full.VertexLabel(storage.VertexID(i))))
+	}
+	half := full.NumEdges() / 2
+	edgeProps := func(e storage.EdgeID) map[string]storage.Value {
+		props := map[string]storage.Value{}
+		if v := full.EdgeProp(e, "time"); !v.IsNull() {
+			props["time"] = v
+		}
+		return props
+	}
+	for i := 0; i < half; i++ {
+		e := storage.EdgeID(i)
+		ne, err := g.AddEdge(full.Src(e), full.Dst(e), full.Catalog().EdgeLabelName(full.EdgeLabel(e)))
+		if err != nil {
+			panic(err)
+		}
+		for k, v := range edgeProps(e) {
+			if err := g.SetEdgeProp(ne, k, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	var pending []pendingEdge
+	for i := half; i < full.NumEdges(); i++ {
+		e := storage.EdgeID(i)
+		pending = append(pending, pendingEdge{
+			src: full.Src(e), dst: full.Dst(e),
+			label: full.Catalog().EdgeLabelName(full.EdgeLabel(e)),
+			props: edgeProps(e),
+		})
+	}
+	return buildStore(g, cfg), pending
+}
+
+type maintenanceConfig struct {
+	name        string
+	primary     index.Config
+	secondaries []func(*index.Store)
+}
+
+func maintenanceConfigs() []maintenanceConfig {
+	noPart := index.Config{}
+	dp := index.Config{
+		Partitions: index.DefaultConfig().Partitions,
+		Sorts:      []index.SortKey{{Var: pred.VarAdj, Prop: pred.PropID}},
+	}
+	dps := index.DefaultConfig()
+	vpt := func(s *index.Store) {
+		if _, err := s.CreateVertexPartitioned(VPtDef()); err != nil {
+			panic(err)
+		}
+	}
+	ept := func(s *index.Store) {
+		if _, err := s.CreateEdgePartitioned(EPtDef(10_000)); err != nil { // ~1% of the 1e6 time range
+			panic(err)
+		}
+	}
+	return []maintenanceConfig{
+		{"Ds", noPart, nil},
+		{"Dp", dp, nil},
+		{"Dps", dps, nil},
+		{"Dps+VPt", dps, []func(*index.Store){vpt}},
+		{"Dps+EPt", dps, []func(*index.Store){vpt, ept}},
+	}
+}

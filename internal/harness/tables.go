@@ -1,0 +1,294 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/aplusdb/aplus/internal/gen"
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/opt"
+	"github.com/aplusdb/aplus/internal/workload"
+)
+
+// Table1 prints the dataset statistics (paper Table I, scaled).
+func Table1(o Options) []Row {
+	w := o.out()
+	header(w, "Table I: datasets (scaled)")
+	fmt.Fprintf(w, "%-8s %12s %12s %12s\n", "Name", "#Vertices", "#Edges", "Avg.degree")
+	var rows []Row
+	for _, cfg := range []gen.Config{gen.Orkut, gen.LiveJournal, gen.WikiTopcats, gen.BerkStan} {
+		g := gen.Build(scaled(cfg, o.scale()))
+		fmt.Fprintf(w, "%-8s %12d %12d %12.2f\n", cfg.Name, g.NumVertices(), g.NumLiveEdges(), g.AvgDegree())
+		rows = append(rows, Row{
+			Table: "table1", Dataset: cfg.Name,
+			Count: int64(g.NumLiveEdges()),
+		})
+	}
+	return rows
+}
+
+// Table2 reproduces the primary-reconfiguration experiment (paper Table
+// II): SQ1–SQ13 under D, Ds and Dp on the labelled datasets.
+func Table2(o Options) []Row {
+	w := o.out()
+	header(w, "Table II: primary A+ index reconfiguration (D / Ds / Dp)")
+	datasets := []struct {
+		cfg    gen.Config
+		vl, el int
+	}{
+		{gen.Orkut, 8, 2},
+		{gen.LiveJournal, 2, 4},
+		{gen.WikiTopcats, 4, 2},
+	}
+	configs := []struct {
+		name string
+		cfg  index.Config
+	}{
+		{"D", ConfigD()},
+		{"Ds", ConfigDs()},
+		{"Dp", ConfigDp()},
+	}
+	var rows []Row
+	for _, ds := range datasets {
+		g := gen.Build(scaled(ds.cfg.WithLabels(ds.vl, ds.el), o.scale()))
+		queries := workload.SQ(ds.vl, ds.el)
+		counts := map[string]map[string]int64{}
+		s := buildStore(g, ConfigD())
+		var baselines map[string]Row
+		for _, c := range configs {
+			startIR := time.Now()
+			if err := s.Reconfigure(c.cfg); err != nil {
+				panic(err)
+			}
+			ir := time.Since(startIR).Seconds()
+			counts[c.name] = map[string]int64{}
+			for _, q := range queries {
+				secs, n, icost, err := measure(s, opt.ModeDefault, q)
+				if err != nil {
+					panic(err)
+				}
+				counts[c.name][q.Name] = n
+				r := Row{
+					Table: "table2", Dataset: ds.cfg.Name + dsSuffix(ds.vl, ds.el),
+					Config: c.name, Query: q.Name,
+					Seconds: secs, Count: n, ICost: icost,
+					MemMB: memMB(s), Setup: ir,
+				}
+				rows = append(rows, r)
+				var base *Row
+				if c.name != "D" {
+					b := baselines[q.Name]
+					base = &b
+				} else {
+					if baselines == nil {
+						baselines = map[string]Row{}
+					}
+					baselines[q.Name] = r
+				}
+				printRow(w, r, base)
+			}
+			fmt.Fprintf(w, "    [%s %s] Mm=%.1fMB IR=%.3fs\n", ds.cfg.Name, c.name, memMB(s), ir)
+		}
+		if o.Verify {
+			verifyCounts("table2", counts)
+		}
+	}
+	return rows
+}
+
+func dsSuffix(vl, el int) string {
+	if vl <= 1 && el <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("%d,%d", vl, el)
+}
+
+// Table3 reproduces the MagicRecs experiment (paper Table III): MR1–MR3
+// under D and D+VPt, where VPt shares the primary's partition levels and
+// sorts on the edges' time property.
+func Table3(o Options) []Row {
+	w := o.out()
+	header(w, "Table III: MagicRecs with secondary vertex-partitioned index (D / D+VPt)")
+	var rows []Row
+	for _, cfg := range []gen.Config{gen.Orkut, gen.LiveJournal, gen.WikiTopcats} {
+		c := scaled(cfg, o.scale())
+		c.Time = true
+		g := gen.Build(c)
+		alpha, ok := gen.PercentileInt(g, "time", 5) // 5% selectivity as in the paper
+		if !ok {
+			panic("no time property")
+		}
+		queries := workload.MR(alpha, int64(g.NumVertices()/4))
+		s := buildStore(g, ConfigD())
+		counts := map[string]map[string]int64{"D": {}, "D+VPt": {}}
+		var baselines = map[string]Row{}
+		memD := memMB(s)
+		for _, q := range queries {
+			secs, n, icost, err := measure(s, opt.ModeDefault, q)
+			if err != nil {
+				panic(err)
+			}
+			counts["D"][q.Name] = n
+			r := Row{Table: "table3", Dataset: cfg.Name, Config: "D", Query: q.Name,
+				Seconds: secs, Count: n, ICost: icost, MemMB: memD}
+			rows = append(rows, r)
+			baselines[q.Name] = r
+			printRow(w, r, nil)
+		}
+		startIC := time.Now()
+		if _, err := s.CreateVertexPartitioned(VPtDef()); err != nil {
+			panic(err)
+		}
+		ic := time.Since(startIC).Seconds()
+		for _, q := range queries {
+			secs, n, icost, err := measure(s, opt.ModeDefault, q)
+			if err != nil {
+				panic(err)
+			}
+			counts["D+VPt"][q.Name] = n
+			r := Row{Table: "table3", Dataset: cfg.Name, Config: "D+VPt", Query: q.Name,
+				Seconds: secs, Count: n, ICost: icost, MemMB: memMB(s), Setup: ic}
+			rows = append(rows, r)
+			b := baselines[q.Name]
+			printRow(w, r, &b)
+		}
+		fmt.Fprintf(w, "    [%s] Mm: D=%.1fMB D+VPt=%.1fMB (%.2fx) IC=%.3fs\n",
+			cfg.Name, memD, memMB(s), memMB(s)/memD, ic)
+		if o.Verify {
+			verifyCounts("table3", counts)
+		}
+	}
+	return rows
+}
+
+// Table4 reproduces the fraud-detection experiment (paper Table IV):
+// MF1–MF5 under D, D+VPc and D+VPc+EPc.
+func Table4(o Options) []Row {
+	w := o.out()
+	header(w, "Table IV: fraud detection (D / D+VPc / D+VPc+EPc)")
+	const alpha = 100 // ~5% Pf band on amounts in [1,1000] after date ordering
+	var rows []Row
+	for _, cfg := range []gen.Config{gen.Orkut, gen.LiveJournal, gen.WikiTopcats} {
+		c := scaled(cfg, o.scale())
+		c.Financial = true
+		g := gen.Build(c)
+		params := workload.MFParams{
+			Alpha:   alpha,
+			City:    "C7",
+			A3MaxID: int64(g.NumVertices() / 20),
+			A1MaxID: int64(g.NumVertices() / 20),
+		}
+		queries := workload.MF(params)
+		s := buildStore(g, ConfigD())
+		counts := map[string]map[string]int64{}
+		baselines := map[string]Row{}
+
+		runAll := func(name string, ic float64) {
+			counts[name] = map[string]int64{}
+			st := s.Stats()
+			for _, q := range queries {
+				secs, n, icost, err := measure(s, opt.ModeDefault, q)
+				if err != nil {
+					panic(err)
+				}
+				counts[name][q.Name] = n
+				r := Row{Table: "table4", Dataset: cfg.Name, Config: name, Query: q.Name,
+					Seconds: secs, Count: n, ICost: icost, MemMB: memMB(s), Setup: ic,
+					IndexedEdges: st.IndexedEdges}
+				rows = append(rows, r)
+				if name == "D" {
+					baselines[q.Name] = r
+					printRow(w, r, nil)
+				} else {
+					b := baselines[q.Name]
+					printRow(w, r, &b)
+				}
+			}
+			fmt.Fprintf(w, "    [%s %s] Mem=%.1fMB |Eindexed|=%d IC=%.3fs\n",
+				cfg.Name, name, memMB(s), st.IndexedEdges, ic)
+		}
+
+		runAll("D", 0)
+		start := time.Now()
+		if _, err := s.CreateVertexPartitioned(VPcDef()); err != nil {
+			panic(err)
+		}
+		runAll("D+VPc", time.Since(start).Seconds())
+		start = time.Now()
+		if _, err := s.CreateEdgePartitioned(EPcDef(alpha)); err != nil {
+			panic(err)
+		}
+		runAll("D+VPc+EPc", time.Since(start).Seconds())
+		if o.Verify {
+			verifyCounts("table4", counts)
+		}
+	}
+	return rows
+}
+
+// Table5 reproduces the baseline comparison (paper Table V): SQ1, SQ2, SQ3
+// and SQ13 under GraphflowDB's D and Dp configurations versus fixed-index
+// binary-join baselines standing in for TigerGraph (sorted lists) and
+// Neo4j (insertion-ordered linked lists).
+func Table5(o Options) []Row {
+	w := o.out()
+	header(w, "Table V: comparison against fixed-index binary-join baselines")
+	datasets := []struct {
+		cfg    gen.Config
+		vl, el int
+	}{
+		{gen.LiveJournal, 12, 2},
+		{gen.WikiTopcats, 4, 2},
+	}
+	type sys struct {
+		name string
+		cfg  index.Config
+		mode opt.Mode
+	}
+	systems := []sys{
+		{"D", ConfigD(), opt.ModeDefault},
+		{"Dp", ConfigDp(), opt.ModeDefault},
+		{"TG", ConfigD(), opt.ModeBinaryJoin},
+		{"N4", ConfigUnsorted(), opt.ModeBinaryJoin},
+	}
+	// The paper compares SQ1, SQ2, SQ3 and SQ13 against Neo4j and
+	// TigerGraph, which are entirely different systems; our baselines are
+	// plan-space restrictions of the same engine, so the gap materializes
+	// on cyclic queries where WCOJ intersections matter. SQ8 (triangle) is
+	// added to surface that difference (see EXPERIMENTS.md).
+	pick := map[string]bool{"SQ1": true, "SQ2": true, "SQ3": true, "SQ8": true, "SQ13": true}
+	var rows []Row
+	for _, ds := range datasets {
+		g := gen.Build(scaled(ds.cfg.WithLabels(ds.vl, ds.el), o.scale()))
+		counts := map[string]map[string]int64{}
+		baselines := map[string]Row{}
+		for _, system := range systems {
+			s := buildStore(g, system.cfg)
+			counts[system.name] = map[string]int64{}
+			for _, q := range workload.SQ(ds.vl, ds.el) {
+				if !pick[q.Name] {
+					continue
+				}
+				secs, n, icost, err := measure(s, system.mode, q)
+				if err != nil {
+					panic(err)
+				}
+				counts[system.name][q.Name] = n
+				r := Row{Table: "table5", Dataset: ds.cfg.Name + dsSuffix(ds.vl, ds.el),
+					Config: system.name, Query: q.Name, Seconds: secs, Count: n, ICost: icost}
+				rows = append(rows, r)
+				if system.name == "D" {
+					baselines[q.Name] = r
+					printRow(w, r, nil)
+				} else {
+					b := baselines[q.Name]
+					printRow(w, r, &b)
+				}
+			}
+		}
+		if o.Verify {
+			verifyCounts("table5", counts)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,86 @@
+package index
+
+import (
+	"github.com/aplusdb/aplus/internal/csr"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// AdjList is a resolved adjacency list: a sequence of (neighbour vertex,
+// edge) pairs in index order. Primary lists wrap ID-list slices directly;
+// secondary lists resolve byte-packed offsets through the owner's primary
+// list range (the indirection of Section III-B3).
+type AdjList struct {
+	// Direct ID-list storage (primary indexes and merged buffers).
+	nbrs []uint32
+	eids []uint64
+
+	// Offset-list storage (secondary indexes): offsets into base*.
+	off      csr.List
+	baseNbrs []uint32
+	baseEids []uint64
+}
+
+// DirectList wraps raw (nbr, eid) arrays as an AdjList.
+func DirectList(nbrs []uint32, eids []uint64) AdjList {
+	return AdjList{nbrs: nbrs, eids: eids}
+}
+
+// OffsetList wraps an offset list resolved against the owner's primary
+// range.
+func OffsetList(off csr.List, baseNbrs []uint32, baseEids []uint64) AdjList {
+	return AdjList{off: off, baseNbrs: baseNbrs, baseEids: baseEids}
+}
+
+// Len returns the number of adjacency entries.
+func (l AdjList) Len() int {
+	if l.baseNbrs != nil {
+		return l.off.Len()
+	}
+	return len(l.nbrs)
+}
+
+// Get returns the i-th (neighbour, edge) pair.
+func (l AdjList) Get(i int) (storage.VertexID, storage.EdgeID) {
+	if l.baseNbrs != nil {
+		o := l.off.At(i)
+		return storage.VertexID(l.baseNbrs[o]), storage.EdgeID(l.baseEids[o])
+	}
+	return storage.VertexID(l.nbrs[i]), storage.EdgeID(l.eids[i])
+}
+
+// Nbr returns just the i-th neighbour (hot path of intersections).
+func (l AdjList) Nbr(i int) storage.VertexID {
+	if l.baseNbrs != nil {
+		return storage.VertexID(l.baseNbrs[l.off.At(i)])
+	}
+	return storage.VertexID(l.nbrs[i])
+}
+
+// Edge returns just the i-th edge.
+func (l AdjList) Edge(i int) storage.EdgeID {
+	if l.baseNbrs != nil {
+		return storage.EdgeID(l.baseEids[l.off.At(i)])
+	}
+	return storage.EdgeID(l.eids[i])
+}
+
+// Materialize copies the list into fresh (nbr, eid) arrays.
+func (l AdjList) Materialize() ([]uint32, []uint64) {
+	n := l.Len()
+	nbrs := make([]uint32, n)
+	eids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		v, e := l.Get(i)
+		nbrs[i] = uint32(v)
+		eids[i] = uint64(e)
+	}
+	return nbrs, eids
+}
+
+// Slice returns the sublist [lo, hi).
+func (l AdjList) Slice(lo, hi int) AdjList {
+	if l.baseNbrs != nil {
+		return AdjList{off: l.off.Sub(lo, hi), baseNbrs: l.baseNbrs, baseEids: l.baseEids}
+	}
+	return DirectList(l.nbrs[lo:hi], l.eids[lo:hi])
+}

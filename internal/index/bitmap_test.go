@@ -1,0 +1,112 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func TestBitmapVPMatchesOffsetVP(t *testing.T) {
+	p := defaultPrimary(t)
+	viewPred := pred.Predicate{}.
+		And(pred.ConstTerm(pred.VarAdj, storage.PropCurrency, pred.EQ, storage.Str("€"))).
+		And(pred.ConstTerm(pred.VarAdj, storage.PropAmount, pred.GT, storage.Int(20)))
+
+	bm, err := BuildBitmapVP(p, "B", viewPred, []Direction{FW, BW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := BuildVertexPartitioned(p, VPDef{
+		View: View1Hop{Name: "O", Pred: viewPred},
+		Dirs: []Direction{FW, BW},
+		Cfg:  DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same edges per owner per direction (both keep primary sort order
+	// here, since the offset variant uses the default sort too).
+	for _, dir := range []Direction{FW, BW} {
+		for v := 0; v < p.Graph().NumVertices(); v++ {
+			lb := bm.List(dir, storage.VertexID(v), nil)
+			lo := off.List(dir, storage.VertexID(v), nil)
+			if lb.Len() != lo.Len() {
+				t.Fatalf("v%d %v: bitmap %d entries, offsets %d", v, dir, lb.Len(), lo.Len())
+			}
+			for i := 0; i < lb.Len(); i++ {
+				bn, be := lb.Get(i)
+				on, oe := lo.Get(i)
+				if bn != on || be != oe {
+					t.Fatalf("v%d %v entry %d differs", v, dir, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBitmapVPPartitionPrefix(t *testing.T) {
+	p := defaultPrimary(t)
+	bm, err := BuildBitmapVP(p, "All", pred.Predicate{}, []Direction{FW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes, _ := p.ResolveCodes([]storage.Value{storage.Str(storage.LabelWire)})
+	l := bm.List(FW, 0, codes)
+	pl := p.List(FW, 0, codes)
+	if l.Len() != pl.Len() {
+		t.Errorf("empty-predicate bitmap should mirror primary: %d vs %d", l.Len(), pl.Len())
+	}
+}
+
+func TestBitmapVPSpaceCrossover(t *testing.T) {
+	// The paper's qualitative claim: bitmaps win on space only for
+	// unselective predicates. With a selective predicate the offset list
+	// stores few entries while the bitmap still pays a bit per primary
+	// entry... at tiny scale the bitmap is almost always smaller, so this
+	// test asserts the bitmap cost is *constant* across selectivities
+	// while the offset cost shrinks.
+	p := defaultPrimary(t)
+	loose := pred.Predicate{}.And(pred.ConstTerm(pred.VarAdj, storage.PropAmount, pred.GT, storage.Int(0)))
+	tight := pred.Predicate{}.And(pred.ConstTerm(pred.VarAdj, storage.PropAmount, pred.GT, storage.Int(190)))
+
+	bmLoose, err := BuildBitmapVP(p, "bl", loose, []Direction{FW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bmTight, err := BuildBitmapVP(p, "bt", tight, []Direction{FW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bmLoose.MemoryBytes() != bmTight.MemoryBytes() {
+		t.Error("bitmap cost should not depend on selectivity")
+	}
+	offLoose, err := BuildVertexPartitioned(p, VPDef{View: View1Hop{Name: "ol", Pred: loose}, Dirs: []Direction{FW}, Cfg: DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offTight, err := BuildVertexPartitioned(p, VPDef{View: View1Hop{Name: "ot", Pred: tight}, Dirs: []Direction{FW}, Cfg: DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offTight.NumIndexedEdges() >= offLoose.NumIndexedEdges() {
+		t.Error("selective predicate should index fewer edges")
+	}
+	// Bitmap scan cost: tight-list access still walks the full primary
+	// list, so the returned entries shrink but the same positions are
+	// tested — verified behaviourally by count.
+	if bmTight.Count(FW) != int(offTight.NumIndexedEdges()) {
+		t.Errorf("bitmap count %d != offset count %d", bmTight.Count(FW), offTight.NumIndexedEdges())
+	}
+}
+
+func TestBitmapVPRejectsBoundPred(t *testing.T) {
+	p := defaultPrimary(t)
+	bad := pred.Predicate{}.And(pred.VarTerm(pred.VarBound, "date", pred.LT, pred.VarAdj, "date"))
+	if _, err := BuildBitmapVP(p, "bad", bad, []Direction{FW}); err == nil {
+		t.Error("bound-edge predicate must be rejected")
+	}
+	if _, err := BuildBitmapVP(p, "bad2", pred.Predicate{}, nil); err == nil {
+		t.Error("no directions must be rejected")
+	}
+}

@@ -1,0 +1,182 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// moneyFlowDef is Example 7's MoneyFlow index: Destination-FW, predicate
+// eb.date < eadj.date AND eb.amt > eadj.amt, partitioned by edge label.
+func moneyFlowDef() EPDef {
+	return EPDef{
+		View: View2Hop{
+			Name: "MoneyFlow",
+			Dir:  DestinationFW,
+			Pred: pred.Predicate{}.
+				And(pred.VarTerm(pred.VarBound, storage.PropDate, pred.LT, pred.VarAdj, storage.PropDate)).
+				And(pred.VarTerm(pred.VarBound, storage.PropAmount, pred.GT, pred.VarAdj, storage.PropAmount)),
+		},
+		Cfg: DefaultConfig(),
+	}
+}
+
+func TestEPMoneyFlowExample7(t *testing.T) {
+	p := defaultPrimary(t)
+	ep, err := BuildEdgePartitioned(p, moneyFlowDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t13's list contains exactly t19 (the paper: "It only scans t13's list
+	// which contains a single edge t19").
+	l := ep.List(storage.Transfer(13), nil)
+	if got, want := listEdges(l), []int{19}; !eq(got, want) {
+		t.Fatalf("MoneyFlow(t13) = %v, want [19]", got)
+	}
+	// t17 appears in the lists of both t1 and t16 (multiple membership).
+	for _, bound := range []int{1, 16} {
+		l := ep.List(storage.Transfer(bound), nil)
+		found := false
+		for i := 0; i < l.Len(); i++ {
+			if l.Edge(i) == storage.Transfer(17) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("t17 missing from MoneyFlow(t%d) = %v", bound, listEdges(l))
+		}
+	}
+}
+
+func TestEPPartitionedLookup(t *testing.T) {
+	p := defaultPrimary(t)
+	ep, err := BuildEdgePartitioned(p, moneyFlowDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t16's full list vs its Wire-only bucket.
+	full := ep.List(storage.Transfer(16), nil)
+	codes, ok := ep.ResolveCodes([]storage.Value{storage.Str(storage.LabelWire)})
+	if !ok {
+		t.Fatal("resolve")
+	}
+	wire := ep.List(storage.Transfer(16), codes)
+	if wire.Len() > full.Len() {
+		t.Fatal("bucket larger than owner list")
+	}
+	g := p.Graph()
+	for i := 0; i < wire.Len(); i++ {
+		if g.Catalog().EdgeLabelName(g.EdgeLabel(wire.Edge(i))) != storage.LabelWire {
+			t.Error("non-Wire edge in Wire bucket")
+		}
+	}
+	// t16 (amt 195, date 16) -> v1's forward edges with date>16, amt<195:
+	// t17(€25), t18(€30), t20($80). Wire subset: t17, t20.
+	if full.Len() != 3 {
+		t.Errorf("MoneyFlow(t16) = %v, want 3 edges", listEdges(full))
+	}
+	if wire.Len() != 2 {
+		t.Errorf("MoneyFlow(t16)/Wire = %v, want 2 edges", listEdges(wire))
+	}
+}
+
+func TestEPDirectionGeometry(t *testing.T) {
+	cases := []struct {
+		d       EPDirection
+		isDst   bool
+		adjDir  Direction
+		wantStr string
+	}{
+		{DestinationFW, true, FW, "Destination-FW"},
+		{DestinationBW, true, BW, "Destination-BW"},
+		{SourceFW, false, BW, "Source-FW"},
+		{SourceBW, false, FW, "Source-BW"},
+	}
+	for _, c := range cases {
+		if c.d.BoundIsDst() != c.isDst || c.d.AdjDirection() != c.adjDir || c.d.String() != c.wantStr {
+			t.Errorf("direction %v geometry wrong", c.d)
+		}
+	}
+}
+
+func TestEPRequiresBoundPredicate(t *testing.T) {
+	p := defaultPrimary(t)
+	def := EPDef{
+		View: View2Hop{
+			Name: "Redundant",
+			Dir:  DestinationFW,
+			// Only constrains eadj — the paper's "Redundant" example.
+			Pred: pred.Predicate{}.And(pred.ConstTerm(pred.VarAdj, storage.PropAmount, pred.LT, storage.Int(10000))),
+		},
+		Cfg: DefaultConfig(),
+	}
+	if _, err := BuildEdgePartitioned(p, def); err == nil {
+		t.Error("2-hop view without an eb predicate must be rejected")
+	}
+}
+
+func TestEPSourceDirections(t *testing.T) {
+	p := defaultPrimary(t)
+	g := p.Graph()
+	// Source-BW: vnbr <-[eadj]- vs -[eb]-> vd. For bound t13 (v2->v5), the
+	// list holds v2's forward edges (t7, t8) filtered by the predicate
+	// eb.date > eadj.date (earlier transfers out of the same account).
+	def := EPDef{
+		View: View2Hop{
+			Name: "EarlierSiblings",
+			Dir:  SourceBW,
+			Pred: pred.Predicate{}.And(pred.VarTerm(pred.VarBound, storage.PropDate, pred.GT, pred.VarAdj, storage.PropDate)),
+		},
+		Cfg: DefaultConfig(),
+	}
+	ep, err := BuildEdgePartitioned(p, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ep.List(storage.Transfer(13), nil)
+	// v2's forward transfers before t13: t7 (date 7), t8 (date 8).
+	if got := listEdges(l); !eq(got, []int{7, 8}) {
+		// order by nbr: t7->v3, t8->v4
+		t.Errorf("EarlierSiblings(t13) = %v, want [7 8]", got)
+	}
+	for i := 0; i < l.Len(); i++ {
+		if g.Src(l.Edge(i)) != g.Src(storage.Transfer(13)) {
+			t.Error("adjacent edge does not share the source vertex")
+		}
+	}
+}
+
+func TestEPIndexedEdgeCountAndMemory(t *testing.T) {
+	p := defaultPrimary(t)
+	ep, err := BuildEdgePartitioned(p, moneyFlowDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check the stored pair count against brute force.
+	g := p.Graph()
+	var want int64
+	for i := 0; i < g.NumEdges(); i++ {
+		eb := storage.EdgeID(i)
+		for j := 0; j < g.NumEdges(); j++ {
+			eadj := storage.EdgeID(j)
+			if g.Src(eadj) != g.Dst(eb) {
+				continue
+			}
+			db, da := g.EdgeProp(eb, storage.PropDate), g.EdgeProp(eadj, storage.PropDate)
+			ab, aa := g.EdgeProp(eb, storage.PropAmount), g.EdgeProp(eadj, storage.PropAmount)
+			if db.IsNull() || da.IsNull() || ab.IsNull() || aa.IsNull() {
+				continue
+			}
+			if db.Compare(da) < 0 && ab.Compare(aa) > 0 {
+				want++
+			}
+		}
+	}
+	if got := ep.NumIndexedEdges(); got != want {
+		t.Errorf("NumIndexedEdges = %d, brute force says %d", got, want)
+	}
+	if ep.MemoryBytes() <= 0 {
+		t.Error("memory should be positive")
+	}
+}

@@ -1,0 +1,257 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func defaultPrimary(t *testing.T) *Primary {
+	t.Helper()
+	g := storage.ExampleGraph()
+	p, err := BuildPrimary(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func listEdges(l AdjList) []int {
+	out := make([]int, l.Len())
+	for i := range out {
+		out[i] = int(l.Edge(i)) + 1 // transfer number
+	}
+	return out
+}
+
+func listNbrs(l AdjList) []int {
+	out := make([]int, l.Len())
+	for i := range out {
+		out[i] = int(l.Nbr(i)) + 1 // v-number
+	}
+	return out
+}
+
+func TestPrimaryDefaultConfigLists(t *testing.T) {
+	p := defaultPrimary(t)
+	g := p.Graph()
+	// v1 (ID 0) forward Wire edges, sorted by neighbour ID:
+	// t17->v2, t4->v3, t20->v4 (Figure 3a's red dashed view).
+	codes, ok := p.ResolveCodes([]storage.Value{storage.Str(storage.LabelWire)})
+	if !ok {
+		t.Fatal("Wire label should resolve")
+	}
+	l := p.List(FW, 0, codes)
+	if got, want := listNbrs(l), []int{2, 3, 4}; !eq(got, want) {
+		t.Errorf("v1 Wire nbrs = %v, want %v", got, want)
+	}
+	if got, want := listEdges(l), []int{17, 4, 20}; !eq(got, want) {
+		t.Errorf("v1 Wire edges = %v, want %v", got, want)
+	}
+	// v2 (ID 1) backward: transfers {t5,t6,t15,t17} plus Alice's Owns edge.
+	bl := p.List(BW, 1, nil)
+	if bl.Len() != 5 {
+		t.Errorf("v2 backward len = %d, want 5", bl.Len())
+	}
+	// Union property: full owner list is the union of per-label sublists
+	// (the paper's L = L_W ∪ L_DD observation).
+	var sum int
+	for _, lbl := range []string{"", storage.LabelWire, storage.LabelDeposit, storage.LabelOwns} {
+		c, ok := p.ResolveCodes([]storage.Value{storage.Str(lbl)})
+		if !ok {
+			continue
+		}
+		sum += p.List(FW, 0, c).Len()
+	}
+	// Include the null bucket (edges without label) — none here.
+	if full := p.List(FW, 0, nil).Len(); sum != full {
+		t.Errorf("sublists sum to %d, owner list has %d", sum, full)
+	}
+	_ = g
+}
+
+func TestPrimaryCurrencyPartitioning(t *testing.T) {
+	// Example 4's reconfiguration: PARTITION BY eadj.label, eadj.currency.
+	g := storage.ExampleGraph()
+	cfg := Config{
+		Partitions: []PartitionKey{
+			{Var: pred.VarAdj, Prop: pred.PropLabel},
+			{Var: pred.VarAdj, Prop: storage.PropCurrency},
+		},
+	}
+	p, err := BuildPrimary(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1's Wire+€ edges: t4 (€200) and t17 (€25).
+	codes, ok := p.ResolveCodes([]storage.Value{
+		storage.Str(storage.LabelWire), storage.Str("€"),
+	})
+	if !ok {
+		t.Fatal("codes should resolve")
+	}
+	l := p.List(FW, 0, codes)
+	if got, want := listEdges(l), []int{17, 4}; !eq(got, want) { // sorted by nbr: v2 then v3
+		t.Errorf("v1 Wire/€ edges = %v, want %v", got, want)
+	}
+	// Prefix access (label only) spans all currencies.
+	prefix, _ := p.ResolveCodes([]storage.Value{storage.Str(storage.LabelWire)})
+	if p.List(FW, 0, prefix).Len() != 3 {
+		t.Error("label prefix should span currencies")
+	}
+	// Unknown currency resolves to no list.
+	if _, ok := p.ResolveCodes([]storage.Value{storage.Str(storage.LabelWire), storage.Str("¥")}); ok {
+		t.Error("unknown currency should not resolve")
+	}
+}
+
+func TestPrimarySortByNbrCity(t *testing.T) {
+	// MF-style config: sort innermost lists on neighbour city.
+	g := storage.ExampleGraph()
+	cfg := DefaultConfig()
+	cfg.Sorts = []SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}}
+	p, err := BuildPrimary(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1's Wire list sorted by city: BOS(v3,t4), BOS(v4,t20), SF(v2,t17).
+	codes, _ := p.ResolveCodes([]storage.Value{storage.Str(storage.LabelWire)})
+	l := p.List(FW, 0, codes)
+	cities := make([]string, l.Len())
+	for i := range cities {
+		cities[i] = g.VertexProp(l.Nbr(i), storage.PropCity).S
+	}
+	want := []string{"BOS", "BOS", "SF"}
+	for i := range want {
+		if cities[i] != want[i] {
+			t.Fatalf("cities = %v, want %v", cities, want)
+		}
+	}
+	// Within equal city, neighbour ID breaks ties: v3 before v4.
+	if l.Nbr(0) != 2 || l.Nbr(1) != 3 {
+		t.Errorf("tiebreak wrong: %v", listNbrs(l))
+	}
+}
+
+func TestPrimarySortByEdgeDate(t *testing.T) {
+	g := storage.ExampleGraph()
+	cfg := DefaultConfig()
+	cfg.Sorts = []SortKey{{Var: pred.VarAdj, Prop: storage.PropDate}}
+	p, err := BuildPrimary(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v5's (ID 4) forward lists per label sorted by date = transfer number.
+	codes, _ := p.ResolveCodes([]storage.Value{storage.Str(storage.LabelDeposit)})
+	l := p.List(FW, 4, codes)
+	prev := int64(-1)
+	for i := 0; i < l.Len(); i++ {
+		d := g.EdgeProp(l.Edge(i), storage.PropDate).I
+		if d < prev {
+			t.Fatalf("dates not ascending: %v", listEdges(l))
+		}
+		prev = d
+	}
+}
+
+func TestPrimaryNbrLabelPartitioning(t *testing.T) {
+	// The Dp configuration of Table II: edge label then neighbour label.
+	g := storage.ExampleGraph()
+	cfg := Config{
+		Partitions: []PartitionKey{
+			{Var: pred.VarAdj, Prop: pred.PropLabel},
+			{Var: pred.VarNbr, Prop: pred.PropLabel},
+		},
+	}
+	p, err := BuildPrimary(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice (v7, ID 6) owns v1,v2: Owns+Account bucket has 2 entries.
+	codes, ok := p.ResolveCodes([]storage.Value{
+		storage.Str(storage.LabelOwns), storage.Str(storage.LabelAccount),
+	})
+	if !ok {
+		t.Fatal("resolve")
+	}
+	if l := p.List(FW, 6, codes); l.Len() != 2 {
+		t.Errorf("Alice Owns->Account = %d entries, want 2", l.Len())
+	}
+	// Owns+Customer bucket is empty.
+	codes, _ = p.ResolveCodes([]storage.Value{
+		storage.Str(storage.LabelOwns), storage.Str(storage.LabelCustomer),
+	})
+	if l := p.List(FW, 6, codes); l.Len() != 0 {
+		t.Error("Owns->Customer should be empty")
+	}
+}
+
+func TestPrimaryMemorySplit(t *testing.T) {
+	p := defaultPrimary(t)
+	levels, ids := p.MemoryBytes()
+	if levels <= 0 || ids <= 0 {
+		t.Fatal("memory split should be positive")
+	}
+	// ID lists: 25 edges * 2 directions * (4+8) bytes.
+	if ids != 25*2*12 {
+		t.Errorf("ID list bytes = %d, want %d", ids, 25*2*12)
+	}
+	// Adding a partitioning level grows the levels, not the ID lists.
+	g := storage.ExampleGraph()
+	cfg := Config{Partitions: []PartitionKey{
+		{Var: pred.VarAdj, Prop: pred.PropLabel},
+		{Var: pred.VarNbr, Prop: pred.PropLabel},
+	}}
+	p2, err := BuildPrimary(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels2, ids2 := p2.MemoryBytes()
+	if ids2 != ids {
+		t.Error("ID list size should be unchanged by partitioning")
+	}
+	if levels2 <= levels {
+		t.Error("extra partitioning level should cost memory")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := Config{Partitions: []PartitionKey{{Var: pred.VarBound, Prop: "x"}}}
+	if bad.Validate() == nil {
+		t.Error("eb partition key should be rejected")
+	}
+	bad2 := Config{Partitions: []PartitionKey{{Var: pred.VarAdj, Prop: pred.PropID}}}
+	if bad2.Validate() == nil {
+		t.Error("ID partition key should be rejected")
+	}
+	bad3 := Config{Sorts: []SortKey{{Var: pred.VarAdj, Prop: "a"}, {Var: pred.VarAdj, Prop: "b"}, {Var: pred.VarAdj, Prop: "c"}}}
+	if bad3.Validate() == nil {
+		t.Error("3 sort keys should be rejected")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestSortSignature(t *testing.T) {
+	if got := DefaultConfig().SortSignature(); got != "vnbr.ID" {
+		t.Errorf("default signature = %q", got)
+	}
+	c := Config{Sorts: []SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}}}
+	if got := c.SortSignature(); got != "vnbr.city" {
+		t.Errorf("city signature = %q", got)
+	}
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

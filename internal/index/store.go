@@ -1,0 +1,250 @@
+package index
+
+import (
+	"fmt"
+
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// DefaultMergeThreshold is the number of buffered maintenance operations
+// after which update buffers are merged into the index pages (Section IV-C:
+// "The update buffers are merged into the actual data pages when the buffer
+// is full").
+const DefaultMergeThreshold = 4096
+
+// Store is the INDEX STORE of Section IV-A: it owns the primary A+ indexes
+// and every secondary index, maintains their metadata for the optimizer,
+// and coordinates updates across them.
+type Store struct {
+	g       *storage.Graph
+	primary *Primary
+	vps     []*VertexPartitioned
+	eps     []*EdgePartitioned
+
+	// MergeThreshold controls how much buffered maintenance work may
+	// accumulate before a merge; tests lower it to exercise merging.
+	MergeThreshold int
+}
+
+// NewStore builds a store over g with the primary indexes configured by
+// cfg (use DefaultConfig for GraphflowDB's default).
+func NewStore(g *storage.Graph, cfg Config) (*Store, error) {
+	p, err := BuildPrimary(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{g: g, primary: p, MergeThreshold: DefaultMergeThreshold}, nil
+}
+
+// Graph returns the underlying graph.
+func (s *Store) Graph() *storage.Graph { return s.g }
+
+// Primary returns the primary index pair.
+func (s *Store) Primary() *Primary { return s.primary }
+
+// VertexIndexes returns the secondary vertex-partitioned indexes.
+func (s *Store) VertexIndexes() []*VertexPartitioned { return s.vps }
+
+// EdgeIndexes returns the secondary edge-partitioned indexes.
+func (s *Store) EdgeIndexes() []*EdgePartitioned { return s.eps }
+
+// Reconfigure rebuilds the primary indexes under a new configuration (the
+// paper's RECONFIGURE PRIMARY INDEXES command) and rebuilds every secondary
+// index, since their offsets reference primary list positions.
+func (s *Store) Reconfigure(cfg Config) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	p, err := BuildPrimary(s.g, cfg)
+	if err != nil {
+		return err
+	}
+	s.primary = p
+	for _, v := range s.vps {
+		v.primary = p
+		if err := v.rebuild(); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.eps {
+		e.primary = p
+		if err := e.rebuild(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateVertexPartitioned builds and registers a secondary
+// vertex-partitioned index (the paper's CREATE 1-HOP VIEW command).
+func (s *Store) CreateVertexPartitioned(def VPDef) (*VertexPartitioned, error) {
+	if s.lookupName(def.View.Name) {
+		return nil, fmt.Errorf("index: an index named %q already exists", def.View.Name)
+	}
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	v, err := BuildVertexPartitioned(s.primary, def)
+	if err != nil {
+		return nil, err
+	}
+	s.vps = append(s.vps, v)
+	return v, nil
+}
+
+// CreateEdgePartitioned builds and registers a secondary edge-partitioned
+// index (the paper's CREATE 2-HOP VIEW command).
+func (s *Store) CreateEdgePartitioned(def EPDef) (*EdgePartitioned, error) {
+	if s.lookupName(def.View.Name) {
+		return nil, fmt.Errorf("index: an index named %q already exists", def.View.Name)
+	}
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	e, err := BuildEdgePartitioned(s.primary, def)
+	if err != nil {
+		return nil, err
+	}
+	s.eps = append(s.eps, e)
+	return e, nil
+}
+
+// DropIndex removes a secondary index by name.
+func (s *Store) DropIndex(name string) bool {
+	for i, v := range s.vps {
+		if v.Name() == name {
+			s.vps = append(s.vps[:i], s.vps[i+1:]...)
+			return true
+		}
+	}
+	for i, e := range s.eps {
+		if e.Name() == name {
+			s.eps = append(s.eps[:i], s.eps[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) lookupName(name string) bool {
+	for _, v := range s.vps {
+		if v.Name() == name {
+			return true
+		}
+	}
+	for _, e := range s.eps {
+		if e.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// InsertEdge adds an edge with properties to the graph and maintains every
+// index: the edge lands in update buffers first and is merged into data
+// pages when the merge threshold is reached (Section IV-C).
+func (s *Store) InsertEdge(src, dst storage.VertexID, label string, props map[string]storage.Value) (storage.EdgeID, error) {
+	e, err := s.g.AddEdge(src, dst, label)
+	if err != nil {
+		return 0, err
+	}
+	for k, v := range props {
+		if err := s.g.SetEdgeProp(e, k, v); err != nil {
+			return 0, err
+		}
+	}
+	ok := s.primary.applyInsert(e)
+	for _, v := range s.vps {
+		ok = ok && v.applyInsert(e)
+	}
+	for _, ep := range s.eps {
+		ok = ok && ep.applyInsert(e)
+	}
+	if !ok {
+		// The edge carries a categorical value unknown to some partition
+		// level; buffering is impossible, rebuild unconditionally.
+		if err := s.rebuildAll(); err != nil {
+			return 0, err
+		}
+		return e, nil
+	}
+	if s.primary.pendingWork() >= s.MergeThreshold {
+		if err := s.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	return e, nil
+}
+
+// DeleteEdge tombstones an edge in the graph and the indexes; the tombstone
+// is physically removed at the next merge.
+func (s *Store) DeleteEdge(e storage.EdgeID) error {
+	if err := s.g.DeleteEdge(e); err != nil {
+		return err
+	}
+	s.primary.applyDelete()
+	if s.primary.pendingWork() >= s.MergeThreshold {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush merges all pending update buffers and tombstones by rebuilding the
+// primary CSRs and every secondary offset list.
+func (s *Store) Flush() error {
+	if s.primary.pendingWork() == 0 {
+		return nil
+	}
+	return s.rebuildAll()
+}
+
+func (s *Store) rebuildAll() error {
+	if err := s.primary.rebuild(); err != nil {
+		return err
+	}
+	for _, v := range s.vps {
+		if err := v.rebuild(); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.eps {
+		if err := e.rebuild(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the store's footprint.
+type Stats struct {
+	// PrimaryLevels and PrimaryIDLists split the primary index footprint
+	// into partitioning levels and ID lists.
+	PrimaryLevels, PrimaryIDLists int64
+	// SecondaryBytes is the total footprint of all secondary indexes.
+	SecondaryBytes int64
+	// IndexedEdges is the total number of edge entries across all indexes
+	// (the |E_indexed| column of Table IV); the primary counts each edge
+	// twice (forward + backward is reported as one).
+	IndexedEdges int64
+}
+
+// TotalBytes returns the whole indexing subsystem's footprint.
+func (st Stats) TotalBytes() int64 {
+	return st.PrimaryLevels + st.PrimaryIDLists + st.SecondaryBytes
+}
+
+// Stats reports the current footprint of all indexes.
+func (s *Store) Stats() Stats {
+	var st Stats
+	st.PrimaryLevels, st.PrimaryIDLists = s.primary.MemoryBytes()
+	st.IndexedEdges = int64(s.g.NumLiveEdges())
+	for _, v := range s.vps {
+		st.SecondaryBytes += v.MemoryBytes()
+		st.IndexedEdges += v.NumIndexedEdges()
+	}
+	for _, e := range s.eps {
+		st.SecondaryBytes += e.MemoryBytes()
+		st.IndexedEdges += e.NumIndexedEdges()
+	}
+	return st
+}

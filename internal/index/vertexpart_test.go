@@ -1,0 +1,155 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func TestVPSharedLevels(t *testing.T) {
+	// Figure 3a's secondary index: same partitioning as primary, no
+	// predicate, sorted on neighbour city -> shares partition levels.
+	p := defaultPrimary(t)
+	def := VPDef{
+		View: View1Hop{Name: "ByCity"},
+		Dirs: []Direction{FW},
+		Cfg: Config{
+			Partitions: DefaultConfig().Partitions,
+			Sorts:      []SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}},
+		},
+	}
+	v, err := BuildVertexPartitioned(p, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SharedLevels(FW) {
+		t.Fatal("expected shared partition levels")
+	}
+	// v1's Wire list through the secondary: sorted by city (BOS,BOS,SF).
+	codes, _ := v.ResolveCodes(FW, []storage.Value{storage.Str(storage.LabelWire)})
+	l := v.List(FW, 0, codes)
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	g := p.Graph()
+	cities := []string{}
+	for i := 0; i < l.Len(); i++ {
+		cities = append(cities, g.VertexProp(l.Nbr(i), storage.PropCity).S)
+	}
+	if cities[0] != "BOS" || cities[1] != "BOS" || cities[2] != "SF" {
+		t.Errorf("cities = %v", cities)
+	}
+	// Same edge set as the primary bucket, different order.
+	pc, _ := p.ResolveCodes([]storage.Value{storage.Str(storage.LabelWire)})
+	pl := p.List(FW, 0, pc)
+	if pl.Len() != l.Len() {
+		t.Error("shared secondary must store the same edges per bucket")
+	}
+}
+
+func TestVPWithPredicate(t *testing.T) {
+	// Example 6 analogue: index transfers in € over 20.
+	p := defaultPrimary(t)
+	def := VPDef{
+		View: View1Hop{
+			Name: "LargeEUR",
+			Pred: pred.Predicate{}.
+				And(pred.ConstTerm(pred.VarAdj, storage.PropCurrency, pred.EQ, storage.Str("€"))).
+				And(pred.ConstTerm(pred.VarAdj, storage.PropAmount, pred.GT, storage.Int(20))),
+		},
+		Dirs: []Direction{FW, BW},
+		Cfg:  DefaultConfig(),
+	}
+	v, err := BuildVertexPartitioned(p, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SharedLevels(FW) {
+		t.Error("predicate index must not share levels")
+	}
+	// € transfers over 20: t4 (€200, v1->v3), t17 (€25, v1->v2), t18 (€30,
+	// v1->v5). t11 (€5) is excluded. The index partitions by edge label
+	// (DD buckets before W in catalog order), then sorts by neighbour.
+	l := v.List(FW, 0, nil)
+	if got, want := listEdges(l), []int{18, 17, 4}; !eq(got, want) {
+		t.Errorf("LargeEUR(v1) = %v, want %v", got, want)
+	}
+	// Backward: v3's incoming large-EUR = {t4}.
+	bl := v.List(BW, 2, nil)
+	if got, want := listEdges(bl), []int{4}; !eq(got, want) {
+		t.Errorf("LargeEUR(BW v3) = %v, want %v", got, want)
+	}
+	// Whole-graph count: 2 directions * 3 edges.
+	if v.NumIndexedEdges() != 6 {
+		t.Errorf("NumIndexedEdges = %d, want 6", v.NumIndexedEdges())
+	}
+}
+
+func TestVPOffsetListsAreSmall(t *testing.T) {
+	// The offset-list representation must be much smaller than ID lists
+	// would be: <= 1 byte per indexed edge here (max degree < 256), vs 12.
+	p := defaultPrimary(t)
+	def := VPDef{
+		View: View1Hop{Name: "All"},
+		Dirs: []Direction{FW},
+		Cfg:  DefaultConfig(),
+	}
+	v, err := BuildVertexPartitioned(p, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := v.MemoryBytes()
+	// 25 edges at 1 byte each plus tiny group metadata.
+	if mem >= 25*12 {
+		t.Errorf("offset lists cost %d bytes; ID lists would cost %d", mem, 25*12)
+	}
+}
+
+func TestVPRejectsBoundEdgeRefs(t *testing.T) {
+	p := defaultPrimary(t)
+	def := VPDef{
+		View: View1Hop{
+			Name: "Bad",
+			Pred: pred.Predicate{}.And(pred.VarTerm(pred.VarBound, "date", pred.LT, pred.VarAdj, "date")),
+		},
+		Dirs: []Direction{FW},
+		Cfg:  DefaultConfig(),
+	}
+	if _, err := BuildVertexPartitioned(p, def); err == nil {
+		t.Error("1-hop view referencing eb must be rejected")
+	}
+}
+
+func TestVPSortByEdgeTime(t *testing.T) {
+	// The VPt index of Table III: shares partition levels, sorts on an edge
+	// property.
+	p := defaultPrimary(t)
+	def := VPDef{
+		View: View1Hop{Name: "VPt"},
+		Dirs: []Direction{FW},
+		Cfg: Config{
+			Partitions: DefaultConfig().Partitions,
+			Sorts:      []SortKey{{Var: pred.VarAdj, Prop: storage.PropDate}},
+		},
+	}
+	v, err := BuildVertexPartitioned(p, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SharedLevels(FW) {
+		t.Error("VPt should share levels (no predicate, same partitioning)")
+	}
+	// v5's DD list sorted by date ascending.
+	codes, _ := v.ResolveCodes(FW, []storage.Value{storage.Str(storage.LabelDeposit)})
+	l := v.List(FW, 4, codes)
+	g := p.Graph()
+	prev := int64(-1)
+	for i := 0; i < l.Len(); i++ {
+		d := g.EdgeProp(l.Edge(i), storage.PropDate).I
+		if d < prev {
+			t.Fatalf("dates not sorted: %v", listEdges(l))
+		}
+		prev = d
+	}
+}

@@ -1,0 +1,40 @@
+// Package opt implements the system's join optimizer: a GraphflowDB-style
+// bottom-up dynamic-programming enumerator that grows sub-queries one query
+// vertex at a time (or several at once through MULTI-EXTEND), consulting
+// the INDEX STORE for vertex- and edge-partitioned A+ indexes whose
+// predicates subsume the query's predicates (Section IV-A of the paper).
+// The cost metric is i-cost: the total estimated size of the adjacency
+// lists a plan accesses.
+package opt
+
+// Mode restricts the plan space, used both for ablations and to emulate
+// systems with fixed adjacency-list indexes (Table V's baselines).
+type Mode struct {
+	// DisableWCOJ removes multiway intersections: every extension uses one
+	// list and cycle-closing edges are matched by probing (binary joins
+	// only, as in Neo4j-class systems).
+	DisableWCOJ bool
+	// DisableSecondary hides secondary A+ indexes from the planner.
+	DisableSecondary bool
+	// DisableSegments forbids binary-searched sorted-segment access.
+	DisableSegments bool
+	// DisableMultiExtend forbids MULTI-EXTEND operators.
+	DisableMultiExtend bool
+}
+
+// ModeDefault is the full A+ plan space.
+var ModeDefault = Mode{}
+
+// ModeBinaryJoin emulates a fixed-index binary-join system: primary
+// adjacency lists partitioned by vertex ID and edge label only, no
+// secondary indexes, no intersections, no sorted segments.
+var ModeBinaryJoin = Mode{
+	DisableWCOJ:        true,
+	DisableSecondary:   true,
+	DisableSegments:    true,
+	DisableMultiExtend: true,
+}
+
+// ModePrimaryOnly keeps WCOJ plans but hides secondary indexes — the
+// paper's "D" configuration when secondary indexes exist in the store.
+var ModePrimaryOnly = Mode{DisableSecondary: true}

@@ -1,0 +1,168 @@
+package opt
+
+import (
+	"math"
+
+	"github.com/aplusdb/aplus/internal/exec"
+	"github.com/aplusdb/aplus/internal/index"
+)
+
+// multiExtendAll generates MULTI-EXTEND transitions binding several query
+// vertices at once: sets of unbound vertices connected by property-equality
+// predicates (e.g. a2.city = a4.city), each adjacent to the bound set, all
+// of whose connecting lists are sorted on that property. This is how the
+// paper's MF plans intersect city-sorted lists (Section V-C2, Figure 6).
+func (pl *planner) multiExtendAll(st *state, consider func(*state)) {
+	q := pl.q
+	// Collect the properties that appear in unbound-unbound equality preds.
+	props := map[string][]int{} // prop -> pred indices
+	for pi, p := range q.Preds {
+		if p.IsConst() || p.Op != eqOp {
+			continue
+		}
+		li, lok := q.VertexIndex(p.LeftVar)
+		ri, rok := q.VertexIndex(p.RightVar)
+		if !lok || !rok || st.boundV(li) || st.boundV(ri) {
+			continue
+		}
+		if normalizeProp(p.LeftProp) != normalizeProp(p.RightProp) {
+			continue
+		}
+		prop := normalizeProp(p.LeftProp)
+		props[prop] = append(props[prop], pi)
+	}
+	for prop, predIdxs := range props {
+		// Union-find the equality components among unbound vertices.
+		parent := make([]int, len(q.Vertices))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		participates := make(map[int]bool)
+		for _, pi := range predIdxs {
+			li, _ := q.VertexIndex(q.Preds[pi].LeftVar)
+			ri, _ := q.VertexIndex(q.Preds[pi].RightVar)
+			parent[find(li)] = find(ri)
+			participates[li] = true
+			participates[ri] = true
+		}
+		comps := map[int][]int{}
+		for v := range q.Vertices {
+			if st.boundV(v) || !participates[v] {
+				continue
+			}
+			comps[find(v)] = append(comps[find(v)], v)
+		}
+		for _, members := range comps {
+			if len(members) < 2 {
+				continue
+			}
+			pl.tryMultiExtend(st, prop, members, predIdxs, consider)
+		}
+	}
+}
+
+// tryMultiExtend attempts one MULTI-EXTEND binding all members at once.
+func (pl *planner) tryMultiExtend(st *state, prop string, members []int, predIdxs []int, consider func(*state)) {
+	q := pl.q
+	inW := make(map[int]bool, len(members))
+	for _, w := range members {
+		inW[w] = true
+	}
+	sig := "vnbr." + prop
+	type chosenList struct {
+		w int
+		c cand
+	}
+	var lists []chosenList
+	covered := make(map[int]bool) // members with at least one list
+	for qe, e := range q.Edges {
+		si, _ := q.VertexIndex(e.Src)
+		di, _ := q.VertexIndex(e.Dst)
+		var w, u int
+		var dir index.Direction
+		switch {
+		case inW[si] && inW[di]:
+			return // edges inside W are not supported
+		case inW[si] && st.boundV(di):
+			w, u, dir = si, di, index.BW
+		case inW[di] && st.boundV(si):
+			w, u, dir = di, si, index.FW
+		default:
+			continue
+		}
+		cs := pl.edgeCands(st, qe, w, u, dir)
+		b := bestCand(cs, sig)
+		if b == nil {
+			return // some connecting edge has no property-sorted list
+		}
+		lists = append(lists, chosenList{w, *b})
+		covered[w] = true
+	}
+	for _, w := range members {
+		if !covered[w] {
+			return
+		}
+	}
+
+	ns := st.clone()
+	var stepCost float64
+	groups := map[int]*exec.MEGroup{}
+	var order []int
+	var extraTerms []exec.CompiledTerm
+	groupSizes := map[int][]float64{}
+	for _, cl := range lists {
+		if cl.c.empty {
+			consider(pl.emptyState(st))
+			return
+		}
+		g, ok := groups[cl.w]
+		if !ok {
+			g = &exec.MEGroup{TargetSlot: cl.w}
+			groups[cl.w] = g
+			order = append(order, cl.w)
+		}
+		g.Lists = append(g.Lists, cl.c.ref)
+		ns.emask |= 1 << uint(cl.c.ref.EdgeSlot)
+		stepCost += cl.c.size
+		groupSizes[cl.w] = append(groupSizes[cl.w], cl.c.size)
+		for _, pi := range cl.c.guaranteed {
+			ns.applied[pi] = true
+		}
+		extraTerms = append(extraTerms, cl.c.labelFilter...)
+	}
+	sk, ok := sortKeyOfSig(sig)
+	if !ok {
+		return
+	}
+	op := &exec.MultiExtendOp{Key: sk}
+	for _, w := range order {
+		op.Groups = append(op.Groups, *groups[w])
+		ns.mask |= 1 << uint(w)
+	}
+	ns.ops = append(ns.ops, op)
+	// The equality predicates joining members of W are enforced by the
+	// shared sort-key value.
+	for _, pi := range predIdxs {
+		li, _ := q.VertexIndex(q.Preds[pi].LeftVar)
+		ri, _ := q.VertexIndex(q.Preds[pi].RightVar)
+		if inW[li] && inW[ri] {
+			ns.applied[pi] = true
+		}
+	}
+	ns.cost += ns.card * stepCost
+	mult := 1.0
+	for _, w := range order {
+		mult *= pl.stats.intersectCard(groupSizes[w])
+	}
+	mult *= math.Pow(selJoinKey, float64(len(order)-1))
+	ns.card *= math.Max(mult, 0.01)
+	pl.applyReadyFilters(ns, extraTerms)
+	consider(ns)
+}

@@ -1,0 +1,382 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/exec"
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/query"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func mustParse(t *testing.T, src string) *query.Graph {
+	t.Helper()
+	q, err := query.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func exampleStore(t *testing.T) *index.Store {
+	t.Helper()
+	s, err := index.NewStore(storage.ExampleGraph(), index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runQuery optimizes and executes, returning the count.
+func runQuery(t *testing.T, s *index.Store, q *query.Graph, mode Mode) int64 {
+	t.Helper()
+	plan, err := Optimize(s, q, mode)
+	if err != nil {
+		t.Fatalf("optimize %v: %v", q, err)
+	}
+	rt := exec.NewRuntime(s)
+	return plan.Count(rt)
+}
+
+func checkAgainstOracle(t *testing.T, s *index.Store, src string, modes ...Mode) {
+	t.Helper()
+	if len(modes) == 0 {
+		modes = []Mode{ModeDefault, ModeBinaryJoin}
+	}
+	q := mustParse(t, src)
+	want := ReferenceCount(s.Graph(), q)
+	for _, mode := range modes {
+		if got := runQuery(t, s, q, mode); got != want {
+			plan, _ := Optimize(s, q, mode)
+			t.Errorf("query %q mode %+v: got %d, oracle %d\nplan:\n%s", src, mode, got, want, plan.Explain())
+		}
+	}
+}
+
+func TestOptimizeBasicQueries(t *testing.T) {
+	s := exampleStore(t)
+	queries := []string{
+		"MATCH (c:Customer)-[r:O]->(a:Account)",
+		"MATCH c1-[r1]->a1-[r2]->a2 WHERE c1.name = 'Alice'",
+		"MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE c1.name = 'Alice'",
+		"MATCH a1-[r1:W]->a2-[r2:W]->a3, a3-[r3:W]->a1",
+		"MATCH a1-[r1:W]->a2-[r2:W]->a3, a3-[r3:W]->a1 WHERE a1.ID = 0",
+		"MATCH a1-[r2:W]->a2 WHERE r2.currency = '€'",
+		"MATCH a1-[e]->a2 WHERE e.amt > 100, a2.city = 'BOS'",
+		"MATCH a1-[e1]->a2<-[e2]-a3",
+		"MATCH a1-[e1]->a2-[e2]->a3 WHERE e1.date < e2.date, e1.amt > e2.amt",
+		"MATCH a1-[e1]->a2, a1-[e2]->a3 WHERE a2.city = a3.city",
+		"MATCH (c:Customer)-[r:O]->(a:Account) WHERE a.city = 'SF'",
+		"MATCH a-[e:DD]->b WHERE e.currency = USD", // label exists, value doesn't
+		"MATCH a-[e:NoSuchLabel]->b",
+	}
+	for _, src := range queries {
+		checkAgainstOracle(t, s, src)
+	}
+}
+
+func TestOptimizeWithSecondaryIndexes(t *testing.T) {
+	s := exampleStore(t)
+	// City-sorted VP in both directions (the VPc of Table IV).
+	if _, err := s.CreateVertexPartitioned(index.VPDef{
+		View: index.View1Hop{Name: "VPc"},
+		Dirs: []index.Direction{index.FW, index.BW},
+		Cfg: index.Config{
+			Partitions: index.DefaultConfig().Partitions,
+			Sorts:      []index.SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// MoneyFlow EP (Example 7).
+	if _, err := s.CreateEdgePartitioned(index.EPDef{
+		View: index.View2Hop{
+			Name: "MoneyFlow",
+			Dir:  index.DestinationFW,
+			Pred: pred.Predicate{}.
+				And(pred.VarTerm(pred.VarBound, storage.PropDate, pred.LT, pred.VarAdj, storage.PropDate)).
+				And(pred.VarTerm(pred.VarBound, storage.PropAmount, pred.GT, pred.VarAdj, storage.PropAmount)),
+		},
+		Cfg: index.DefaultConfig(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		// MF1-like: same-city square.
+		"MATCH a1-[e1]->a2, a4-[e4]->a1 WHERE a2.city = a4.city",
+		// Money-flow path (EP applicable).
+		"MATCH a1-[e1]->a2-[e2]->a3 WHERE e1.date < e2.date, e1.amt > e2.amt",
+		// Edge-anchored money flow (Example 7).
+		"MATCH a1-[e1]->a2-[e2]->a3 WHERE e1.eID = 12, e1.date < e2.date, e1.amt > e2.amt",
+		// Chain with bound-vertex city equality (dynamic segment).
+		"MATCH a1-[e1]->a2-[e2]->a3 WHERE a1.city = a2.city, a2.city = a3.city",
+		// Mixed: city equality + inter-edge predicate.
+		"MATCH a1-[e1]->a2, a1-[e2]->a3 WHERE a2.city = a3.city, e1.amt > 20",
+	}
+	for _, src := range queries {
+		checkAgainstOracle(t, s, src, ModeDefault, ModePrimaryOnly, ModeBinaryJoin)
+	}
+}
+
+func TestPlanUsesEPForAnchoredMoneyFlow(t *testing.T) {
+	s := exampleStore(t)
+	if _, err := s.CreateEdgePartitioned(index.EPDef{
+		View: index.View2Hop{
+			Name: "MoneyFlow",
+			Dir:  index.DestinationFW,
+			Pred: pred.Predicate{}.
+				And(pred.VarTerm(pred.VarBound, storage.PropDate, pred.LT, pred.VarAdj, storage.PropDate)).
+				And(pred.VarTerm(pred.VarBound, storage.PropAmount, pred.GT, pred.VarAdj, storage.PropAmount)),
+		},
+		Cfg: index.DefaultConfig(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Example 7: anchored at t13 (edge ID 12), one money-flow hop.
+	q := mustParse(t, "MATCH a1-[e1]->a2-[e2]->a3 WHERE e1.eID = 12, e1.date < e2.date, e1.amt > e2.amt")
+	plan, err := Optimize(s, q, ModeDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), "MoneyFlow") {
+		t.Errorf("plan should use the MoneyFlow EP index:\n%s", plan.Explain())
+	}
+	rt := exec.NewRuntime(s)
+	got := plan.Count(rt)
+	if want := ReferenceCount(s.Graph(), q); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	// The paper: the system evaluates this by scanning only one edge from
+	// t13's list.
+	if rt.ICost > 2 {
+		t.Errorf("i-cost = %d; EP plan should touch at most 2 entries\n%s", rt.ICost, plan.Explain())
+	}
+}
+
+func TestPlanUsesMultiExtendForSameCity(t *testing.T) {
+	s := exampleStore(t)
+	if _, err := s.CreateVertexPartitioned(index.VPDef{
+		View: index.View1Hop{Name: "VPc"},
+		Dirs: []index.Direction{index.FW, index.BW},
+		Cfg: index.Config{
+			Partitions: index.DefaultConfig().Partitions,
+			Sorts:      []index.SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := mustParse(t, "MATCH a1-[e1]->a2, a4-[e4]->a1 WHERE a2.city = a4.city")
+	// Under the default mode the optimizer may pick either MULTI-EXTEND or
+	// an equivalent dynamic-segment probe; with segments disabled the
+	// MULTI-EXTEND plan (the paper's Figure 6 shape) is the only sorted
+	// option and must be chosen.
+	plan, err := Optimize(s, q, Mode{DisableSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), "MULTI-EXTEND") {
+		t.Errorf("plan should use MULTI-EXTEND:\n%s", plan.Explain())
+	}
+	if got, want := runQuery(t, s, q, Mode{DisableSegments: true}), ReferenceCount(s.Graph(), q); got != want {
+		t.Fatalf("MULTI-EXTEND count = %d, want %d", got, want)
+	}
+	// Without the index, the plan must fall back to extend+filter.
+	plan2, err := Optimize(s, q, ModePrimaryOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan2.Explain(), "MULTI-EXTEND") {
+		t.Errorf("primary-only plan cannot multi-extend on city:\n%s", plan2.Explain())
+	}
+}
+
+func TestBinaryJoinModeHasNoIntersections(t *testing.T) {
+	s := exampleStore(t)
+	q := mustParse(t, "MATCH a1-[r1:W]->a2-[r2:W]->a3, a3-[r3:W]->a1")
+	plan, err := Optimize(s, q, ModeBinaryJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := plan.Explain()
+	if strings.Contains(ex, "E/I") || strings.Contains(ex, "MULTI-EXTEND") {
+		t.Errorf("binary-join plan contains intersections:\n%s", ex)
+	}
+	if !strings.Contains(ex, "CLOSE") {
+		t.Errorf("binary-join triangle plan should close the cycle:\n%s", ex)
+	}
+}
+
+func TestWCOJBeatsBinaryJoinOnICost(t *testing.T) {
+	// On a dense-ish random graph, the triangle query's measured i-cost
+	// under WCOJ should not exceed the binary-join plan's.
+	g := randomGraph(60, 480, 1, 1, 7)
+	s, err := index.NewStore(g, index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustParse(t, "MATCH a1-[r1]->a2-[r2]->a3, a3-[r3]->a1")
+	want := ReferenceCount(g, q)
+
+	planW, err := Optimize(s, q, ModeDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtW := exec.NewRuntime(s)
+	if got := planW.Count(rtW); got != want {
+		t.Fatalf("WCOJ count = %d, want %d", got, want)
+	}
+	planB, err := Optimize(s, q, ModeBinaryJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB := exec.NewRuntime(s)
+	if got := planB.Count(rtB); got != want {
+		t.Fatalf("binary count = %d, want %d", got, want)
+	}
+	if rtW.ICost > rtB.ICost {
+		t.Errorf("WCOJ i-cost %d > binary %d", rtW.ICost, rtB.ICost)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	s := exampleStore(t)
+	// Self loops unsupported.
+	q := &query.Graph{
+		Vertices: []query.Vertex{{Name: "a"}},
+		Edges:    []query.Edge{{Name: "e", Src: "a", Dst: "a"}},
+	}
+	if _, err := Optimize(s, q, ModeDefault); err == nil {
+		t.Error("self-loop should be rejected")
+	}
+}
+
+func TestOptimizeSingleVertex(t *testing.T) {
+	s := exampleStore(t)
+	q := mustParse(t, "MATCH (a:Account) WHERE a.city = 'SF'")
+	if got := runQuery(t, s, q, ModeDefault); got != 2 {
+		t.Errorf("count = %d, want 2 (v1, v2)", got)
+	}
+}
+
+func TestDynamicSegmentGuaranteesEquality(t *testing.T) {
+	s := exampleStore(t)
+	if _, err := s.CreateVertexPartitioned(index.VPDef{
+		View: index.View1Hop{Name: "VPc"},
+		Dirs: []index.Direction{index.FW},
+		Cfg: index.Config{
+			Partitions: index.DefaultConfig().Partitions,
+			Sorts:      []index.SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// a1 bound first (ID=0), then a2 via city-equality with a1: the plan
+	// should use a dynamic city segment on VPc.
+	q := mustParse(t, "MATCH a1-[e1]->a2 WHERE a1.ID = 0, a1.city = a2.city")
+	plan, err := Optimize(s, q, ModeDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), "seg(vnbr.city)") {
+		t.Errorf("expected a dynamic city segment:\n%s", plan.Explain())
+	}
+	rt := exec.NewRuntime(s)
+	if got, want := plan.Count(rt), ReferenceCount(s.Graph(), q); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+// randomGraph builds a deterministic random multigraph with financial-style
+// properties for cross-validation tests.
+func randomGraph(nv, ne, vLabels, eLabels int, seed int64) *storage.Graph {
+	g := storage.NewGraph()
+	rng := newRand(seed)
+	for i := 0; i < nv; i++ {
+		g.AddVertex(fmt.Sprintf("VL%d", rng.next()%uint64(vLabels)))
+	}
+	cities := []string{"SF", "BOS", "LA", "NYC"}
+	accs := []string{"CQ", "SV"}
+	for i := 0; i < nv; i++ {
+		v := storage.VertexID(i)
+		must(g.SetVertexProp(v, storage.PropCity, storage.Str(cities[rng.next()%uint64(len(cities))])))
+		must(g.SetVertexProp(v, storage.PropAcc, storage.Str(accs[rng.next()%2])))
+	}
+	for i := 0; i < ne; i++ {
+		src := storage.VertexID(rng.next() % uint64(nv))
+		dst := storage.VertexID(rng.next() % uint64(nv))
+		e, err := g.AddEdge(src, dst, fmt.Sprintf("EL%d", rng.next()%uint64(eLabels)))
+		must(err)
+		must(g.SetEdgeProp(e, storage.PropAmount, storage.Int(int64(rng.next()%1000))))
+		must(g.SetEdgeProp(e, storage.PropDate, storage.Int(int64(rng.next()%500))))
+	}
+	return g
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// newRand is a tiny splitmix64 for deterministic test data.
+type splitmix struct{ x uint64 }
+
+func newRand(seed int64) *splitmix { return &splitmix{uint64(seed)*2685821657736338717 + 1} }
+
+func (s *splitmix) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestRandomizedCrossValidation runs a battery of query shapes over random
+// graphs and checks every mode agrees with the brute-force oracle.
+func TestRandomizedCrossValidation(t *testing.T) {
+	shapes := []string{
+		"MATCH a-[e]->b",
+		"MATCH a-[e:EL0]->b WHERE e.amt > 500",
+		"MATCH a-[e1]->b-[e2]->c WHERE e1.date < e2.date",
+		"MATCH a-[e1]->b-[e2]->c, c-[e3]->a",
+		"MATCH a-[e1]->b, a-[e2]->c WHERE b.city = c.city",
+		"MATCH (a:VL0)-[e1]->(b:VL0)-[e2]->(c:VL1)",
+		"MATCH a-[e1]->b-[e2]->c WHERE e1.amt > e2.amt, b.acc = 'CQ'",
+		"MATCH a-[e1]->b<-[e2]-c-[e3]->d WHERE a.city = 'SF'",
+	}
+	for trial := 0; trial < 4; trial++ {
+		g := randomGraph(25+trial*10, 120+trial*60, 2, 2, int64(trial+1))
+		s, err := index.NewStore(g, index.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Add a city-sorted secondary and a date EP to widen the plan space.
+		if _, err := s.CreateVertexPartitioned(index.VPDef{
+			View: index.View1Hop{Name: "VPc"},
+			Dirs: []index.Direction{index.FW, index.BW},
+			Cfg: index.Config{
+				Partitions: index.DefaultConfig().Partitions,
+				Sorts:      []index.SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}},
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.CreateEdgePartitioned(index.EPDef{
+			View: index.View2Hop{
+				Name: "LaterFlow",
+				Dir:  index.DestinationFW,
+				Pred: pred.Predicate{}.And(pred.VarTerm(pred.VarBound, storage.PropDate, pred.LT, pred.VarAdj, storage.PropDate)),
+			},
+			Cfg: index.DefaultConfig(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range shapes {
+			checkAgainstOracle(t, s, src, ModeDefault, ModePrimaryOnly, ModeBinaryJoin,
+				Mode{DisableSegments: true}, Mode{DisableMultiExtend: true})
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package opt
+
+import (
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/query"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// eqOp mirrors pred.EQ for readability in this package.
+const eqOp = pred.EQ
+
+// ReferenceCount is a brute-force matcher used as a correctness oracle in
+// tests and experiment validation: it enumerates assignments edge-by-edge
+// with no indexes and evaluates every predicate on complete assignments.
+// It is exponential and intended for small graphs only.
+func ReferenceCount(g *storage.Graph, q *query.Graph) int64 {
+	m := &refMatcher{g: g, q: q}
+	m.vAssign = make([]storage.VertexID, len(q.Vertices))
+	m.vBound = make([]bool, len(q.Vertices))
+	m.eAssign = make([]storage.EdgeID, len(q.Edges))
+	m.recurseEdges(0)
+	return m.count
+}
+
+type refMatcher struct {
+	g       *storage.Graph
+	q       *query.Graph
+	vAssign []storage.VertexID
+	vBound  []bool
+	eAssign []storage.EdgeID
+	count   int64
+}
+
+func (m *refMatcher) recurseEdges(qe int) {
+	if qe == len(m.q.Edges) {
+		m.recurseIsolated(0)
+		return
+	}
+	e := m.q.Edges[qe]
+	si, _ := m.q.VertexIndex(e.Src)
+	di, _ := m.q.VertexIndex(e.Dst)
+	for i := 0; i < m.g.NumEdges(); i++ {
+		ge := storage.EdgeID(i)
+		if m.g.EdgeDeleted(ge) {
+			continue
+		}
+		if e.Label != "" && m.g.Catalog().EdgeLabelName(m.g.EdgeLabel(ge)) != e.Label {
+			continue
+		}
+		gs, gd := m.g.Src(ge), m.g.Dst(ge)
+		if m.vBound[si] && m.vAssign[si] != gs {
+			continue
+		}
+		if m.vBound[di] && m.vAssign[di] != gd {
+			continue
+		}
+		sWas, dWas := m.vBound[si], m.vBound[di]
+		m.vAssign[si], m.vBound[si] = gs, true
+		m.vAssign[di], m.vBound[di] = gd, true
+		m.eAssign[qe] = ge
+		if m.labelsOK(si) && m.labelsOK(di) {
+			m.recurseEdges(qe + 1)
+		}
+		m.vBound[si], m.vBound[di] = sWas, dWas
+	}
+}
+
+func (m *refMatcher) labelsOK(vi int) bool {
+	want := m.q.Vertices[vi].Label
+	if want == "" {
+		return true
+	}
+	return m.g.Catalog().VertexLabelName(m.g.VertexLabel(m.vAssign[vi])) == want
+}
+
+func (m *refMatcher) recurseIsolated(vi int) {
+	if vi == len(m.q.Vertices) {
+		if m.predsOK() {
+			m.count++
+		}
+		return
+	}
+	if m.vBound[vi] {
+		m.recurseIsolated(vi + 1)
+		return
+	}
+	for v := 0; v < m.g.NumVertices(); v++ {
+		m.vAssign[vi], m.vBound[vi] = storage.VertexID(v), true
+		if m.labelsOK(vi) {
+			m.recurseIsolated(vi + 1)
+		}
+		m.vBound[vi] = false
+	}
+}
+
+func (m *refMatcher) predsOK() bool {
+	for _, p := range m.q.Preds {
+		l := m.valueOf(p.LeftVar, p.LeftProp)
+		var r storage.Value
+		if p.IsConst() {
+			r = p.Const
+		} else {
+			r = pred.ApplyShift(m.valueOf(p.RightVar, p.RightProp), p.RightShift)
+		}
+		if !pred.Compare(l, p.Op, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *refMatcher) valueOf(name, prop string) storage.Value {
+	prop = normalizeProp(prop)
+	if vi, ok := m.q.VertexIndex(name); ok {
+		v := m.vAssign[vi]
+		switch prop {
+		case pred.PropID:
+			return storage.Int(int64(v))
+		case pred.PropLabel:
+			return storage.Str(m.g.Catalog().VertexLabelName(m.g.VertexLabel(v)))
+		default:
+			return m.g.VertexProp(v, prop)
+		}
+	}
+	ei, _ := m.q.EdgeIndex(name)
+	e := m.eAssign[ei]
+	switch prop {
+	case pred.PropID:
+		return storage.Int(int64(e))
+	case pred.PropLabel:
+		return storage.Str(m.g.Catalog().EdgeLabelName(m.g.EdgeLabel(e)))
+	default:
+		return m.g.EdgeProp(e, prop)
+	}
+}

@@ -1,0 +1,178 @@
+package pred
+
+import "github.com/aplusdb/aplus/internal/storage"
+
+// TermImplies reports whether term t logically implies term u (every
+// binding satisfying t satisfies u). Two forms are recognised, mirroring
+// the paper's "limited form of predicate subsumption checking":
+//
+//   - identical (normalized) terms;
+//   - range subsumption between two variable-vs-constant comparisons on the
+//     same property: e.g. amt > 15000 implies amt > 10000.
+func TermImplies(t, u Term) bool {
+	t, u = t.Normalize(), u.Normalize()
+	if termEqual(t, u) {
+		return true
+	}
+	// Banded variable-variable range subsumption on the same references:
+	// L < R+a implies L < R+b when a <= b, and symmetrically for >.
+	if !t.IsConst() && !u.IsConst() && t.Left == u.Left && t.Right == u.Right {
+		return shiftImplies(t.Op, t.Shift, u.Op, u.Shift)
+	}
+	if !t.IsConst() || !u.IsConst() || t.Left != u.Left {
+		return false
+	}
+	ti, ok := interval(t)
+	if !ok {
+		return false
+	}
+	ui, ok := interval(u)
+	if !ok {
+		return false
+	}
+	return ti.within(ui)
+}
+
+func termEqual(a, b Term) bool {
+	if a.Left != b.Left || a.Op != b.Op || a.Right != b.Right {
+		return false
+	}
+	if a.IsConst() {
+		return a.Const.Compare(b.Const) == 0 && a.Const.Kind == b.Const.Kind
+	}
+	return a.Shift == b.Shift
+}
+
+// shiftImplies decides implication between banded comparisons L op (R + s).
+func shiftImplies(tOp Op, tS int64, uOp Op, uS int64) bool {
+	switch tOp {
+	case LT:
+		switch uOp {
+		case LT, LE:
+			return tS <= uS
+		}
+	case LE:
+		switch uOp {
+		case LE:
+			return tS <= uS
+		case LT:
+			return tS < uS
+		}
+	case GT:
+		switch uOp {
+		case GT, GE:
+			return tS >= uS
+		}
+	case GE:
+		switch uOp {
+		case GE:
+			return tS >= uS
+		case GT:
+			return tS > uS
+		}
+	case EQ:
+		switch uOp {
+		case LE:
+			return tS <= uS
+		case GE:
+			return tS >= uS
+		case LT:
+			return tS < uS
+		case GT:
+			return tS > uS
+		}
+	}
+	return false
+}
+
+// ivl is a possibly open-ended interval over values.
+type ivl struct {
+	lo, hi         storage.Value // NULL = unbounded
+	loOpen, hiOpen bool
+}
+
+func interval(t Term) (ivl, bool) {
+	c := t.Const
+	switch t.Op {
+	case EQ:
+		return ivl{lo: c, hi: c}, true
+	case LT:
+		return ivl{hi: c, hiOpen: true}, true
+	case LE:
+		return ivl{hi: c}, true
+	case GT:
+		return ivl{lo: c, loOpen: true}, true
+	case GE:
+		return ivl{lo: c}, true
+	default: // NE is not an interval
+		return ivl{}, false
+	}
+}
+
+// within reports whether a ⊆ b.
+func (a ivl) within(b ivl) bool {
+	if !b.lo.IsNull() {
+		if a.lo.IsNull() {
+			return false
+		}
+		switch a.lo.Compare(b.lo) {
+		case -1:
+			return false
+		case 0:
+			if b.loOpen && !a.loOpen {
+				return false
+			}
+		}
+	}
+	if !b.hi.IsNull() {
+		if a.hi.IsNull() {
+			return false
+		}
+		switch a.hi.Compare(b.hi) {
+		case 1:
+			return false
+		case 0:
+			if b.hiOpen && !a.hiOpen {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Implies reports whether conjunction p implies term u: some term of p
+// implies u.
+func (p Predicate) Implies(u Term) bool {
+	for _, t := range p.Terms {
+		if TermImplies(t, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Subsumes reports whether an index whose lists satisfy p can serve a query
+// extension with predicate q: q must imply every term of p, i.e. no edge
+// that q needs is missing from the index (Section IV-A: "the predicates
+// p_l,j satisfied in these lists subsume the predicate p_Q").
+func Subsumes(indexPred, queryPred Predicate) bool {
+	for _, t := range indexPred.Terms {
+		if !queryPred.Implies(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Residual returns the query terms not already guaranteed by the index
+// predicate — the terms a FILTER operator still has to evaluate after the
+// index lookup.
+func Residual(queryPred, indexPred Predicate) Predicate {
+	var out Predicate
+	for _, u := range queryPred.Terms {
+		if !indexPred.Implies(u) {
+			out.Terms = append(out.Terms, u)
+		}
+	}
+	return out
+}

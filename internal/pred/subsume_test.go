@@ -1,0 +1,162 @@
+package pred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func TestTermImpliesIdentical(t *testing.T) {
+	a := VarTerm(VarBound, "date", LT, VarAdj, "date")
+	b := VarTerm(VarBound, "date", LT, VarAdj, "date")
+	if !TermImplies(a, b) {
+		t.Error("identical var-var terms should imply each other")
+	}
+	// Flipped form is identical after normalization.
+	c := VarTerm(VarAdj, "date", GT, VarBound, "date")
+	if !TermImplies(c, b) {
+		t.Error("flipped term should normalize to identical")
+	}
+}
+
+func TestTermImpliesRange(t *testing.T) {
+	amt := func(op Op, v int64) Term { return ConstTerm(VarAdj, "amt", op, storage.Int(v)) }
+	cases := []struct {
+		t, u Term
+		want bool
+	}{
+		// The paper's example: amt>15000 implies amt>10000.
+		{amt(GT, 15000), amt(GT, 10000), true},
+		{amt(GT, 10000), amt(GT, 15000), false},
+		{amt(GT, 10000), amt(GT, 10000), true},
+		{amt(GE, 10000), amt(GT, 10000), false}, // >=10000 allows 10000
+		{amt(GT, 10000), amt(GE, 10000), true},
+		{amt(EQ, 12000), amt(GT, 10000), true},
+		{amt(EQ, 9000), amt(GT, 10000), false},
+		{amt(LT, 5), amt(LT, 10), true},
+		{amt(LT, 10), amt(LT, 5), false},
+		{amt(LE, 10), amt(LT, 10), false},
+		{amt(LT, 10), amt(LE, 10), true},
+		{amt(EQ, 7), amt(EQ, 7), true},
+		{amt(EQ, 7), amt(EQ, 8), false},
+		// Different properties never imply.
+		{ConstTerm(VarAdj, "amt", GT, storage.Int(5)), ConstTerm(VarAdj, "date", GT, storage.Int(1)), false},
+		// Different vars never imply.
+		{ConstTerm(VarAdj, "amt", GT, storage.Int(5)), ConstTerm(VarBound, "amt", GT, storage.Int(1)), false},
+		// NE only via identity.
+		{amt(NE, 5), amt(NE, 5), true},
+		{amt(NE, 5), amt(NE, 6), false},
+	}
+	for _, c := range cases {
+		if got := TermImplies(c.t, c.u); got != c.want {
+			t.Errorf("TermImplies(%v, %v) = %v, want %v", c.t, c.u, got, c.want)
+		}
+	}
+}
+
+// TestTermImpliesSemanticQuick cross-checks TermImplies against brute-force
+// evaluation over a sample of values: if t implies u, every value
+// satisfying t must satisfy u.
+func TestTermImpliesSemanticQuick(t *testing.T) {
+	ops := []Op{EQ, LT, LE, GT, GE}
+	f := func(aOp, bOp uint8, aC, bC int8, sample int16) bool {
+		ta := ConstTerm(VarAdj, "x", ops[int(aOp)%len(ops)], storage.Int(int64(aC)))
+		tb := ConstTerm(VarAdj, "x", ops[int(bOp)%len(ops)], storage.Int(int64(bC)))
+		if !TermImplies(ta, tb) {
+			return true // only soundness is asserted
+		}
+		v := storage.Int(int64(sample))
+		satA := Compare(v, ta.Op, ta.Const)
+		satB := Compare(v, tb.Op, tb.Const)
+		return !satA || satB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	idx := Predicate{}.
+		And(ConstTerm(VarAdj, "currency", EQ, storage.Str("USD"))).
+		And(ConstTerm(VarAdj, "amt", GT, storage.Int(10000)))
+	// Query with a tighter range subsumes.
+	q := Predicate{}.
+		And(ConstTerm(VarAdj, "currency", EQ, storage.Str("USD"))).
+		And(ConstTerm(VarAdj, "amt", GT, storage.Int(15000)))
+	if !Subsumes(idx, q) {
+		t.Error("index should serve the tighter query")
+	}
+	// Query missing the currency term cannot use the index.
+	q2 := Predicate{}.And(ConstTerm(VarAdj, "amt", GT, storage.Int(15000)))
+	if Subsumes(idx, q2) {
+		t.Error("index must not serve a query without the currency constraint")
+	}
+	// Query with a looser range cannot use the index.
+	q3 := Predicate{}.
+		And(ConstTerm(VarAdj, "currency", EQ, storage.Str("USD"))).
+		And(ConstTerm(VarAdj, "amt", GT, storage.Int(5000)))
+	if Subsumes(idx, q3) {
+		t.Error("looser query range must not be served")
+	}
+	// The trivial index (no predicate) serves everything.
+	if !Subsumes(Predicate{}, q2) {
+		t.Error("empty index predicate subsumes all queries")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	idx := Predicate{}.And(ConstTerm(VarAdj, "amt", GT, storage.Int(10000)))
+	q := Predicate{}.
+		And(ConstTerm(VarAdj, "amt", GT, storage.Int(15000))).
+		And(ConstTerm(VarAdj, "currency", EQ, storage.Str("USD")))
+	r := Residual(q, idx)
+	// amt>15000 is NOT guaranteed by amt>10000, so both terms remain.
+	if len(r.Terms) != 2 {
+		t.Fatalf("residual = %v, want both terms", r)
+	}
+	// With an exactly matching index term, only currency remains.
+	idx2 := Predicate{}.And(ConstTerm(VarAdj, "amt", GT, storage.Int(15000)))
+	r2 := Residual(q, idx2)
+	if len(r2.Terms) != 1 || r2.Terms[0].Left.Prop != "currency" {
+		t.Fatalf("residual = %v, want currency only", r2)
+	}
+	// Index term amt>20000 implies amt>15000: the query term is guaranteed.
+	idx3 := Predicate{}.And(ConstTerm(VarAdj, "amt", GT, storage.Int(20000)))
+	r3 := Residual(q, idx3)
+	if len(r3.Terms) != 1 {
+		t.Fatalf("residual = %v, want currency only", r3)
+	}
+}
+
+func TestSubsumesVarVarTerms(t *testing.T) {
+	moneyFlow := Predicate{}.
+		And(VarTerm(VarBound, "date", LT, VarAdj, "date")).
+		And(VarTerm(VarBound, "amt", GT, VarAdj, "amt"))
+	q := Predicate{}.
+		And(VarTerm(VarBound, "date", LT, VarAdj, "date")).
+		And(VarTerm(VarBound, "amt", GT, VarAdj, "amt")).
+		And(ConstTerm(VarAdj, "amt", LT, storage.Int(100)))
+	if !Subsumes(moneyFlow, q) {
+		t.Error("MoneyFlow index should serve the query with extra terms")
+	}
+	if Subsumes(q, moneyFlow) {
+		t.Error("reverse direction must fail")
+	}
+	res := Residual(q, moneyFlow)
+	if len(res.Terms) != 1 || res.Terms[0].Op != LT {
+		t.Errorf("residual = %v, want the amt<100 term", res)
+	}
+}
+
+func TestIntervalWithin(t *testing.T) {
+	mk := func(lo, hi int64, loOpen, hiOpen bool) ivl {
+		return ivl{lo: storage.Int(lo), hi: storage.Int(hi), loOpen: loOpen, hiOpen: hiOpen}
+	}
+	if !mk(5, 10, false, false).within(ivl{lo: storage.Int(0)}) {
+		t.Error("[5,10] should be within [0,inf)")
+	}
+	if mk(5, 10, false, false).within(ivl{lo: storage.Int(6)}) {
+		t.Error("[5,10] should not be within [6,inf)")
+	}
+}

@@ -1,0 +1,446 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/pred"
+)
+
+// DDL is a parsed index-definition command.
+type DDL interface{ isDDL() }
+
+// Reconfigure is the paper's RECONFIGURE PRIMARY INDEXES command.
+type Reconfigure struct {
+	Cfg index.Config
+}
+
+// Create1Hop is the paper's CREATE 1-HOP VIEW command.
+type Create1Hop struct {
+	Def index.VPDef
+}
+
+// Create2Hop is the paper's CREATE 2-HOP VIEW command.
+type Create2Hop struct {
+	Def index.EPDef
+}
+
+func (Reconfigure) isDDL() {}
+func (Create1Hop) isDDL()  {}
+func (Create2Hop) isDDL()  {}
+
+// ParseDDL parses one of the three index DDL commands:
+//
+//	RECONFIGURE PRIMARY INDEXES
+//	    PARTITION BY eadj.label, eadj.currency SORT BY vnbr.city
+//
+//	CREATE 1-HOP VIEW LargeUSDTrnx
+//	    MATCH vs-[eadj]->vd
+//	    WHERE eadj.currency = 'USD', eadj.amt > 10000
+//	    INDEX AS FW-BW PARTITION BY eadj.label SORT BY vnbr.ID
+//
+//	CREATE 2-HOP VIEW MoneyFlow
+//	    MATCH vs-[eb]->vd-[eadj]->vnbr
+//	    WHERE eb.date < eadj.date, eadj.amt < eb.amt
+//	    INDEX AS PARTITION BY eadj.label SORT BY vnbr.city
+func ParseDDL(src string) (DDL, error) {
+	l, err := newLexer(src)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case l.acceptKeyword("RECONFIGURE"):
+		return parseReconfigure(l)
+	case l.acceptKeyword("CREATE"):
+		return parseCreateView(l)
+	default:
+		return nil, fmt.Errorf("query: expected RECONFIGURE or CREATE, got %q", l.peek().text)
+	}
+}
+
+func parseReconfigure(l *lexer) (DDL, error) {
+	if err := l.expectKeyword("PRIMARY"); err != nil {
+		return nil, err
+	}
+	if err := l.expectKeyword("INDEXES"); err != nil {
+		return nil, err
+	}
+	cfg, err := parseIndexConfig(l)
+	if err != nil {
+		return nil, err
+	}
+	if t := l.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input %q", t.text)
+	}
+	return Reconfigure{Cfg: cfg}, nil
+}
+
+func parseCreateView(l *lexer) (DDL, error) {
+	hops := 0
+	if t := l.peek(); t.kind == tokNumber {
+		l.next()
+		switch t.text {
+		case "1":
+			hops = 1
+		case "2":
+			hops = 2
+		default:
+			return nil, fmt.Errorf("query: only 1-HOP and 2-HOP views exist, got %s-HOP", t.text)
+		}
+	} else {
+		return nil, fmt.Errorf("query: expected 1-HOP or 2-HOP after CREATE")
+	}
+	if err := l.expectSymbol("-"); err != nil {
+		return nil, err
+	}
+	if err := l.expectKeyword("HOP"); err != nil {
+		return nil, err
+	}
+	if err := l.expectKeyword("VIEW"); err != nil {
+		return nil, err
+	}
+	if l.peek().kind != tokIdent {
+		return nil, fmt.Errorf("query: expected view name")
+	}
+	name := l.next().text
+	if err := l.expectKeyword("MATCH"); err != nil {
+		return nil, err
+	}
+	if hops == 1 {
+		return parse1HopBody(l, name)
+	}
+	return parse2HopBody(l, name)
+}
+
+// parse1HopBody parses "vs-[eadj]->vd WHERE ... INDEX AS dirs PARTITION BY
+// ... SORT BY ...".
+func parse1HopBody(l *lexer, name string) (DDL, error) {
+	if err := expectPatternNode(l, "vs"); err != nil {
+		return nil, err
+	}
+	if err := expectPatternEdge(l, "eadj", false); err != nil {
+		return nil, err
+	}
+	if err := expectPatternNode(l, "vd"); err != nil {
+		return nil, err
+	}
+	viewPred, err := parseViewWhere(l)
+	if err != nil {
+		return nil, err
+	}
+	def := index.VPDef{View: index.View1Hop{Name: name, Pred: viewPred}}
+	if err := l.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	if err := l.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	// Directions: FW, BW, FW-BW, or BW-FW.
+	for {
+		switch {
+		case l.acceptKeyword("FW"):
+			def.Dirs = append(def.Dirs, index.FW)
+		case l.acceptKeyword("BW"):
+			def.Dirs = append(def.Dirs, index.BW)
+		default:
+			return nil, fmt.Errorf("query: expected FW or BW direction")
+		}
+		if !l.acceptSymbol("-") {
+			break
+		}
+	}
+	cfg, err := parseIndexConfig(l)
+	if err != nil {
+		return nil, err
+	}
+	def.Cfg = cfg
+	if t := l.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input %q", t.text)
+	}
+	return Create1Hop{Def: def}, nil
+}
+
+// parse2HopBody parses the 2-hop pattern, inferring the partitioning
+// direction from the positions of eb, eadj and vnbr (Section III-B2: "The
+// location of the variable eb in the query implicitly defines the type of
+// partitioning").
+func parse2HopBody(l *lexer, name string) (DDL, error) {
+	pat, err := parse2HopPattern(l)
+	if err != nil {
+		return nil, err
+	}
+	viewPred, err := parseViewWhere(l)
+	if err != nil {
+		return nil, err
+	}
+	def := index.EPDef{View: index.View2Hop{Name: name, Dir: pat, Pred: viewPred}}
+	// INDEX AS is optional for 2-hop views ("In absence of an INDEX AS
+	// command, views are only partitioned by edge IDs").
+	if l.acceptKeyword("INDEX") {
+		if err := l.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		cfg, err := parseIndexConfig(l)
+		if err != nil {
+			return nil, err
+		}
+		def.Cfg = cfg
+	}
+	if t := l.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input %q", t.text)
+	}
+	return Create2Hop{Def: def}, nil
+}
+
+// hop2Pattern is one parsed leg: variable name and arrow direction.
+type hop2Leg struct {
+	from, edge, to string
+	reverse        bool // <-[e]- instead of -[e]->
+}
+
+func parse2HopPattern(l *lexer) (index.EPDirection, error) {
+	n1, err := patternNode(l)
+	if err != nil {
+		return 0, err
+	}
+	leg1, err := patternEdge(l)
+	if err != nil {
+		return 0, err
+	}
+	n2, err := patternNode(l)
+	if err != nil {
+		return 0, err
+	}
+	leg2, err := patternEdge(l)
+	if err != nil {
+		return 0, err
+	}
+	n3, err := patternNode(l)
+	if err != nil {
+		return 0, err
+	}
+	legs := [2]hop2Leg{
+		{from: n1, edge: leg1.edge, to: n2, reverse: leg1.reverse},
+		{from: n2, edge: leg2.edge, to: n3, reverse: leg2.reverse},
+	}
+	// Canonical forms (after normalizing arrow direction):
+	//   Destination-FW: vs-[eb]->vd-[eadj]->vnbr
+	//   Destination-BW: vs-[eb]->vd<-[eadj]-vnbr
+	//   Source-FW:      vnbr-[eadj]->vs-[eb]->vd
+	//   Source-BW:      vnbr<-[eadj]-vs-[eb]->vd
+	type edgeInfo struct{ src, dst string }
+	info := map[string]edgeInfo{}
+	for _, leg := range legs {
+		src, dst := leg.from, leg.to
+		if leg.reverse {
+			src, dst = dst, src
+		}
+		info[leg.edge] = edgeInfo{src, dst}
+	}
+	eb, okB := info["eb"]
+	eadj, okA := info["eadj"]
+	if !okB || !okA {
+		return 0, fmt.Errorf("query: 2-hop pattern must bind eb and eadj")
+	}
+	switch {
+	case eb.src == "vs" && eb.dst == "vd" && eadj.src == "vd" && eadj.dst == "vnbr":
+		return index.DestinationFW, nil
+	case eb.src == "vs" && eb.dst == "vd" && eadj.src == "vnbr" && eadj.dst == "vd":
+		return index.DestinationBW, nil
+	case eb.src == "vs" && eb.dst == "vd" && eadj.src == "vnbr" && eadj.dst == "vs":
+		return index.SourceFW, nil
+	case eb.src == "vs" && eb.dst == "vd" && eadj.src == "vs" && eadj.dst == "vnbr":
+		return index.SourceBW, nil
+	default:
+		return 0, fmt.Errorf("query: unrecognised 2-hop pattern (use vs/vd/vnbr with eb/eadj)")
+	}
+}
+
+type edgeLeg struct {
+	edge    string
+	reverse bool
+}
+
+func patternNode(l *lexer) (string, error) {
+	paren := l.acceptSymbol("(")
+	if l.peek().kind != tokIdent {
+		return "", fmt.Errorf("query: expected pattern vertex at offset %d", l.peek().pos)
+	}
+	name := l.next().text
+	if paren {
+		if err := l.expectSymbol(")"); err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+func patternEdge(l *lexer) (edgeLeg, error) {
+	reverse := l.acceptSymbol("<")
+	if err := l.expectSymbol("-"); err != nil {
+		return edgeLeg{}, err
+	}
+	if err := l.expectSymbol("["); err != nil {
+		return edgeLeg{}, err
+	}
+	if l.peek().kind != tokIdent {
+		return edgeLeg{}, fmt.Errorf("query: expected edge variable at offset %d", l.peek().pos)
+	}
+	name := l.next().text
+	if err := l.expectSymbol("]"); err != nil {
+		return edgeLeg{}, err
+	}
+	if err := l.expectSymbol("-"); err != nil {
+		return edgeLeg{}, err
+	}
+	if !reverse {
+		if err := l.expectSymbol(">"); err != nil {
+			return edgeLeg{}, err
+		}
+	}
+	return edgeLeg{edge: name, reverse: reverse}, nil
+}
+
+func expectPatternNode(l *lexer, want string) error {
+	got, err := patternNode(l)
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(got, want) {
+		return fmt.Errorf("query: expected pattern vertex %q, got %q", want, got)
+	}
+	return nil
+}
+
+func expectPatternEdge(l *lexer, want string, reverse bool) error {
+	leg, err := patternEdge(l)
+	if err != nil {
+		return err
+	}
+	if !strings.EqualFold(leg.edge, want) || leg.reverse != reverse {
+		return fmt.Errorf("query: expected edge -[%s]->, got %q", want, leg.edge)
+	}
+	return nil
+}
+
+// parseViewWhere parses the optional WHERE of a view definition into a
+// predicate over the reserved variables vs, vd, eadj, eb, vnbr.
+func parseViewWhere(l *lexer) (pred.Predicate, error) {
+	var out pred.Predicate
+	if !l.acceptKeyword("WHERE") {
+		return out, nil
+	}
+	for {
+		lv, lp, _, lIsVar, err := parseOperand(l, nil)
+		if err != nil {
+			return out, err
+		}
+		if !lIsVar {
+			return out, fmt.Errorf("query: view predicate must start with var.prop")
+		}
+		leftVar, err := reservedVar(lv)
+		if err != nil {
+			return out, err
+		}
+		op, err := parseOp(l)
+		if err != nil {
+			return out, err
+		}
+		rv, rp, rc, rIsVar, err := parseOperand(l, nil)
+		if err != nil {
+			return out, err
+		}
+		if rIsVar {
+			rightVar, err := reservedVar(rv)
+			if err != nil {
+				return out, err
+			}
+			shift, _, err := parseShift(l)
+			if err != nil {
+				return out, err
+			}
+			out = out.And(pred.VarTermShift(leftVar, lp, op, rightVar, rp, shift))
+		} else {
+			out = out.And(pred.ConstTerm(leftVar, lp, op, rc))
+		}
+		if l.acceptSymbol(",") || l.acceptKeyword("AND") {
+			continue
+		}
+		return out, nil
+	}
+}
+
+func reservedVar(name string) (pred.Var, error) {
+	switch strings.ToLower(name) {
+	case "eadj":
+		return pred.VarAdj, nil
+	case "vnbr":
+		return pred.VarNbr, nil
+	case "vs":
+		return pred.VarSrc, nil
+	case "vd":
+		return pred.VarDst, nil
+	case "eb":
+		return pred.VarBound, nil
+	default:
+		return 0, fmt.Errorf("query: %q is not a reserved view variable (eadj, vnbr, vs, vd, eb)", name)
+	}
+}
+
+// parseIndexConfig parses optional PARTITION BY and SORT BY clauses.
+func parseIndexConfig(l *lexer) (index.Config, error) {
+	var cfg index.Config
+	if l.acceptKeyword("PARTITION") {
+		if err := l.expectKeyword("BY"); err != nil {
+			return cfg, err
+		}
+		for {
+			v, prop, err := parseKeyRef(l)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Partitions = append(cfg.Partitions, index.PartitionKey{Var: v, Prop: prop})
+			if !l.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if l.acceptKeyword("SORT") {
+		if err := l.expectKeyword("BY"); err != nil {
+			return cfg, err
+		}
+		for {
+			v, prop, err := parseKeyRef(l)
+			if err != nil {
+				return cfg, err
+			}
+			// vnbr.ID is the implicit tiebreak; keep explicit mention only
+			// if it is the sole criterion (it then means "default order").
+			if !(v == pred.VarNbr && prop == pred.PropID) {
+				cfg.Sorts = append(cfg.Sorts, index.SortKey{Var: v, Prop: prop})
+			}
+			if !l.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return cfg, nil
+}
+
+func parseKeyRef(l *lexer) (pred.Var, string, error) {
+	if l.peek().kind != tokIdent {
+		return 0, "", fmt.Errorf("query: expected eadj.<prop> or vnbr.<prop> at offset %d", l.peek().pos)
+	}
+	v, err := reservedVar(l.next().text)
+	if err != nil {
+		return 0, "", err
+	}
+	if err := l.expectSymbol("."); err != nil {
+		return 0, "", err
+	}
+	if l.peek().kind != tokIdent {
+		return 0, "", fmt.Errorf("query: expected property name at offset %d", l.peek().pos)
+	}
+	return v, l.next().text, nil
+}

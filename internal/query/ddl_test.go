@@ -1,0 +1,174 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func TestParseReconfigure(t *testing.T) {
+	// Example 4's command.
+	d, err := ParseDDL(`RECONFIGURE PRIMARY INDEXES
+		PARTITION BY eadj.label, eadj.currency
+		SORT BY vnbr.city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := d.(Reconfigure)
+	if !ok {
+		t.Fatalf("got %T", d)
+	}
+	if len(r.Cfg.Partitions) != 2 {
+		t.Fatalf("partitions = %v", r.Cfg.Partitions)
+	}
+	if r.Cfg.Partitions[0] != (index.PartitionKey{Var: pred.VarAdj, Prop: "label"}) {
+		t.Error("partition 0 wrong")
+	}
+	if r.Cfg.Partitions[1] != (index.PartitionKey{Var: pred.VarAdj, Prop: "currency"}) {
+		t.Error("partition 1 wrong")
+	}
+	if len(r.Cfg.Sorts) != 1 || r.Cfg.Sorts[0] != (index.SortKey{Var: pred.VarNbr, Prop: "city"}) {
+		t.Errorf("sorts = %v", r.Cfg.Sorts)
+	}
+}
+
+func TestParseReconfigureSortByNbrIDIsDefault(t *testing.T) {
+	d, err := ParseDDL("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.(Reconfigure)
+	if len(r.Cfg.Sorts) != 0 {
+		t.Error("vnbr.ID alone should collapse to the default sort")
+	}
+	if r.Cfg.SortSignature() != "vnbr.ID" {
+		t.Error("signature should be the default")
+	}
+}
+
+func TestParseCreate1Hop(t *testing.T) {
+	// Example 6's command.
+	d, err := ParseDDL(`CREATE 1-HOP VIEW LargeUSDTrnx
+		MATCH vs-[eadj]->vd
+		WHERE eadj.currency = USD, eadj.amt > 10000
+		INDEX AS FW-BW
+		PARTITION BY eadj.label SORT BY vnbr.ID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := d.(Create1Hop)
+	if !ok {
+		t.Fatalf("got %T", d)
+	}
+	if c.Def.View.Name != "LargeUSDTrnx" {
+		t.Error("name lost")
+	}
+	if len(c.Def.Dirs) != 2 || c.Def.Dirs[0] != index.FW || c.Def.Dirs[1] != index.BW {
+		t.Errorf("dirs = %v", c.Def.Dirs)
+	}
+	if len(c.Def.View.Pred.Terms) != 2 {
+		t.Fatalf("pred = %v", c.Def.View.Pred)
+	}
+	t0 := c.Def.View.Pred.Terms[0]
+	if t0.Left.Var != pred.VarAdj || t0.Left.Prop != "currency" || !t0.Const.Equal(storage.Str("USD")) {
+		t.Errorf("term 0 = %v", t0)
+	}
+	if len(c.Def.Cfg.Partitions) != 1 || len(c.Def.Cfg.Sorts) != 0 {
+		t.Errorf("cfg = %v", c.Def.Cfg)
+	}
+}
+
+func TestParseCreate2HopDirections(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    index.EPDirection
+	}{
+		{"vs-[eb]->vd-[eadj]->vnbr", index.DestinationFW},
+		{"vs-[eb]->vd<-[eadj]-vnbr", index.DestinationBW},
+		{"vnbr-[eadj]->vs-[eb]->vd", index.SourceFW},
+		{"vnbr<-[eadj]-vs-[eb]->vd", index.SourceBW},
+	}
+	for _, c := range cases {
+		d, err := ParseDDL("CREATE 2-HOP VIEW V MATCH " + c.pattern +
+			" WHERE eb.date < eadj.date INDEX AS PARTITION BY eadj.label SORT BY vnbr.city")
+		if err != nil {
+			t.Fatalf("%s: %v", c.pattern, err)
+		}
+		got := d.(Create2Hop).Def.View.Dir
+		if got != c.want {
+			t.Errorf("%s -> %v, want %v", c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestParseCreate2HopMoneyFlow(t *testing.T) {
+	// Example 7's command (with unicode arrows as printed in the paper).
+	d, err := ParseDDL(`CREATE 2-HOP VIEW MoneyFlow
+		MATCH vs−[eb]→vd−[eadj]→vnbr
+		WHERE eb.date<eadj.date, eadj.amt<eb.amt
+		INDEX AS PARTITION BY eadj.label SORT BY vnbr.city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.(Create2Hop)
+	if c.Def.View.Dir != index.DestinationFW {
+		t.Error("direction should be Destination-FW")
+	}
+	if len(c.Def.View.Pred.Terms) != 2 {
+		t.Fatalf("pred = %v", c.Def.View.Pred)
+	}
+	if len(c.Def.Cfg.Sorts) != 1 || c.Def.Cfg.Sorts[0].Prop != "city" {
+		t.Errorf("sorts = %v", c.Def.Cfg.Sorts)
+	}
+}
+
+func TestParse2HopWithoutIndexAs(t *testing.T) {
+	// "In absence of an INDEX AS command, views are only partitioned by
+	// edge IDs."
+	d, err := ParseDDL("CREATE 2-HOP VIEW V MATCH vs-[eb]->vd-[eadj]->vnbr WHERE eadj.amt < eb.amt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.(Create2Hop)
+	if len(c.Def.Cfg.Partitions) != 0 || len(c.Def.Cfg.Sorts) != 0 {
+		t.Error("config should be empty")
+	}
+}
+
+func TestParseDDLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP VIEW x",
+		"RECONFIGURE SECONDARY INDEXES",
+		"CREATE 3-HOP VIEW x MATCH vs-[eb]->vd",
+		"CREATE 1-HOP VIEW x MATCH a-[e]->b", // wrong reserved names
+		"CREATE 1-HOP VIEW x MATCH vs-[eadj]->vd WHERE foo.bar = 1 INDEX AS FW",
+		"CREATE 2-HOP VIEW x MATCH vs-[e1]->vd-[e2]->vnbr WHERE e1.a < e2.a", // missing eb/eadj
+		"RECONFIGURE PRIMARY INDEXES PARTITION BY label",
+		"RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label trailing",
+	}
+	for _, src := range bad {
+		if _, err := ParseDDL(src); err == nil {
+			t.Errorf("ParseDDL(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseViewVarVarBothSides(t *testing.T) {
+	d, err := ParseDDL(`CREATE 2-HOP VIEW V MATCH vs-[eb]->vd-[eadj]->vnbr
+		WHERE eadj.amt < eb.amt, eb.date < eadj.date, eadj.amt > 5
+		INDEX AS PARTITION BY eadj.label`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.(Create2Hop).Def.View.Pred
+	if len(p.Terms) != 3 {
+		t.Fatalf("terms = %v", p)
+	}
+	// The predicate must be usable for subsumption against itself.
+	if !pred.Subsumes(p, p) {
+		t.Error("self-subsumption failed; normalization broken")
+	}
+}

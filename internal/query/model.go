@@ -1,0 +1,216 @@
+// Package query defines the query-graph model for subgraph queries (the
+// MATCH/WHERE component of openCypher that A+ indexes accelerate) and the
+// parsers for the query language subset and the paper's index DDL commands.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// Vertex is a query vertex variable, optionally constrained to a label.
+type Vertex struct {
+	Name  string
+	Label string // empty = unconstrained
+}
+
+// Edge is a query edge variable from Src to Dst (names of query vertices),
+// optionally constrained to a label.
+type Edge struct {
+	Name  string
+	Src   string
+	Dst   string
+	Label string
+}
+
+// Pred is a comparison between a query variable's property and either a
+// constant or another variable's property. Var names refer to query
+// vertices or edges; Prop may be the pseudo-properties "ID" and "label".
+type Pred struct {
+	LeftVar   string
+	LeftProp  string
+	Op        pred.Op
+	RightVar  string // empty = constant comparison
+	RightProp string
+	Const     storage.Value
+	// RightShift adds a constant to the right variable's value,
+	// e.g. e1.amt < e2.amt + 100.
+	RightShift int64
+}
+
+// IsConst reports whether the right operand is a constant.
+func (p Pred) IsConst() bool { return p.RightVar == "" }
+
+// String implements fmt.Stringer.
+func (p Pred) String() string {
+	if p.IsConst() {
+		return fmt.Sprintf("%s.%s %s %s", p.LeftVar, p.LeftProp, p.Op, p.Const)
+	}
+	if p.RightShift != 0 {
+		return fmt.Sprintf("%s.%s %s %s.%s%+d", p.LeftVar, p.LeftProp, p.Op, p.RightVar, p.RightProp, p.RightShift)
+	}
+	return fmt.Sprintf("%s.%s %s %s.%s", p.LeftVar, p.LeftProp, p.Op, p.RightVar, p.RightProp)
+}
+
+// Graph is a query graph: the joins of a subgraph query.
+type Graph struct {
+	Vertices []Vertex
+	Edges    []Edge
+	Preds    []Pred
+}
+
+// VertexIndex returns the position of a named query vertex.
+func (q *Graph) VertexIndex(name string) (int, bool) {
+	for i, v := range q.Vertices {
+		if v.Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// EdgeIndex returns the position of a named query edge.
+func (q *Graph) EdgeIndex(name string) (int, bool) {
+	for i, e := range q.Edges {
+		if e.Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// IsVertexVar reports whether name names a query vertex.
+func (q *Graph) IsVertexVar(name string) bool {
+	_, ok := q.VertexIndex(name)
+	return ok
+}
+
+// IsEdgeVar reports whether name names a query edge.
+func (q *Graph) IsEdgeVar(name string) bool {
+	_, ok := q.EdgeIndex(name)
+	return ok
+}
+
+// AddVertex registers a vertex variable, reusing an existing one with the
+// same name. A non-empty label on a later mention must not conflict.
+func (q *Graph) AddVertex(name, label string) error {
+	if i, ok := q.VertexIndex(name); ok {
+		if label != "" {
+			if q.Vertices[i].Label != "" && q.Vertices[i].Label != label {
+				return fmt.Errorf("query: vertex %q has conflicting labels %q and %q", name, q.Vertices[i].Label, label)
+			}
+			q.Vertices[i].Label = label
+		}
+		return nil
+	}
+	q.Vertices = append(q.Vertices, Vertex{Name: name, Label: label})
+	return nil
+}
+
+// AddEdge registers an edge variable.
+func (q *Graph) AddEdge(name, src, dst, label string) error {
+	if name != "" {
+		if _, ok := q.EdgeIndex(name); ok {
+			return fmt.Errorf("query: duplicate edge variable %q", name)
+		}
+	} else {
+		name = fmt.Sprintf("_e%d", len(q.Edges))
+	}
+	q.Edges = append(q.Edges, Edge{Name: name, Src: src, Dst: dst, Label: label})
+	return nil
+}
+
+// Validate checks referential integrity of the query graph.
+func (q *Graph) Validate() error {
+	if len(q.Vertices) == 0 {
+		return fmt.Errorf("query: no vertices")
+	}
+	for _, e := range q.Edges {
+		if !q.IsVertexVar(e.Src) || !q.IsVertexVar(e.Dst) {
+			return fmt.Errorf("query: edge %q references unknown vertex", e.Name)
+		}
+	}
+	for _, p := range q.Preds {
+		if !q.IsVertexVar(p.LeftVar) && !q.IsEdgeVar(p.LeftVar) {
+			return fmt.Errorf("query: predicate references unknown variable %q", p.LeftVar)
+		}
+		if !p.IsConst() && !q.IsVertexVar(p.RightVar) && !q.IsEdgeVar(p.RightVar) {
+			return fmt.Errorf("query: predicate references unknown variable %q", p.RightVar)
+		}
+	}
+	// Connectivity: the optimizer enumerates connected sub-queries only.
+	if len(q.Edges) > 0 && !q.connected() {
+		return fmt.Errorf("query: pattern must be connected")
+	}
+	return nil
+}
+
+func (q *Graph) connected() bool {
+	if len(q.Vertices) == 0 {
+		return true
+	}
+	seen := make(map[string]bool)
+	var stack []string
+	stack = append(stack, q.Vertices[0].Name)
+	seen[q.Vertices[0].Name] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range q.Edges {
+			var next string
+			switch v {
+			case e.Src:
+				next = e.Dst
+			case e.Dst:
+				next = e.Src
+			default:
+				continue
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return len(seen) == len(q.Vertices)
+}
+
+// EdgesIncident returns the indices of query edges touching vertex name.
+func (q *Graph) EdgesIncident(name string) []int {
+	var out []int
+	for i, e := range q.Edges {
+		if e.Src == name || e.Dst == name {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the query graph in a MATCH-like syntax.
+func (q *Graph) String() string {
+	var b strings.Builder
+	b.WriteString("MATCH ")
+	for i, e := range q.Edges {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%s)-[%s", e.Src, e.Name)
+		if e.Label != "" {
+			fmt.Fprintf(&b, ":%s", e.Label)
+		}
+		fmt.Fprintf(&b, "]->(%s)", e.Dst)
+	}
+	if len(q.Preds) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Preds {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,287 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// Parse parses the MATCH/WHERE subset of openCypher used throughout the
+// paper, e.g.
+//
+//	MATCH (c1:Customer)-[r1:O]->(a1), (a1)-[r2:W]->(a2)
+//	WHERE c1.name = 'Alice', r2.currency = 'USD'
+//
+// Vertex parentheses are optional (the paper writes c1-[r1:O]->a1), WHERE
+// terms may be separated by commas or AND, and an optional trailing
+// RETURN COUNT(*) is accepted and ignored (execution always enumerates or
+// counts matches).
+func Parse(src string) (*Graph, error) {
+	l, err := newLexer(src)
+	if err != nil {
+		return nil, err
+	}
+	q := &Graph{}
+	if err := l.expectKeyword("MATCH"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := parsePath(l, q); err != nil {
+			return nil, err
+		}
+		if !l.acceptSymbol(",") {
+			break
+		}
+	}
+	if l.acceptKeyword("WHERE") {
+		for {
+			p, err := parsePred(l, q)
+			if err != nil {
+				return nil, err
+			}
+			q.Preds = append(q.Preds, p)
+			if l.acceptSymbol(",") || l.acceptKeyword("AND") {
+				continue
+			}
+			break
+		}
+	}
+	if l.acceptKeyword("RETURN") {
+		// Accept COUNT(*) or *; both mean "all matches".
+		if l.acceptKeyword("COUNT") {
+			if err := l.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			if err := l.expectSymbol("*"); err != nil {
+				return nil, err
+			}
+			if err := l.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		} else if !l.acceptSymbol("*") {
+			return nil, fmt.Errorf("query: unsupported RETURN clause at offset %d", l.peek().pos)
+		}
+	}
+	if t := l.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input %q at offset %d", t.text, t.pos)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parsePath parses node (edge node)*.
+func parsePath(l *lexer, q *Graph) error {
+	cur, err := parseNode(l, q)
+	if err != nil {
+		return err
+	}
+	for {
+		t := l.peek()
+		if t.kind != tokSymbol || (t.text != "-" && t.text != "<") {
+			return nil
+		}
+		reverse := false
+		if l.acceptSymbol("<") {
+			reverse = true
+		}
+		if err := l.expectSymbol("-"); err != nil {
+			return err
+		}
+		name, label := "", ""
+		if l.acceptSymbol("[") {
+			if l.peek().kind == tokIdent {
+				name = l.next().text
+			}
+			if l.acceptSymbol(":") {
+				if l.peek().kind != tokIdent {
+					return fmt.Errorf("query: expected edge label at offset %d", l.peek().pos)
+				}
+				label = l.next().text
+			}
+			if err := l.expectSymbol("]"); err != nil {
+				return err
+			}
+		}
+		if err := l.expectSymbol("-"); err != nil {
+			return err
+		}
+		if !reverse {
+			if err := l.expectSymbol(">"); err != nil {
+				return err
+			}
+		}
+		next, err := parseNode(l, q)
+		if err != nil {
+			return err
+		}
+		if reverse {
+			err = q.AddEdge(name, next, cur, label)
+		} else {
+			err = q.AddEdge(name, cur, next, label)
+		}
+		if err != nil {
+			return err
+		}
+		cur = next
+	}
+}
+
+// parseNode parses (name(:Label)?) or a bare name(:Label)? and returns the
+// vertex name.
+func parseNode(l *lexer, q *Graph) (string, error) {
+	paren := l.acceptSymbol("(")
+	if l.peek().kind != tokIdent {
+		return "", fmt.Errorf("query: expected vertex at offset %d", l.peek().pos)
+	}
+	name := l.next().text
+	label := ""
+	if l.acceptSymbol(":") {
+		if l.peek().kind != tokIdent {
+			return "", fmt.Errorf("query: expected vertex label at offset %d", l.peek().pos)
+		}
+		label = l.next().text
+	}
+	if paren {
+		if err := l.expectSymbol(")"); err != nil {
+			return "", err
+		}
+	}
+	if err := q.AddVertex(name, label); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// parsePred parses one comparison: operand op operand.
+func parsePred(l *lexer, q *Graph) (Pred, error) {
+	lv, lp, lc, lIsVar, err := parseOperand(l, q)
+	if err != nil {
+		return Pred{}, err
+	}
+	if !lIsVar {
+		_ = lc
+		return Pred{}, fmt.Errorf("query: left side of a predicate must be var.prop at offset %d", l.peek().pos)
+	}
+	op, err := parseOp(l)
+	if err != nil {
+		return Pred{}, err
+	}
+	rv, rp, rc, rIsVar, err := parseOperand(l, q)
+	if err != nil {
+		return Pred{}, err
+	}
+	p := Pred{LeftVar: lv, LeftProp: lp, Op: op}
+	if rIsVar {
+		p.RightVar, p.RightProp = rv, rp
+		// Optional banded offset: var.prop + N or var.prop - N.
+		if shift, ok, err := parseShift(l); err != nil {
+			return Pred{}, err
+		} else if ok {
+			p.RightShift = shift
+		}
+	} else {
+		p.Const = rc
+	}
+	return p, nil
+}
+
+// parseShift parses an optional "+ N" / "- N" suffix on a variable operand.
+func parseShift(l *lexer) (int64, bool, error) {
+	neg := false
+	switch {
+	case l.peek().kind == tokSymbol && l.peek().text == "-" && l.peek2().kind == tokNumber:
+		neg = true
+	case l.peek().kind == tokSymbol && l.peek().text == "+" && l.peek2().kind == tokNumber:
+	default:
+		return 0, false, nil
+	}
+	l.next()
+	v, err := parseNumber(l.next().text)
+	if err != nil {
+		return 0, false, err
+	}
+	if v.Kind != storage.KindInt {
+		return 0, false, fmt.Errorf("query: shift offsets must be integers")
+	}
+	if neg {
+		return -v.I, true, nil
+	}
+	return v.I, true, nil
+}
+
+// parseOperand returns either a (var, prop) pair or a constant.
+func parseOperand(l *lexer, q *Graph) (v, prop string, c storage.Value, isVar bool, err error) {
+	t := l.next()
+	switch t.kind {
+	case tokNumber:
+		c, err = parseNumber(t.text)
+		return "", "", c, false, err
+	case tokString:
+		return "", "", storage.Str(t.text), false, nil
+	case tokIdent:
+		// var.prop when followed by '.', else a bare constant (the paper
+		// writes r2.currency=USD) or a known variable's implicit ID.
+		if l.peek().kind == tokSymbol && l.peek().text == "." {
+			l.next()
+			if l.peek().kind != tokIdent {
+				return "", "", storage.NullValue, false, fmt.Errorf("query: expected property after '.' at offset %d", l.peek().pos)
+			}
+			return t.text, l.next().text, storage.NullValue, true, nil
+		}
+		if strings.EqualFold(t.text, "true") || strings.EqualFold(t.text, "false") {
+			return "", "", storage.Bool(strings.EqualFold(t.text, "true")), false, nil
+		}
+		if q != nil && (q.IsVertexVar(t.text) || q.IsEdgeVar(t.text)) {
+			return t.text, pred.PropID, storage.NullValue, true, nil
+		}
+		return "", "", storage.Str(t.text), false, nil
+	default:
+		return "", "", storage.NullValue, false, fmt.Errorf("query: unexpected token %q at offset %d", t.text, t.pos)
+	}
+}
+
+func parseNumber(s string) (storage.Value, error) {
+	if strings.Contains(s, ".") {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return storage.NullValue, fmt.Errorf("query: bad number %q", s)
+		}
+		return storage.Float(f), nil
+	}
+	i, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return storage.NullValue, fmt.Errorf("query: bad number %q", s)
+	}
+	return storage.Int(i), nil
+}
+
+func parseOp(l *lexer) (pred.Op, error) {
+	t := l.next()
+	switch t.text {
+	case "=":
+		return pred.EQ, nil
+	case "<>":
+		return pred.NE, nil
+	case "<":
+		if l.acceptSymbol("=") {
+			return pred.LE, nil
+		}
+		return pred.LT, nil
+	case ">":
+		if l.acceptSymbol("=") {
+			return pred.GE, nil
+		}
+		return pred.GT, nil
+	case "<=":
+		return pred.LE, nil
+	case ">=":
+		return pred.GE, nil
+	default:
+		return pred.EQ, fmt.Errorf("query: expected comparison operator at offset %d, got %q", t.pos, t.text)
+	}
+}

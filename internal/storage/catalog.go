@@ -1,0 +1,59 @@
+package storage
+
+import "fmt"
+
+// Catalog maps human-readable label and property names to the small integer
+// identifiers used throughout the engine. Label 0 is reserved for "no label".
+type Catalog struct {
+	vertexLabels *Dict
+	edgeLabels   *Dict
+}
+
+// NewCatalog returns a catalog with the reserved empty label interned as 0.
+func NewCatalog() *Catalog {
+	c := &Catalog{vertexLabels: NewDict(), edgeLabels: NewDict()}
+	c.vertexLabels.Code("") // LabelID 0
+	c.edgeLabels.Code("")
+	return c
+}
+
+// VertexLabel interns a vertex label name.
+func (c *Catalog) VertexLabel(name string) LabelID {
+	return LabelID(c.vertexLabels.Code(name))
+}
+
+// EdgeLabel interns an edge label name.
+func (c *Catalog) EdgeLabel(name string) LabelID {
+	return LabelID(c.edgeLabels.Code(name))
+}
+
+// LookupVertexLabel resolves a vertex label name without interning.
+func (c *Catalog) LookupVertexLabel(name string) (LabelID, bool) {
+	id, ok := c.vertexLabels.Lookup(name)
+	return LabelID(id), ok
+}
+
+// LookupEdgeLabel resolves an edge label name without interning.
+func (c *Catalog) LookupEdgeLabel(name string) (LabelID, bool) {
+	id, ok := c.edgeLabels.Lookup(name)
+	return LabelID(id), ok
+}
+
+// VertexLabelName returns the name of a vertex label.
+func (c *Catalog) VertexLabelName(id LabelID) string { return c.vertexLabels.String(uint32(id)) }
+
+// EdgeLabelName returns the name of an edge label.
+func (c *Catalog) EdgeLabelName(id LabelID) string { return c.edgeLabels.String(uint32(id)) }
+
+// NumVertexLabels returns the number of interned vertex labels including the
+// reserved empty label.
+func (c *Catalog) NumVertexLabels() int { return c.vertexLabels.Len() }
+
+// NumEdgeLabels returns the number of interned edge labels including the
+// reserved empty label.
+func (c *Catalog) NumEdgeLabels() int { return c.edgeLabels.Len() }
+
+// String implements fmt.Stringer.
+func (c *Catalog) String() string {
+	return fmt.Sprintf("catalog{vertexLabels=%d edgeLabels=%d}", c.NumVertexLabels(), c.NumEdgeLabels())
+}

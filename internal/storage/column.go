@@ -1,0 +1,187 @@
+package storage
+
+import "fmt"
+
+// Column is a typed property column over a table of entities (vertices or
+// edges). Values are stored unboxed per kind; strings are dictionary-encoded.
+// A bitset tracks NULLs, so the zero value of the backing array never leaks
+// as a real value.
+type Column struct {
+	Key  string
+	Kind Kind
+
+	ints   []int64
+	floats []float64
+	codes  []uint32
+	dict   *Dict
+	set    bitset
+	n      int
+}
+
+// NewColumn returns a column for n entities, all NULL.
+func NewColumn(key string, kind Kind, n int) *Column {
+	c := &Column{Key: key, Kind: kind, n: n, set: newBitset(n)}
+	switch kind {
+	case KindInt, KindBool:
+		c.ints = make([]int64, n)
+	case KindFloat:
+		c.floats = make([]float64, n)
+	case KindString:
+		c.codes = make([]uint32, n)
+		c.dict = NewDict()
+	default:
+		panic(fmt.Sprintf("storage: cannot create column of kind %v", kind))
+	}
+	return c
+}
+
+// Len returns the number of entities covered by the column.
+func (c *Column) Len() int { return c.n }
+
+// Grow extends the column to cover n entities, keeping existing values.
+func (c *Column) Grow(n int) {
+	if n <= c.n {
+		return
+	}
+	switch c.Kind {
+	case KindInt, KindBool:
+		c.ints = append(c.ints, make([]int64, n-c.n)...)
+	case KindFloat:
+		c.floats = append(c.floats, make([]float64, n-c.n)...)
+	case KindString:
+		c.codes = append(c.codes, make([]uint32, n-c.n)...)
+	}
+	c.set.grow(n)
+	c.n = n
+}
+
+// Set stores v at index i. Setting NULL clears the slot.
+func (c *Column) Set(i int, v Value) error {
+	if v.IsNull() {
+		c.set.clear(i)
+		return nil
+	}
+	switch c.Kind {
+	case KindInt, KindBool:
+		if v.Kind != KindInt && v.Kind != KindBool {
+			return fmt.Errorf("storage: column %q holds %v, got %v", c.Key, c.Kind, v.Kind)
+		}
+		c.ints[i] = v.I
+	case KindFloat:
+		switch v.Kind {
+		case KindFloat:
+			c.floats[i] = v.F
+		case KindInt:
+			c.floats[i] = float64(v.I)
+		default:
+			return fmt.Errorf("storage: column %q holds %v, got %v", c.Key, c.Kind, v.Kind)
+		}
+	case KindString:
+		if v.Kind != KindString {
+			return fmt.Errorf("storage: column %q holds %v, got %v", c.Key, c.Kind, v.Kind)
+		}
+		c.codes[i] = c.dict.Code(v.S)
+	}
+	c.set.put(i)
+	return nil
+}
+
+// Get returns the value at index i (NULL if unset).
+func (c *Column) Get(i int) Value {
+	if i >= c.n || !c.set.has(i) {
+		return NullValue
+	}
+	switch c.Kind {
+	case KindInt:
+		return Int(c.ints[i])
+	case KindBool:
+		return Value{Kind: KindBool, I: c.ints[i]}
+	case KindFloat:
+		return Float(c.floats[i])
+	case KindString:
+		return Str(c.dict.String(c.codes[i]))
+	}
+	return NullValue
+}
+
+// IsNull reports whether the value at i is NULL.
+func (c *Column) IsNull(i int) bool { return i >= c.n || !c.set.has(i) }
+
+// SortOrdinal returns an integer that orders entities identically to
+// Value.Compare for this column's kind, with NULLs mapped to the maximum
+// ordinal (nulls order last). Float columns fall back to bit-manipulated
+// ordering of the float value.
+func (c *Column) SortOrdinal(i int) uint64 {
+	if c.IsNull(i) {
+		return ^uint64(0)
+	}
+	switch c.Kind {
+	case KindInt, KindBool:
+		return uint64(c.ints[i]) ^ (1 << 63) // order-preserving for signed ints
+	case KindFloat:
+		return floatOrdinal(c.floats[i])
+	case KindString:
+		return uint64(c.dict.Rank(c.codes[i]))
+	}
+	return ^uint64(0)
+}
+
+// Dict exposes the string dictionary (nil for non-string columns).
+func (c *Column) Dict() *Dict { return c.dict }
+
+// Code returns the dictionary code at i for string columns; ok is false for
+// NULLs or non-string columns.
+func (c *Column) Code(i int) (uint32, bool) {
+	if c.Kind != KindString || c.IsNull(i) {
+		return 0, false
+	}
+	return c.codes[i], true
+}
+
+// IntAt returns the raw int payload at i; ok is false for NULLs or
+// non-integer columns.
+func (c *Column) IntAt(i int) (int64, bool) {
+	if (c.Kind != KindInt && c.Kind != KindBool) || c.IsNull(i) {
+		return 0, false
+	}
+	return c.ints[i], true
+}
+
+// MemoryBytes estimates the heap footprint of the column payload.
+func (c *Column) MemoryBytes() int64 {
+	var b int64
+	b += int64(len(c.ints)) * 8
+	b += int64(len(c.floats)) * 8
+	b += int64(len(c.codes)) * 4
+	b += int64(len(c.set)) * 8
+	if c.dict != nil {
+		for _, s := range c.dict.strs {
+			b += int64(len(s)) + 16
+		}
+	}
+	return b
+}
+
+func floatOrdinal(f float64) uint64 {
+	bits := floatBits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | (1 << 63)
+}
+
+// bitset is a simple fixed-size bitmap.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b *bitset) grow(n int) {
+	need := (n + 63) / 64
+	if need > len(*b) {
+		*b = append(*b, make([]uint64, need-len(*b))...)
+	}
+}
+
+func (b bitset) put(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }

@@ -1,0 +1,62 @@
+package storage
+
+import "sort"
+
+// Dict is an insertion-ordered string dictionary. Codes are dense uint32s in
+// insertion order; Rank provides the lexicographic rank of each code so that
+// dictionary-coded columns can be sorted without touching the strings.
+type Dict struct {
+	codes map[string]uint32
+	strs  []string
+	ranks []uint32 // lazily computed; invalidated on insert
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]uint32)}
+}
+
+// Code interns s and returns its code.
+func (d *Dict) Code(s string) uint32 {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := uint32(len(d.strs))
+	d.codes[s] = c
+	d.strs = append(d.strs, s)
+	d.ranks = nil
+	return c
+}
+
+// Lookup returns the code for s if it has been interned.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// String returns the string for code c.
+func (d *Dict) String(c uint32) string { return d.strs[c] }
+
+// Len returns the number of distinct strings interned.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// Rank returns the lexicographic rank of code c among all interned strings.
+// Sorting by Rank is equivalent to sorting by the decoded strings.
+func (d *Dict) Rank(c uint32) uint32 {
+	if d.ranks == nil {
+		d.computeRanks()
+	}
+	return d.ranks[c]
+}
+
+func (d *Dict) computeRanks() {
+	order := make([]uint32, len(d.strs))
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return d.strs[order[i]] < d.strs[order[j]] })
+	d.ranks = make([]uint32, len(d.strs))
+	for rank, code := range order {
+		d.ranks[code] = uint32(rank)
+	}
+}

@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.Code("alpha")
+	b := d.Code("beta")
+	if a == b {
+		t.Fatal("distinct strings share a code")
+	}
+	if d.Code("alpha") != a {
+		t.Error("re-interning changed the code")
+	}
+	if d.String(a) != "alpha" || d.String(b) != "beta" {
+		t.Error("decode mismatch")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Error("Lookup found an uninterned string")
+	}
+}
+
+func TestDictRankMatchesLexOrder(t *testing.T) {
+	f := func(words []string) bool {
+		d := NewDict()
+		for _, w := range words {
+			d.Code(w)
+		}
+		// Ranks must order codes identically to the strings.
+		codes := make([]uint32, d.Len())
+		for i := range codes {
+			codes[i] = uint32(i)
+		}
+		byRank := append([]uint32(nil), codes...)
+		sort.Slice(byRank, func(i, j int) bool { return d.Rank(byRank[i]) < d.Rank(byRank[j]) })
+		for i := 1; i < len(byRank); i++ {
+			if d.String(byRank[i-1]) > d.String(byRank[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictRankInvalidatedOnInsert(t *testing.T) {
+	d := NewDict()
+	z := d.Code("z")
+	if d.Rank(z) != 0 {
+		t.Fatal("single entry should have rank 0")
+	}
+	a := d.Code("a")
+	if d.Rank(a) != 0 || d.Rank(z) != 1 {
+		t.Error("ranks not recomputed after insert")
+	}
+}

@@ -1,0 +1,127 @@
+package storage
+
+import "fmt"
+
+// Example labels and property names used by the paper's running example
+// (Figure 1): a financial graph of Customer and Account vertices, Owns
+// edges, and Wire / Dir-Deposit transfer edges carrying amount, currency and
+// date properties.
+const (
+	LabelAccount  = "Account"
+	LabelCustomer = "Customer"
+	LabelOwns     = "O"
+	LabelWire     = "W"
+	LabelDeposit  = "DD"
+
+	PropAcc      = "acc"
+	PropCity     = "city"
+	PropName     = "name"
+	PropAmount   = "amt"
+	PropCurrency = "currency"
+	PropDate     = "date"
+)
+
+// ExampleGraph reconstructs the running example of the paper (Figure 1).
+//
+// The paper's figure does not list every edge endpoint; the topology below
+// satisfies every fact the text states explicitly:
+//
+//   - t13 is a Dir-Deposit from v2 to v5 (Example 7);
+//   - v2's incoming transfers are {t5, t6, t15, t17} and its outgoing
+//     transfers are {t7, t8, t13} (Section III-B2, "Redundant" discussion);
+//   - v5 has nine outgoing transfers, so a vertex-partitioned scan after
+//     matching t13 touches 9 edges (Example 7);
+//   - the MoneyFlow view (eb.date < eadj.date, eb.amt > eadj.amt,
+//     Destination-FW) stores exactly {t19} for t13 (Example 7);
+//   - t17 appears in the MoneyFlow lists of both t1 and t16 (Section
+//     III-B2's multiple-membership observation);
+//   - v1's forward edges are t4, t17, t18, t20 reaching v3, v2, v5, v4
+//     (Figure 3a);
+//   - ti.date < tj.date iff i < j (dates are the transfer's index).
+//
+// Vertices v1..v5 are Accounts (IDs 0..4) and v6..v8 are the Customers
+// Charles, Alice, Bob (IDs 5..7). Transfer ti has EdgeID i-1; Owns edges
+// follow the transfers.
+func ExampleGraph() *Graph {
+	g := NewGraph()
+
+	type vtx struct {
+		acc, city string
+	}
+	accounts := []vtx{
+		{"SV", "SF"},  // v1
+		{"CQ", "SF"},  // v2
+		{"SV", "BOS"}, // v3
+		{"CQ", "BOS"}, // v4
+		{"SV", "LA"},  // v5
+	}
+	for _, a := range accounts {
+		v := g.AddVertex(LabelAccount)
+		must(g.SetVertexProp(v, PropAcc, Str(a.acc)))
+		must(g.SetVertexProp(v, PropCity, Str(a.city)))
+	}
+	for _, name := range []string{"Charles", "Alice", "Bob"} {
+		v := g.AddVertex(LabelCustomer)
+		must(g.SetVertexProp(v, PropName, Str(name)))
+	}
+
+	type tfr struct {
+		src, dst VertexID // 0-based account IDs
+		label    string
+		amt      int64
+		currency string
+	}
+	// Transfer ti is transfers[i-1]; date = i.
+	transfers := []tfr{
+		{4, 0, LabelDeposit, 40, "$"},  // t1
+		{4, 3, LabelDeposit, 20, "£"},  // t2
+		{4, 0, LabelDeposit, 200, "$"}, // t3
+		{0, 2, LabelWire, 200, "€"},    // t4
+		{2, 1, LabelWire, 50, "$"},     // t5
+		{3, 1, LabelDeposit, 70, "$"},  // t6
+		{1, 2, LabelDeposit, 75, "$"},  // t7
+		{1, 3, LabelWire, 75, "$"},     // t8
+		{4, 2, LabelWire, 75, "$"},     // t9
+		{4, 3, LabelDeposit, 80, "$"},  // t10
+		{4, 3, LabelWire, 5, "€"},      // t11
+		{2, 3, LabelDeposit, 50, "$"},  // t12
+		{1, 4, LabelDeposit, 10, "£"},  // t13
+		{4, 0, LabelWire, 10, "$"},     // t14
+		{4, 1, LabelDeposit, 25, "$"},  // t15
+		{3, 0, LabelDeposit, 195, "$"}, // t16
+		{0, 1, LabelWire, 25, "€"},     // t17
+		{0, 4, LabelDeposit, 30, "€"},  // t18
+		{4, 2, LabelWire, 5, "£"},      // t19
+		{0, 3, LabelWire, 80, "$"},     // t20
+	}
+	for i, t := range transfers {
+		e, err := g.AddEdge(t.src, t.dst, t.label)
+		must(err)
+		must(g.SetEdgeProp(e, PropAmount, Int(t.amt)))
+		must(g.SetEdgeProp(e, PropCurrency, Str(t.currency)))
+		must(g.SetEdgeProp(e, PropDate, Int(int64(i+1))))
+	}
+
+	// Owns edges: Charles owns v3, v4; Alice owns v1, v2; Bob owns v5.
+	owns := [][2]VertexID{{5, 2}, {5, 3}, {6, 0}, {6, 1}, {7, 4}}
+	for _, o := range owns {
+		if _, err := g.AddEdge(o[0], o[1], LabelOwns); err != nil {
+			must(err)
+		}
+	}
+	return g
+}
+
+// Transfer returns the EdgeID of transfer ti in the example graph.
+func Transfer(i int) EdgeID {
+	if i < 1 || i > 20 {
+		panic(fmt.Sprintf("storage: no transfer t%d in the running example", i))
+	}
+	return EdgeID(i - 1)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

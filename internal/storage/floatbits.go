@@ -1,0 +1,5 @@
+package storage
+
+import "math"
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

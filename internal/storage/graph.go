@@ -1,0 +1,355 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an in-memory property graph. Vertices and edges are identified by
+// dense IDs; edge i's endpoints and label live at index i of the src/dst/
+// label arrays. The graph is mutable (AddVertex/AddEdge/DeleteEdge) to
+// support the index-maintenance experiments, but the engine is
+// read-optimized like GraphflowDB.
+type Graph struct {
+	catalog *Catalog
+
+	vertexLabels []LabelID
+
+	src        []VertexID
+	dst        []VertexID
+	edgeLabels []LabelID
+	deleted    bitset // tombstoned edges
+	numDeleted int
+
+	vertexProps map[string]*Column
+	edgeProps   map[string]*Column
+
+	// categorical encodings are cached per (entity, property) pair; they are
+	// invalidated on mutation of the underlying column.
+	catCache map[string]*Categorical
+}
+
+// NewGraph returns an empty graph with a fresh catalog.
+func NewGraph() *Graph {
+	return &Graph{
+		catalog:     NewCatalog(),
+		vertexProps: make(map[string]*Column),
+		edgeProps:   make(map[string]*Column),
+		catCache:    make(map[string]*Categorical),
+	}
+}
+
+// Catalog returns the graph's label catalog.
+func (g *Graph) Catalog() *Catalog { return g.catalog }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.vertexLabels) }
+
+// NumEdges returns the number of edge slots, including tombstoned edges.
+func (g *Graph) NumEdges() int { return len(g.src) }
+
+// NumLiveEdges returns the number of non-deleted edges.
+func (g *Graph) NumLiveEdges() int { return len(g.src) - g.numDeleted }
+
+// AddVertex appends a vertex with the given label name and returns its ID.
+func (g *Graph) AddVertex(label string) VertexID {
+	id := VertexID(len(g.vertexLabels))
+	g.vertexLabels = append(g.vertexLabels, g.catalog.VertexLabel(label))
+	return id
+}
+
+// AddVertices appends n vertices sharing one label and returns the first ID.
+func (g *Graph) AddVertices(n int, label string) VertexID {
+	first := VertexID(len(g.vertexLabels))
+	lid := g.catalog.VertexLabel(label)
+	for i := 0; i < n; i++ {
+		g.vertexLabels = append(g.vertexLabels, lid)
+	}
+	return first
+}
+
+// AddEdge appends an edge and returns its ID.
+func (g *Graph) AddEdge(src, dst VertexID, label string) (EdgeID, error) {
+	n := VertexID(len(g.vertexLabels))
+	if src >= n || dst >= n {
+		return 0, fmt.Errorf("storage: edge endpoints (%d,%d) out of range [0,%d)", src, dst, n)
+	}
+	id := EdgeID(len(g.src))
+	g.src = append(g.src, src)
+	g.dst = append(g.dst, dst)
+	g.edgeLabels = append(g.edgeLabels, g.catalog.EdgeLabel(label))
+	g.deleted.grow(len(g.src))
+	g.invalidateCategoricals()
+	return id, nil
+}
+
+// DeleteEdge tombstones an edge. It remains addressable but is excluded from
+// NumLiveEdges and index rebuilds.
+func (g *Graph) DeleteEdge(e EdgeID) error {
+	if int(e) >= len(g.src) {
+		return fmt.Errorf("storage: edge %d out of range", e)
+	}
+	if !g.deleted.has(int(e)) {
+		g.deleted.put(int(e))
+		g.numDeleted++
+	}
+	return nil
+}
+
+// EdgeDeleted reports whether e has been tombstoned.
+func (g *Graph) EdgeDeleted(e EdgeID) bool { return g.deleted.has(int(e)) }
+
+// VertexLabel returns the label of v.
+func (g *Graph) VertexLabel(v VertexID) LabelID { return g.vertexLabels[v] }
+
+// EdgeLabel returns the label of e.
+func (g *Graph) EdgeLabel(e EdgeID) LabelID { return g.edgeLabels[e] }
+
+// Src returns the source vertex of e.
+func (g *Graph) Src(e EdgeID) VertexID { return g.src[e] }
+
+// Dst returns the destination vertex of e.
+func (g *Graph) Dst(e EdgeID) VertexID { return g.dst[e] }
+
+// SetVertexProp sets a property on a vertex, creating the column on first
+// use with the kind of v.
+func (g *Graph) SetVertexProp(id VertexID, key string, v Value) error {
+	col, err := g.ensureColumn(g.vertexProps, key, v, g.NumVertices())
+	if err != nil {
+		return err
+	}
+	col.Grow(g.NumVertices())
+	return col.Set(int(id), v)
+}
+
+// SetEdgeProp sets a property on an edge, creating the column on first use.
+func (g *Graph) SetEdgeProp(id EdgeID, key string, v Value) error {
+	col, err := g.ensureColumn(g.edgeProps, key, v, g.NumEdges())
+	if err != nil {
+		return err
+	}
+	col.Grow(g.NumEdges())
+	g.invalidateCategoricals()
+	return col.Set(int(id), v)
+}
+
+func (g *Graph) ensureColumn(m map[string]*Column, key string, v Value, n int) (*Column, error) {
+	if col, ok := m[key]; ok {
+		return col, nil
+	}
+	if v.IsNull() {
+		return nil, fmt.Errorf("storage: cannot infer column kind for %q from NULL", key)
+	}
+	kind := v.Kind
+	col := NewColumn(key, kind, n)
+	m[key] = col
+	return col, nil
+}
+
+// VertexProp returns the value of a vertex property (NULL if absent).
+func (g *Graph) VertexProp(id VertexID, key string) Value {
+	if col, ok := g.vertexProps[key]; ok {
+		return col.Get(int(id))
+	}
+	return NullValue
+}
+
+// EdgeProp returns the value of an edge property (NULL if absent).
+func (g *Graph) EdgeProp(id EdgeID, key string) Value {
+	if col, ok := g.edgeProps[key]; ok {
+		return col.Get(int(id))
+	}
+	return NullValue
+}
+
+// VertexColumn returns the column backing a vertex property.
+func (g *Graph) VertexColumn(key string) (*Column, bool) {
+	c, ok := g.vertexProps[key]
+	return c, ok
+}
+
+// EdgeColumn returns the column backing an edge property.
+func (g *Graph) EdgeColumn(key string) (*Column, bool) {
+	c, ok := g.edgeProps[key]
+	return c, ok
+}
+
+// OutDegree returns the number of live out-edges of v. It is O(|E|) and is
+// meant for tests and stats, not the hot path (indexes answer degree queries
+// in O(1)).
+func (g *Graph) OutDegree(v VertexID) int {
+	n := 0
+	for i, s := range g.src {
+		if s == v && !g.deleted.has(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgDegree returns the average out-degree over live edges.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(g.NumLiveEdges()) / float64(g.NumVertices())
+}
+
+// MemoryBytes estimates the heap footprint of the graph's topology and
+// property columns.
+func (g *Graph) MemoryBytes() int64 {
+	b := int64(len(g.vertexLabels))*2 + int64(len(g.src))*4 + int64(len(g.dst))*4 + int64(len(g.edgeLabels))*2
+	for _, c := range g.vertexProps {
+		b += c.MemoryBytes()
+	}
+	for _, c := range g.edgeProps {
+		b += c.MemoryBytes()
+	}
+	return b
+}
+
+func (g *Graph) invalidateCategoricals() {
+	if len(g.catCache) > 0 {
+		g.catCache = make(map[string]*Categorical)
+	}
+}
+
+// Categorical is a dense small-integer encoding of a categorical property
+// (or label) used as a CSR partitioning level. Cardinality includes one
+// trailing bucket for NULL values (paper: "Edges with null property values
+// form a special partition").
+type Categorical struct {
+	// Codes[i] is the bucket of entity i, in [0, Cardinality).
+	Codes []uint16
+	// Cardinality is the number of buckets including the NULL bucket.
+	Cardinality int
+	// Values[b] is the representative value of bucket b (NULL for the last).
+	Values []Value
+}
+
+// NullBucket returns the bucket index reserved for NULL.
+func (c *Categorical) NullBucket() uint16 { return uint16(c.Cardinality - 1) }
+
+// BucketOf returns the bucket for value v, or false if v never occurs.
+func (c *Categorical) BucketOf(v Value) (uint16, bool) {
+	if v.IsNull() {
+		return c.NullBucket(), true
+	}
+	for b, rep := range c.Values {
+		if !rep.IsNull() && rep.Equal(v) {
+			return uint16(b), true
+		}
+	}
+	return 0, false
+}
+
+// EdgeLabelCategorical encodes edge labels as a partitioning level.
+func (g *Graph) EdgeLabelCategorical() *Categorical {
+	key := "edge\x00label"
+	if c, ok := g.catCache[key]; ok {
+		return c
+	}
+	card := g.catalog.NumEdgeLabels()
+	c := &Categorical{Codes: make([]uint16, len(g.edgeLabels)), Cardinality: card + 1}
+	for i, l := range g.edgeLabels {
+		c.Codes[i] = uint16(l)
+	}
+	c.Values = make([]Value, card+1)
+	for i := 0; i < card; i++ {
+		c.Values[i] = Str(g.catalog.EdgeLabelName(LabelID(i)))
+	}
+	g.catCache[key] = c
+	return c
+}
+
+// VertexLabelCategorical encodes vertex labels as a partitioning level.
+func (g *Graph) VertexLabelCategorical() *Categorical {
+	key := "vertex\x00label"
+	if c, ok := g.catCache[key]; ok {
+		return c
+	}
+	card := g.catalog.NumVertexLabels()
+	c := &Categorical{Codes: make([]uint16, len(g.vertexLabels)), Cardinality: card + 1}
+	for i, l := range g.vertexLabels {
+		c.Codes[i] = uint16(l)
+	}
+	c.Values = make([]Value, card+1)
+	for i := 0; i < card; i++ {
+		c.Values[i] = Str(g.catalog.VertexLabelName(LabelID(i)))
+	}
+	g.catCache[key] = c
+	return c
+}
+
+// EdgePropCategorical builds a categorical encoding of an edge property. The
+// property's distinct values are enumerated and mapped to dense codes; an
+// error is returned if there are more than 4096 distinct values, which would
+// make a partitioning level impractically wide (Section III-A1 restricts
+// partitioning to categorical properties mapped to small integers).
+func (g *Graph) EdgePropCategorical(key string) (*Categorical, error) {
+	return g.propCategorical("edge\x00"+key, g.edgeProps[key], g.NumEdges())
+}
+
+// VertexPropCategorical builds a categorical encoding of a vertex property.
+func (g *Graph) VertexPropCategorical(key string) (*Categorical, error) {
+	return g.propCategorical("vertex\x00"+key, g.vertexProps[key], g.NumVertices())
+}
+
+const maxCategoricalCardinality = 4096
+
+func (g *Graph) propCategorical(cacheKey string, col *Column, n int) (*Categorical, error) {
+	if c, ok := g.catCache[cacheKey]; ok {
+		return c, nil
+	}
+	if col == nil {
+		return nil, fmt.Errorf("storage: no such property column %q", cacheKey)
+	}
+	type bucketVal struct {
+		v Value
+	}
+	distinct := make(map[string]uint16)
+	var values []Value
+	codes := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		v := col.Get(i)
+		if v.IsNull() {
+			codes[i] = 0xffff // patched to the null bucket below
+			continue
+		}
+		k := v.String()
+		b, ok := distinct[k]
+		if !ok {
+			if len(values) >= maxCategoricalCardinality {
+				return nil, fmt.Errorf("storage: property %q has too many distinct values for a partitioning level", col.Key)
+			}
+			b = uint16(len(values))
+			distinct[k] = b
+			values = append(values, v)
+		}
+		codes[i] = b
+	}
+	// Re-map buckets into sorted value order so that partition iteration is
+	// deterministic regardless of insertion order.
+	order := make([]uint16, len(values))
+	for i := range order {
+		order[i] = uint16(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return values[order[i]].Compare(values[order[j]]) < 0 })
+	remap := make([]uint16, len(values))
+	sortedValues := make([]Value, len(values)+1)
+	for newB, oldB := range order {
+		remap[oldB] = uint16(newB)
+		sortedValues[newB] = values[oldB]
+	}
+	nullBucket := uint16(len(values))
+	for i := range codes {
+		if codes[i] == 0xffff {
+			codes[i] = nullBucket
+		} else {
+			codes[i] = remap[codes[i]]
+		}
+	}
+	c := &Categorical{Codes: codes, Cardinality: len(values) + 1, Values: sortedValues}
+	g.catCache[cacheKey] = c
+	return c, nil
+}

@@ -1,0 +1,306 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("Account")
+	b := g.AddVertex("Account")
+	c := g.AddVertex("Customer")
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.VertexLabel(a) != g.VertexLabel(b) {
+		t.Error("same label name mapped to different IDs")
+	}
+	if g.VertexLabel(a) == g.VertexLabel(c) {
+		t.Error("different labels mapped to same ID")
+	}
+
+	e, err := g.AddEdge(a, b, "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Src(e) != a || g.Dst(e) != b {
+		t.Error("edge endpoints wrong")
+	}
+	if _, err := g.AddEdge(a, 99, "W"); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+func TestGraphProperties(t *testing.T) {
+	g := NewGraph()
+	v := g.AddVertex("Account")
+	if err := g.SetVertexProp(v, "city", Str("SF")); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.VertexProp(v, "city"); !got.Equal(Str("SF")) {
+		t.Errorf("city = %v, want SF", got)
+	}
+	if got := g.VertexProp(v, "missing"); !got.IsNull() {
+		t.Errorf("missing prop = %v, want NULL", got)
+	}
+	// Kind mismatch is rejected.
+	if err := g.SetVertexProp(v, "city", Int(1)); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	// Properties on later vertices grow the column.
+	w := g.AddVertex("Account")
+	if err := g.SetVertexProp(w, "city", Str("LA")); err != nil {
+		t.Fatal(err)
+	}
+	if !g.VertexProp(v, "city").Equal(Str("SF")) {
+		t.Error("grow corrupted earlier value")
+	}
+}
+
+func TestGraphDeleteEdge(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("")
+	b := g.AddVertex("")
+	e, _ := g.AddEdge(a, b, "W")
+	if g.NumLiveEdges() != 1 {
+		t.Fatal("live edges")
+	}
+	if err := g.DeleteEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	if !g.EdgeDeleted(e) || g.NumLiveEdges() != 0 {
+		t.Error("tombstone not applied")
+	}
+	// Deleting twice is idempotent.
+	if err := g.DeleteEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLiveEdges() != 0 {
+		t.Error("double delete changed count")
+	}
+}
+
+func TestExampleGraphFacts(t *testing.T) {
+	g := ExampleGraph()
+	if g.NumVertices() != 8 {
+		t.Fatalf("NumVertices = %d, want 8", g.NumVertices())
+	}
+	if g.NumEdges() != 25 {
+		t.Fatalf("NumEdges = %d, want 25 (20 transfers + 5 owns)", g.NumEdges())
+	}
+	// t13 is v2 -> v5 (0-based: 1 -> 4) with label DD.
+	t13 := Transfer(13)
+	if g.Src(t13) != 1 || g.Dst(t13) != 4 {
+		t.Errorf("t13 endpoints = (%d,%d), want (1,4)", g.Src(t13), g.Dst(t13))
+	}
+	if g.Catalog().EdgeLabelName(g.EdgeLabel(t13)) != LabelDeposit {
+		t.Error("t13 should be a Dir-Deposit")
+	}
+	// v2 (ID 1) incoming = {t5,t6,t15,t17}, outgoing = {t7,t8,t13}.
+	var in, out []int
+	for i := 0; i < 20; i++ {
+		e := EdgeID(i)
+		if g.Dst(e) == 1 {
+			in = append(in, i+1)
+		}
+		if g.Src(e) == 1 {
+			out = append(out, i+1)
+		}
+	}
+	wantIn := []int{5, 6, 15, 17}
+	wantOut := []int{7, 8, 13}
+	if !equalInts(in, wantIn) {
+		t.Errorf("v2 incoming = %v, want %v", in, wantIn)
+	}
+	if !equalInts(out, wantOut) {
+		t.Errorf("v2 outgoing = %v, want %v", out, wantOut)
+	}
+	// v5 (ID 4) has 9 outgoing transfers.
+	if d := g.OutDegree(4); d != 9 {
+		t.Errorf("v5 out-degree = %d, want 9", d)
+	}
+	// Dates follow the transfer index.
+	for i := 1; i <= 20; i++ {
+		if got := g.EdgeProp(Transfer(i), PropDate); !got.Equal(Int(int64(i))) {
+			t.Errorf("t%d.date = %v, want %d", i, got, i)
+		}
+	}
+	// Alice's name property.
+	if !g.VertexProp(6, PropName).Equal(Str("Alice")) {
+		t.Error("v7 should be Alice")
+	}
+}
+
+func TestExampleGraphMoneyFlowFacts(t *testing.T) {
+	g := ExampleGraph()
+	// The MoneyFlow Destination-FW view for t13 must contain exactly t19:
+	// forward edges of v5 with a later date and a smaller amount than t13.
+	t13 := Transfer(13)
+	amt13 := g.EdgeProp(t13, PropAmount)
+	date13 := g.EdgeProp(t13, PropDate)
+	var members []int
+	for i := 1; i <= 20; i++ {
+		e := Transfer(i)
+		if g.Src(e) != g.Dst(t13) {
+			continue
+		}
+		if g.EdgeProp(e, PropDate).Compare(date13) > 0 && g.EdgeProp(e, PropAmount).Compare(amt13) < 0 {
+			members = append(members, i)
+		}
+	}
+	if !equalInts(members, []int{19}) {
+		t.Errorf("MoneyFlow(t13) = t%v, want [t19]", members)
+	}
+	// t17 is a MoneyFlow member for both t1 and t16.
+	for _, bound := range []int{1, 16} {
+		eb := Transfer(bound)
+		amtB := g.EdgeProp(eb, PropAmount)
+		dateB := g.EdgeProp(eb, PropDate)
+		t17 := Transfer(17)
+		if g.Src(t17) != g.Dst(eb) {
+			t.Fatalf("t17 is not adjacent to t%d's destination", bound)
+		}
+		if !(g.EdgeProp(t17, PropDate).Compare(dateB) > 0 && g.EdgeProp(t17, PropAmount).Compare(amtB) < 0) {
+			t.Errorf("t17 should satisfy the MoneyFlow predicate for t%d", bound)
+		}
+	}
+}
+
+func TestEdgeLabelCategorical(t *testing.T) {
+	g := ExampleGraph()
+	c := g.EdgeLabelCategorical()
+	if len(c.Codes) != g.NumEdges() {
+		t.Fatal("codes length mismatch")
+	}
+	// Cardinality = 4 interned labels ("", W, DD, O) + null bucket.
+	if c.Cardinality != g.Catalog().NumEdgeLabels()+1 {
+		t.Errorf("cardinality = %d", c.Cardinality)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if LabelID(c.Codes[i]) != g.EdgeLabel(EdgeID(i)) {
+			t.Fatalf("edge %d code mismatch", i)
+		}
+	}
+}
+
+func TestEdgePropCategorical(t *testing.T) {
+	g := ExampleGraph()
+	c, err := g.EdgePropCategorical(PropCurrency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Currencies are $, €, £ -> 3 distinct + null bucket.
+	if c.Cardinality != 4 {
+		t.Fatalf("cardinality = %d, want 4", c.Cardinality)
+	}
+	// Owns edges have no currency and must land in the null bucket.
+	ownsEdge := EdgeID(20)
+	if c.Codes[ownsEdge] != c.NullBucket() {
+		t.Error("owns edge not in null bucket")
+	}
+	// Bucket values are sorted, deterministic.
+	for b := 1; b < c.Cardinality-1; b++ {
+		if c.Values[b-1].Compare(c.Values[b]) >= 0 {
+			t.Error("bucket values not sorted")
+		}
+	}
+	// BucketOf round-trips.
+	for i := 1; i <= 20; i++ {
+		v := g.EdgeProp(Transfer(i), PropCurrency)
+		b, ok := c.BucketOf(v)
+		if !ok || b != c.Codes[Transfer(i)] {
+			t.Fatalf("BucketOf(%v) mismatch for t%d", v, i)
+		}
+	}
+}
+
+func TestCategoricalCacheInvalidation(t *testing.T) {
+	g := ExampleGraph()
+	c1, err := g.EdgePropCategorical(PropCurrency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := g.AddEdge(0, 1, LabelWire)
+	if err := g.SetEdgeProp(e, PropCurrency, Str("¥")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := g.EdgePropCategorical(PropCurrency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Error("categorical cache not invalidated after mutation")
+	}
+	if c2.Cardinality != 5 {
+		t.Errorf("new cardinality = %d, want 5", c2.Cardinality)
+	}
+}
+
+func TestColumnSortOrdinal(t *testing.T) {
+	col := NewColumn("x", KindInt, 4)
+	mustSet(t, col, 0, Int(-5))
+	mustSet(t, col, 1, Int(3))
+	// index 2 stays NULL
+	mustSet(t, col, 3, Int(0))
+	if !(col.SortOrdinal(0) < col.SortOrdinal(3) && col.SortOrdinal(3) < col.SortOrdinal(1)) {
+		t.Error("int ordinals not order-preserving")
+	}
+	if col.SortOrdinal(2) != ^uint64(0) {
+		t.Error("NULL ordinal should be max (nulls last)")
+	}
+}
+
+func TestColumnSortOrdinalStrings(t *testing.T) {
+	col := NewColumn("city", KindString, 3)
+	mustSet(t, col, 0, Str("SF"))
+	mustSet(t, col, 1, Str("BOS"))
+	mustSet(t, col, 2, Str("LA"))
+	if !(col.SortOrdinal(1) < col.SortOrdinal(2) && col.SortOrdinal(2) < col.SortOrdinal(0)) {
+		t.Error("string ordinals not lexicographic")
+	}
+}
+
+func TestColumnOrdinalQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		col := NewColumn("x", KindInt, 2)
+		col.Set(0, Int(a))
+		col.Set(1, Int(b))
+		switch {
+		case a < b:
+			return col.SortOrdinal(0) < col.SortOrdinal(1)
+		case a > b:
+			return col.SortOrdinal(0) > col.SortOrdinal(1)
+		}
+		return col.SortOrdinal(0) == col.SortOrdinal(1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	g := ExampleGraph()
+	if g.MemoryBytes() <= 0 {
+		t.Error("memory estimate should be positive")
+	}
+}
+
+func mustSet(t *testing.T, c *Column, i int, v Value) {
+	t.Helper()
+	if err := c.Set(i, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+// Package storage implements the property-graph storage substrate that the
+// A+ index subsystem is built on: vertex and edge tables, a label catalog,
+// and typed property columns with null tracking and dictionary-encoded
+// strings.
+//
+// The physical sizes follow the paper (Section IV-B): neighbour vertex IDs
+// are 4-byte integers and edge IDs are 8-byte integers, so memory accounting
+// of ID lists versus offset lists is directly comparable to the reported
+// numbers.
+package storage
+
+import "fmt"
+
+// VertexID identifies a vertex. IDs are assigned consecutively from 0, which
+// the CSR layout depends on (Section IV-B: "Vertex IDs are assigned
+// consecutively starting from 0").
+type VertexID uint32
+
+// EdgeID identifies an edge. Edge IDs are assigned consecutively from 0 in
+// insertion order; the paper's running example relies on insertion order
+// corresponding to the date order of transfers.
+type EdgeID uint64
+
+// LabelID identifies a vertex or edge label. Labels are categorical and map
+// to small integers (Section III-A1).
+type LabelID uint16
+
+// NoLabel is the label of vertices or edges that were given none.
+const NoLabel LabelID = 0
+
+// Kind enumerates the runtime types a property value can take.
+type Kind uint8
+
+const (
+	// KindNull is the kind of the zero Value.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindString is a dictionary-encoded string.
+	KindString
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed property value. The zero Value is NULL.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// NullValue is the NULL property value.
+var NullValue = Value{}
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float returns a float Value.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value {
+	v := Value{Kind: KindBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Compare orders two values. NULLs order last (the paper orders edges with
+// null sort-property values last). Numeric kinds compare numerically across
+// int/float; otherwise values of different kinds compare by kind.
+func (v Value) Compare(o Value) int {
+	if v.Kind == KindNull || o.Kind == KindNull {
+		switch {
+		case v.Kind == o.Kind:
+			return 0
+		case v.Kind == KindNull:
+			return 1 // nulls last
+		default:
+			return -1
+		}
+	}
+	if isNumeric(v.Kind) && isNumeric(o.Kind) {
+		a, b := v.asFloat(), o.asFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if v.Kind != o.Kind {
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindString:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+		return 0
+	case KindBool:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports whether two values compare equal.
+func (v Value) Equal(o Value) bool {
+	if v.IsNull() || o.IsNull() {
+		return false // SQL-style: NULL equals nothing
+	}
+	return v.Compare(o) == 0
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+func (v Value) asFloat() float64 {
+	if v.Kind == KindFloat {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(5), Int(5), 0},
+		{Int(1), Float(1.5), -1},
+		{Float(2.5), Int(2), 1},
+		{Str("BOS"), Str("SF"), -1},
+		{Str("SF"), Str("SF"), 0},
+		{Bool(false), Bool(true), -1},
+		{Int(1), NullValue, -1}, // nulls last
+		{NullValue, Int(1), 1},
+		{NullValue, NullValue, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareTransitiveOnInts(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := Int(a), Int(b), Int(c)
+		if va.Compare(vb) <= 0 && vb.Compare(vc) <= 0 {
+			return va.Compare(vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNullEqualsNothing(t *testing.T) {
+	if NullValue.Equal(NullValue) {
+		t.Error("NULL should not equal NULL")
+	}
+	if NullValue.Equal(Int(0)) || Int(0).Equal(NullValue) {
+		t.Error("NULL should not equal 0")
+	}
+}
+
+func TestFloatOrdinalMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a != a || b != b { // skip NaN
+			return true
+		}
+		if a < b {
+			return floatOrdinal(a) < floatOrdinal(b)
+		}
+		if a > b {
+			return floatOrdinal(a) > floatOrdinal(b)
+		}
+		return floatOrdinal(a) == floatOrdinal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": NullValue,
+		"42":   Int(42),
+		"SF":   Str("SF"),
+		"true": Bool(true),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindNull.String() != "null" {
+		t.Error("Kind.String mismatch")
+	}
+}

@@ -1,0 +1,122 @@
+// Package workload defines the three evaluation workloads of the paper:
+// labelled subgraph queries SQ1–SQ13 (Section V-B), the Twitter MagicRecs
+// recommendation queries MR1–MR3 (Section V-C1, Figure 4), and the
+// financial fraud-detection queries MF1–MF5 (Section V-C2/V-D, Figure 5).
+package workload
+
+import "fmt"
+
+// Query is a named openCypher query.
+type Query struct {
+	Name   string
+	Cypher string
+}
+
+// SQ returns the labelled subgraph query workload. Every query vertex and
+// edge carries a label (the Table II workload "also fixes vertex labels");
+// labels are assigned cyclically from the dataset's V0..V(i-1) / E0..E(j-1)
+// pools so that the same queries run against any G_{i,j}.
+func SQ(vLabels, eLabels int) []Query {
+	vl := func(i int) string { return fmt.Sprintf("V%d", i%max(vLabels, 1)) }
+	el := func(i int) string { return fmt.Sprintf("E%d", i%max(eLabels, 1)) }
+	return []Query{
+		{"SQ1", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)", vl(0), el(0), vl(1))},
+		{"SQ2", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)-[e2:%s]->(c:%s)", vl(0), el(0), vl(1), el(1), vl(0))},
+		{"SQ3", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)<-[e2:%s]-(c:%s)", vl(0), el(0), vl(1), el(0), vl(1))},
+		{"SQ4", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s), (a)-[e2:%s]->(c:%s), (a)-[e3:%s]->(d:%s)",
+			vl(0), el(0), vl(1), el(1), vl(0), el(0), vl(1))},
+		{"SQ5", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)-[e2:%s]->(c:%s)-[e3:%s]->(d:%s)",
+			vl(0), el(0), vl(1), el(1), vl(0), el(0), vl(1))},
+		{"SQ6", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s), (a)-[e2:%s]->(c:%s), (b)-[e3:%s]->(d:%s)",
+			vl(0), el(0), vl(1), el(1), vl(0), el(1), vl(1))},
+		{"SQ7", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s), (a)-[e2:%s]->(c:%s), (b)-[e3:%s]->(d:%s), (c)-[e4:%s]->(d)",
+			vl(0), el(0), vl(1), el(0), vl(1), el(1), vl(0), el(1))},
+		{"SQ8", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)-[e2:%s]->(c:%s), (c)-[e3:%s]->(a)",
+			vl(0), el(0), vl(0), el(0), vl(0), el(0))},
+		{"SQ9", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)-[e2:%s]->(c:%s), (c)-[e3:%s]->(a), (c)-[e4:%s]->(d:%s)",
+			vl(0), el(0), vl(0), el(0), vl(0), el(0), el(1), vl(1))},
+		{"SQ10", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)-[e2:%s]->(c:%s)-[e3:%s]->(d:%s), (d)-[e4:%s]->(a)",
+			vl(0), el(0), vl(1), el(0), vl(0), el(0), vl(1), el(0))},
+		{"SQ11", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)-[e2:%s]->(c:%s), (a)-[e3:%s]->(c), (b)-[e4:%s]->(d:%s), (c)-[e5:%s]->(d)",
+			vl(0), el(0), vl(0), el(0), vl(0), el(0), el(0), vl(0), el(0))},
+		{"SQ12", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)-[e2:%s]->(c:%s)-[e3:%s]->(d:%s)-[e4:%s]->(f:%s), (f)-[e5:%s]->(a)",
+			vl(0), el(0), vl(0), el(0), vl(0), el(0), vl(0), el(0), vl(0), el(0))},
+		{"SQ13", fmt.Sprintf("MATCH (a:%s)-[e1:%s]->(b:%s)-[e2:%s]->(c:%s)-[e3:%s]->(d:%s)-[e4:%s]->(f:%s)-[e5:%s]->(h:%s)",
+			vl(0), el(0), vl(1), el(1), vl(0), el(0), vl(1), el(1), vl(0), el(0), vl(1))},
+	}
+}
+
+// MR returns the MagicRecs workload (Figure 4): a user a1 recently followed
+// a2..ak (edges with time < alpha), and the queries look for their common
+// followers. a1MaxID > 0 anchors a1 to the first a1MaxID vertices; the
+// paper anchors MR3 on its larger datasets, and at this reproduction's
+// reduced scale (which preserves average degree, hence much higher density)
+// the anchor keeps all three queries' result sizes proportionate.
+func MR(alpha int64, a1MaxID int64) []Query {
+	qs := []Query{
+		{"MR1", fmt.Sprintf(
+			"MATCH a1-[e1]->a2, a3-[e2]->a2 WHERE e1.time < %d, e2.time < %d", alpha, alpha)},
+		{"MR2", fmt.Sprintf(
+			"MATCH a1-[e1]->a2, a1-[e2]->a3, a4-[e3]->a2, a4-[e4]->a3 WHERE e1.time < %d, e2.time < %d", alpha, alpha)},
+		{"MR3", fmt.Sprintf(
+			"MATCH a1-[e1]->a2, a1-[e2]->a3, a1-[e3]->a4, a5-[e4]->a2, a5-[e5]->a3, a5-[e6]->a4 "+
+				"WHERE e1.time < %d, e2.time < %d, e3.time < %d", alpha, alpha, alpha)},
+	}
+	if a1MaxID > 0 {
+		for i := range qs {
+			qs[i].Cypher += fmt.Sprintf(", a1.ID < %d", a1MaxID)
+		}
+	}
+	return qs
+}
+
+// MFParams parameterizes the fraud workload: Alpha is the "intermediate
+// cut" bound of Pf picked at 5% selectivity, City is MF4's β constant,
+// A3MaxID / A1MaxID anchor MF3 and MF5 as in Figure 5.
+type MFParams struct {
+	Alpha   int64
+	City    string
+	A3MaxID int64
+	A1MaxID int64
+}
+
+// pf renders Pf(ei, ej) = ei.date < ej.date, ei.amt > ej.amt,
+// ei.amt < ej.amt + alpha.
+func pf(ei, ej string, alpha int64) string {
+	return fmt.Sprintf("%s.date < %s.date, %s.amt > %s.amt, %s.amt < %s.amt + %d",
+		ei, ej, ei, ej, ei, ej, alpha)
+}
+
+// MF returns the fraud-detection workload (Figure 5).
+func MF(p MFParams) []Query {
+	return []Query{
+		{"MF1",
+			"MATCH a1-[e1]->a2-[e2]->a3-[e3]->a4-[e4]->a1 " +
+				"WHERE a1.acc = 'CQ', a2.acc = 'CQ', a3.acc = 'CQ', a4.acc = 'CQ', a2.city = a4.city"},
+		{"MF2",
+			"MATCH a1-[e1]->a2-[e2]->a3-[e3]->a4 " +
+				"WHERE a1.city = a2.city, a2.city = a3.city, a3.city = a4.city"},
+		{"MF3", fmt.Sprintf(
+			"MATCH a1-[e1]->a2, a1-[e2]->a3, a1-[e4]->a4, a3-[e3]->a5 "+
+				"WHERE a2.city = a4.city, a4.city = a5.city, a3.ID < %d, "+
+				"a1.acc = 'CQ', a2.acc = 'CQ', a3.acc = 'CQ', a4.acc = 'CQ', a5.acc = 'SV', %s",
+			p.A3MaxID, pf("e2", "e3", p.Alpha))},
+		{"MF4", fmt.Sprintf(
+			"MATCH a1-[e1]->a2-[e2]->a3, a1-[e3]->a4-[e4]->a5 "+
+				"WHERE a1.city = '%s', a2.city = a4.city, a2.acc = 'CQ', a3.acc = 'CQ', "+
+				"a4.acc = 'SV', a5.acc = 'SV', %s, %s",
+			p.City, pf("e1", "e2", p.Alpha), pf("e3", "e4", p.Alpha))},
+		{"MF5", fmt.Sprintf(
+			"MATCH a1-[e1]->a2-[e2]->a3-[e3]->a4-[e4]->a5 "+
+				"WHERE a1.ID < %d, a1.acc = 'CQ', a2.acc = 'CQ', a3.acc = 'CQ', a4.acc = 'CQ', a5.acc = 'CQ', "+
+				"%s, %s, %s",
+			p.A1MaxID, pf("e1", "e2", p.Alpha), pf("e2", "e3", p.Alpha), pf("e3", "e4", p.Alpha))},
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

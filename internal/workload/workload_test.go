@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/query"
+)
+
+func TestSQQueriesParseAndValidate(t *testing.T) {
+	for _, labels := range [][2]int{{1, 1}, {2, 4}, {8, 2}, {4, 2}, {12, 2}} {
+		qs := SQ(labels[0], labels[1])
+		if len(qs) != 13 {
+			t.Fatalf("SQ(%v) returned %d queries, want 13", labels, len(qs))
+		}
+		for _, q := range qs {
+			qg, err := query.Parse(q.Cypher)
+			if err != nil {
+				t.Errorf("%s (labels %v): %v\n%s", q.Name, labels, err, q.Cypher)
+				continue
+			}
+			// Every vertex and edge must carry a label (the Table II
+			// workload fixes both).
+			for _, v := range qg.Vertices {
+				if v.Label == "" {
+					t.Errorf("%s: unlabelled vertex %s", q.Name, v.Name)
+				}
+			}
+			for _, e := range qg.Edges {
+				if e.Label == "" {
+					t.Errorf("%s: unlabelled edge %s", q.Name, e.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestSQShapes(t *testing.T) {
+	qs := SQ(2, 2)
+	shapes := map[string]struct{ v, e int }{
+		"SQ1":  {2, 1},
+		"SQ2":  {3, 2},
+		"SQ5":  {4, 3},
+		"SQ7":  {4, 4}, // diamond
+		"SQ8":  {3, 3}, // triangle
+		"SQ10": {4, 4}, // square
+		"SQ12": {5, 5}, // 5-cycle
+		"SQ13": {6, 5}, // 5-path
+	}
+	for _, q := range qs {
+		want, ok := shapes[q.Name]
+		if !ok {
+			continue
+		}
+		qg, err := query.Parse(q.Cypher)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if len(qg.Vertices) != want.v || len(qg.Edges) != want.e {
+			t.Errorf("%s: shape (%d,%d), want (%d,%d)",
+				q.Name, len(qg.Vertices), len(qg.Edges), want.v, want.e)
+		}
+	}
+}
+
+func TestMRQueries(t *testing.T) {
+	qs := MR(12345, 100)
+	if len(qs) != 3 {
+		t.Fatalf("MR returned %d queries", len(qs))
+	}
+	for i, q := range qs {
+		qg, err := query.Parse(q.Cypher)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		// MRk has k recently-followed users: vertices = 1 + k + 1.
+		wantV := 3 + i
+		if i > 0 {
+			wantV = 2*(i+1) + 1 - i // MR2: 4, MR3: 5
+		}
+		switch q.Name {
+		case "MR1":
+			wantV = 3
+		case "MR2":
+			wantV = 4
+		case "MR3":
+			wantV = 5
+		}
+		if len(qg.Vertices) != wantV {
+			t.Errorf("%s: %d vertices, want %d", q.Name, len(qg.Vertices), wantV)
+		}
+		if !strings.Contains(q.Cypher, "a1.ID < 100") {
+			t.Errorf("%s: anchor missing", q.Name)
+		}
+		if !strings.Contains(q.Cypher, "e1.time < 12345") {
+			t.Errorf("%s: time predicate missing", q.Name)
+		}
+	}
+	// Without anchor.
+	for _, q := range MR(5, 0) {
+		if strings.Contains(q.Cypher, "a1.ID") {
+			t.Errorf("%s: unexpected anchor", q.Name)
+		}
+	}
+}
+
+func TestMFQueries(t *testing.T) {
+	qs := MF(MFParams{Alpha: 100, City: "C7", A3MaxID: 50, A1MaxID: 60})
+	if len(qs) != 5 {
+		t.Fatalf("MF returned %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if _, err := query.Parse(q.Cypher); err != nil {
+			t.Errorf("%s: %v\n%s", q.Name, err, q.Cypher)
+		}
+	}
+	// The banded Pf term must appear wherever Pf is used.
+	for _, name := range []string{"MF3", "MF4", "MF5"} {
+		var cy string
+		for _, q := range qs {
+			if q.Name == name {
+				cy = q.Cypher
+			}
+		}
+		if !strings.Contains(cy, "+ 100") {
+			t.Errorf("%s: banded alpha term missing", name)
+		}
+	}
+	// MF1 carries the city equality; MF2 chains three.
+	if !strings.Contains(qs[0].Cypher, "a2.city = a4.city") {
+		t.Error("MF1 city equality missing")
+	}
+	if strings.Count(qs[1].Cypher, ".city = ") != 3 {
+		t.Error("MF2 should chain three city equalities")
+	}
+}
