@@ -24,7 +24,8 @@ type Recommendation struct {
 // the combined footprint of the selection (0 = unlimited). The database is
 // left unchanged.
 func (db *DB) Advise(workload []string, budgetBytes int64) ([]Recommendation, error) {
-	if err := db.ensureStore(); err != nil {
+	s, err := db.ensureStore()
+	if err != nil {
 		return nil, err
 	}
 	var qs []*query.Graph
@@ -35,7 +36,7 @@ func (db *DB) Advise(workload []string, budgetBytes int64) ([]Recommendation, er
 		}
 		qs = append(qs, q)
 	}
-	cands, err := advisor.Recommend(db.store, qs, budgetBytes)
+	cands, err := advisor.Recommend(s, qs, budgetBytes)
 	if err != nil {
 		return nil, err
 	}

@@ -23,10 +23,33 @@
 //	acct, _ := db.AddVertex("Account", aplus.Props{"city": "SF"})
 //	db.AddEdge(alice, acct, "Owns", nil)
 //	n, _ := db.Count("MATCH (c:Customer)-[:Owns]->(a:Account) WHERE a.city = 'SF'")
+//
+// # Parallelism and thread safety
+//
+// Queries run with morsel-driven intra-query parallelism: the plan's root
+// scan is split into fixed-size ID ranges (morsels) dispensed to a pool of
+// Parallelism workers, each running the full operator pipeline. Count and
+// CountProfiled return bit-identical counts and merged ICost/PredEvals
+// metrics regardless of worker count; Query streams the same set of rows
+// but in a nondeterministic order when Parallelism != 1.
+//
+// Concurrent reads (Count, CountProfiled, Query, Explain, Stats,
+// VertexProp, EdgeProp) are safe from any number of goroutines. Writes
+// (AddVertex, AddEdge, DeleteEdge, Flush, Exec, DropIndex) are serialized
+// against reads by a coarse reader/writer lock on the index store and may
+// also be issued from multiple goroutines, though the interleaving between
+// writes is then unspecified. Advise is a write: it transiently builds and
+// drops trial indexes. Never call any DB method from inside a Query
+// callback: the callback runs under the store's read lock, and a nested
+// acquisition deadlocks once a writer is waiting. To read properties of a
+// matched row, use Row.VertexProp/Row.EdgeProp, which piggyback on the
+// running query's lock.
 package aplus
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"github.com/aplusdb/aplus/internal/exec"
 	"github.com/aplusdb/aplus/internal/index"
@@ -71,9 +94,22 @@ func (p PlannerOptions) mode() opt.Mode {
 type DB struct {
 	g     *storage.Graph
 	store *index.Store
+	// storeMu guards the store pointer (so the first queries racing on a
+	// freshly loaded DB construct the primary indexes exactly once) and,
+	// while no store exists yet, direct graph mutations.
+	storeMu sync.Mutex
 
 	// Planner controls the optimizer's plan space for subsequent queries.
 	Planner PlannerOptions
+
+	// Parallelism is the worker-pool size for query execution: 0 uses
+	// runtime.GOMAXPROCS(0), 1 forces the serial path, and any larger
+	// value pins the pool size.
+	Parallelism int
+
+	// MorselSize overrides the scan-range size handed to each worker
+	// (0 = exec.DefaultMorselSize). Exposed for tests and tuning.
+	MorselSize int
 }
 
 // New returns an empty database with the default index configuration
@@ -86,21 +122,73 @@ func New() *DB {
 // helpers and the experiment harness).
 func newFromGraph(g *storage.Graph) *DB { return &DB{g: g} }
 
-// ensureStore builds the primary indexes lazily after loading.
-func (db *DB) ensureStore() error {
+// ensureStore builds the primary indexes lazily after loading and returns
+// the store.
+func (db *DB) ensureStore() (*index.Store, error) {
+	db.storeMu.Lock()
+	defer db.storeMu.Unlock()
 	if db.store != nil {
-		return nil
+		return db.store, nil
 	}
 	s, err := index.NewStore(db.g, index.DefaultConfig())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	db.store = s
-	return nil
+	return s, nil
+}
+
+// getStore returns the store pointer (nil before the first query or DDL)
+// with the happens-before edge the lazy build requires.
+func (db *DB) getStore() *index.Store {
+	db.storeMu.Lock()
+	defer db.storeMu.Unlock()
+	return db.store
+}
+
+// readLocked runs f holding whichever lock makes graph reads consistent
+// with lock-serialized writes: the store's read lock once indexes exist,
+// storeMu before then (direct graph writes hold it). f receives the store
+// (nil before the first query or DDL).
+func (db *DB) readLocked(f func(s *index.Store)) {
+	db.storeMu.Lock()
+	s := db.store
+	if s == nil {
+		defer db.storeMu.Unlock()
+		f(nil)
+		return
+	}
+	db.storeMu.Unlock()
+	s.RLock()
+	defer s.RUnlock()
+	f(s)
+}
+
+// workers resolves the effective worker-pool size.
+func (db *DB) workers() int {
+	if db.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if db.Parallelism < 1 {
+		return 1
+	}
+	return db.Parallelism
+}
+
+func (db *DB) parallelOptions() exec.ParallelOptions {
+	return exec.ParallelOptions{Workers: db.workers(), MorselSize: db.MorselSize}
 }
 
 // AddVertex appends a vertex. label may be empty.
 func (db *DB) AddVertex(label string, props Props) (VertexID, error) {
+	db.storeMu.Lock()
+	defer db.storeMu.Unlock()
+	if db.store != nil {
+		// Queries read the vertex table and per-label lists under the
+		// store's read lock; vertex appends must exclude them.
+		db.store.Lock()
+		defer db.store.Unlock()
+	}
 	v := db.g.AddVertex(label)
 	for k, val := range props {
 		sv, err := toValue(val)
@@ -126,9 +214,12 @@ func (db *DB) AddEdge(src, dst VertexID, label string, props Props) (EdgeID, err
 		}
 		vals[k] = sv
 	}
-	if db.store != nil {
-		return db.store.InsertEdge(src, dst, label, vals)
+	db.storeMu.Lock()
+	if s := db.store; s != nil {
+		db.storeMu.Unlock()
+		return s.InsertEdge(src, dst, label, vals)
 	}
+	defer db.storeMu.Unlock()
 	e, err := db.g.AddEdge(src, dst, label)
 	if err != nil {
 		return 0, err
@@ -144,24 +235,28 @@ func (db *DB) AddEdge(src, dst VertexID, label string, props Props) (EdgeID, err
 // DeleteEdge tombstones an edge; the tombstone is merged out of the
 // indexes at the next buffer merge.
 func (db *DB) DeleteEdge(e EdgeID) error {
-	if db.store != nil {
-		return db.store.DeleteEdge(e)
+	db.storeMu.Lock()
+	if s := db.store; s != nil {
+		db.storeMu.Unlock()
+		return s.DeleteEdge(e)
 	}
+	defer db.storeMu.Unlock()
 	return db.g.DeleteEdge(e)
 }
 
 // Flush merges all pending index update buffers.
 func (db *DB) Flush() error {
-	if db.store == nil {
-		return nil
+	if s := db.getStore(); s != nil {
+		return s.Flush()
 	}
-	return db.store.Flush()
+	return nil
 }
 
 // Exec runs an index DDL command: RECONFIGURE PRIMARY INDEXES …,
 // CREATE 1-HOP VIEW …, or CREATE 2-HOP VIEW ….
 func (db *DB) Exec(ddl string) error {
-	if err := db.ensureStore(); err != nil {
+	s, err := db.ensureStore()
+	if err != nil {
 		return err
 	}
 	d, err := query.ParseDDL(ddl)
@@ -170,12 +265,12 @@ func (db *DB) Exec(ddl string) error {
 	}
 	switch d := d.(type) {
 	case query.Reconfigure:
-		return db.store.Reconfigure(d.Cfg)
+		return s.Reconfigure(d.Cfg)
 	case query.Create1Hop:
-		_, err := db.store.CreateVertexPartitioned(d.Def)
+		_, err := s.CreateVertexPartitioned(d.Def)
 		return err
 	case query.Create2Hop:
-		_, err := db.store.CreateEdgePartitioned(d.Def)
+		_, err := s.CreateEdgePartitioned(d.Def)
 		return err
 	default:
 		return fmt.Errorf("aplus: unsupported DDL")
@@ -184,16 +279,32 @@ func (db *DB) Exec(ddl string) error {
 
 // DropIndex removes a secondary index by view name.
 func (db *DB) DropIndex(name string) bool {
-	if db.store == nil {
-		return false
+	if s := db.getStore(); s != nil {
+		return s.DropIndex(name)
 	}
-	return db.store.DropIndex(name)
+	return false
 }
 
 // Row is one query match: variable name to matched entity ID.
 type Row struct {
+	db       *DB
 	Vertices map[string]VertexID
 	Edges    map[string]EdgeID
+}
+
+// VertexProp reads a property of a matched vertex. Use it (not
+// DB.VertexProp) inside a Query callback: it relies on the read lock the
+// running query already holds, where DB.VertexProp's own lock acquisition
+// would deadlock against a waiting writer. Do not call it after the
+// callback returns.
+func (r Row) VertexProp(v VertexID, key string) any {
+	return fromValue(r.db.g.VertexProp(v, key))
+}
+
+// EdgeProp reads a property of a matched edge; the Query-callback
+// counterpart of DB.EdgeProp (see Row.VertexProp).
+func (r Row) EdgeProp(e EdgeID, key string) any {
+	return fromValue(r.db.g.EdgeProp(e, key))
 }
 
 // Metrics reports the work a query execution performed.
@@ -213,24 +324,39 @@ func (db *DB) Count(cypher string) (int64, error) {
 	return n, err
 }
 
-// CountProfiled runs a query and also reports execution metrics.
+// CountProfiled runs a query and also reports execution metrics. The count
+// and the merged ICost/PredEvals are identical whatever Parallelism is.
 func (db *DB) CountProfiled(cypher string) (int64, Metrics, error) {
-	plan, rt, err := db.plan(cypher)
+	s, err := db.ensureStore()
 	if err != nil {
 		return 0, Metrics{}, err
 	}
-	n := plan.Count(rt)
+	s.RLock()
+	defer s.RUnlock()
+	plan, rt, err := db.planLocked(s, cypher)
+	if err != nil {
+		return 0, Metrics{}, err
+	}
+	n := plan.CountParallel(rt, db.parallelOptions())
 	return n, Metrics{ICost: rt.ICost, PredEvals: rt.PredEvals, EstimatedICost: plan.EstimatedICost}, nil
 }
 
-// Query streams matches to fn; returning false stops early.
+// Query streams matches to fn; returning false stops early. fn is never
+// called concurrently with itself, but with Parallelism != 1 rows arrive in
+// a nondeterministic order.
 func (db *DB) Query(cypher string, fn func(Row) bool) error {
-	plan, rt, err := db.plan(cypher)
+	s, err := db.ensureStore()
 	if err != nil {
 		return err
 	}
-	plan.Execute(rt, func(b *exec.Binding) bool {
-		row := Row{Vertices: make(map[string]VertexID), Edges: make(map[string]EdgeID)}
+	s.RLock()
+	defer s.RUnlock()
+	plan, rt, err := db.planLocked(s, cypher)
+	if err != nil {
+		return err
+	}
+	plan.ExecuteParallel(rt, db.parallelOptions(), func(b *exec.Binding) bool {
+		row := Row{db: db, Vertices: make(map[string]VertexID), Edges: make(map[string]EdgeID)}
 		for i, name := range plan.VertexNames {
 			row.Vertices[name] = b.V[i]
 		}
@@ -244,36 +370,45 @@ func (db *DB) Query(cypher string, fn func(Row) bool) error {
 
 // Explain returns the physical plan chosen for a query.
 func (db *DB) Explain(cypher string) (string, error) {
-	plan, _, err := db.plan(cypher)
+	s, err := db.ensureStore()
+	if err != nil {
+		return "", err
+	}
+	s.RLock()
+	defer s.RUnlock()
+	plan, _, err := db.planLocked(s, cypher)
 	if err != nil {
 		return "", err
 	}
 	return plan.Explain(), nil
 }
 
-func (db *DB) plan(cypher string) (*exec.Plan, *exec.Runtime, error) {
-	if err := db.ensureStore(); err != nil {
-		return nil, nil, err
-	}
+// planLocked parses and optimizes under the store's read lock (the
+// optimizer reads index metadata and statistics).
+func (db *DB) planLocked(s *index.Store, cypher string) (*exec.Plan, *exec.Runtime, error) {
 	q, err := query.Parse(cypher)
 	if err != nil {
 		return nil, nil, err
 	}
-	plan, err := opt.Optimize(db.store, q, db.Planner.mode())
+	plan, err := opt.Optimize(s, q, db.Planner.mode())
 	if err != nil {
 		return nil, nil, err
 	}
-	return plan, exec.NewRuntime(db.store), nil
+	return plan, exec.NewRuntime(s), nil
 }
 
 // VertexProp reads a vertex property (nil when absent).
 func (db *DB) VertexProp(v VertexID, key string) any {
-	return fromValue(db.g.VertexProp(v, key))
+	var out any
+	db.readLocked(func(*index.Store) { out = fromValue(db.g.VertexProp(v, key)) })
+	return out
 }
 
 // EdgeProp reads an edge property (nil when absent).
 func (db *DB) EdgeProp(e EdgeID, key string) any {
-	return fromValue(db.g.EdgeProp(e, key))
+	var out any
+	db.readLocked(func(*index.Store) { out = fromValue(db.g.EdgeProp(e, key)) })
+	return out
 }
 
 // Stats summarizes the database and index footprints.
@@ -288,18 +423,21 @@ type Stats struct {
 
 // Stats reports sizes; index fields are zero before the first query or DDL.
 func (db *DB) Stats() Stats {
-	st := Stats{
-		NumVertices: db.g.NumVertices(),
-		NumEdges:    db.g.NumLiveEdges(),
-		GraphBytes:  db.g.MemoryBytes(),
-	}
-	if db.store != nil {
-		is := db.store.Stats()
-		st.PrimaryLevelBytes = is.PrimaryLevels
-		st.PrimaryIDListBytes = is.PrimaryIDLists
-		st.SecondaryIndexBytes = is.SecondaryBytes
-		st.IndexedEdgesIncludingViews = is.IndexedEdges
-	}
+	var st Stats
+	db.readLocked(func(s *index.Store) {
+		st = Stats{
+			NumVertices: db.g.NumVertices(),
+			NumEdges:    db.g.NumLiveEdges(),
+			GraphBytes:  db.g.MemoryBytes(),
+		}
+		if s != nil {
+			is := s.StatsLocked()
+			st.PrimaryLevelBytes = is.PrimaryLevels
+			st.PrimaryIDListBytes = is.PrimaryIDLists
+			st.SecondaryIndexBytes = is.SecondaryBytes
+			st.IndexedEdgesIncludingViews = is.IndexedEdges
+		}
+	})
 	return st
 }
 

@@ -1,0 +1,211 @@
+package aplus
+
+import (
+	"sync"
+	"testing"
+)
+
+const parallelTestQuery = "MATCH (a:V0)-[e1:E0]->(b:V1)-[e2:E0]->(c:V0)"
+
+func parallelTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Generate(DatasetConfig{
+		NumVertices: 800, AvgDegree: 6,
+		VertexLabels: 2, EdgeLabels: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestParallelCountMatchesSerial asserts the public contract: identical
+// counts and identical merged metrics whatever the worker count.
+func TestParallelCountMatchesSerial(t *testing.T) {
+	db := parallelTestDB(t)
+	db.Parallelism = 1
+	want, wantM, err := db.CountProfiled(parallelTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("test query should match")
+	}
+	for _, workers := range []int{2, 4, 7} {
+		db.Parallelism = workers
+		got, m, err := db.CountProfiled(parallelTestQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: count = %d, want %d", workers, got, want)
+		}
+		if m.ICost != wantM.ICost || m.PredEvals != wantM.PredEvals {
+			t.Errorf("workers=%d: metrics = %+v, want %+v", workers, m, wantM)
+		}
+	}
+}
+
+// TestConcurrentCounts hammers the read path from many goroutines (run
+// under -race) while each query itself fans out over the worker pool.
+func TestConcurrentCounts(t *testing.T) {
+	db := parallelTestDB(t)
+	db.Parallelism = 2
+	want, err := db.Count(parallelTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := db.Count(parallelTestQuery)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if n != want {
+				t.Errorf("concurrent count = %d, want %d", n, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentReadsWithWrites interleaves queries with writes; the store's
+// RWMutex must keep every query on one consistent index snapshot.
+func TestConcurrentReadsWithWrites(t *testing.T) {
+	db := parallelTestDB(t)
+	db.Parallelism = 4
+	if _, err := db.Count(parallelTestQuery); err != nil { // build indexes
+		t.Fatal(err)
+	}
+	var readers sync.WaitGroup
+	stopWrites := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		n := VertexID(db.Stats().NumVertices)
+		for i := 0; ; i++ {
+			select {
+			case <-stopWrites:
+				return
+			default:
+			}
+			if _, err := db.AddEdge(VertexID(i)%n, VertexID(i*13+1)%n, "E0", nil); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%8 == 0 {
+				if _, err := db.AddVertex("V0", Props{"name": "w"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for j := 0; j < 4; j++ {
+				if _, err := db.Count(parallelTestQuery); err != nil {
+					t.Error(err)
+					return
+				}
+				db.Stats()
+				db.VertexProp(0, "name")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			seen := 0
+			err := db.Query(parallelTestQuery, func(r Row) bool {
+				r.VertexProp(r.Vertices["a"], "name") // in-callback prop read must not deadlock
+				seen++
+				return seen < 100 // exercise early termination under load
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	readers.Wait()
+	close(stopWrites)
+	<-writerDone
+}
+
+// TestQueryEarlyTermination checks the public streaming contract under
+// parallel execution: after fn returns false it is never called again.
+func TestQueryEarlyTermination(t *testing.T) {
+	db := parallelTestDB(t)
+	db.Parallelism = 4
+	db.MorselSize = 16
+	total, err := db.Count(parallelTestQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 9
+	if total <= limit {
+		t.Fatalf("need > %d matches, have %d", limit, total)
+	}
+	calls := 0
+	err = db.Query(parallelTestQuery, func(Row) bool {
+		calls++
+		return calls < limit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != limit {
+		t.Errorf("fn called %d times, want exactly %d", calls, limit)
+	}
+}
+
+// TestRowPropsInCallback checks that Row's lock-free property accessors
+// return the same values as the DB-level ones.
+func TestRowPropsInCallback(t *testing.T) {
+	db := New()
+	a, _ := db.AddVertex("V", Props{"name": "a"})
+	b, _ := db.AddVertex("V", Props{"name": "b"})
+	if _, err := db.AddEdge(a, b, "E", Props{"w": 3}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	err := db.Query("MATCH x-[e:E]->y", func(r Row) bool {
+		found = true
+		if got := r.VertexProp(r.Vertices["x"], "name"); got != "a" {
+			t.Errorf("VertexProp = %v, want a", got)
+		}
+		if got := r.EdgeProp(r.Edges["e"], "w"); got != int64(3) {
+			t.Errorf("EdgeProp = %v, want 3", got)
+		}
+		return true
+	})
+	if err != nil || !found {
+		t.Fatalf("query failed: %v found=%v", err, found)
+	}
+}
+
+// TestParallelismOnEmptyDB covers the zero-vertex morsel edge case through
+// the public API.
+func TestParallelismOnEmptyDB(t *testing.T) {
+	db := New()
+	db.Parallelism = 8
+	n, err := db.Count("MATCH (a)-[e]->(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("count on empty db = %d, want 0", n)
+	}
+}

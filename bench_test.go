@@ -11,7 +11,9 @@ package aplus
 // full scaled presets.
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"github.com/aplusdb/aplus/internal/harness"
@@ -95,6 +97,25 @@ func BenchmarkTable5Baselines(b *testing.B) {
 	}
 	b.ReportMetric(geoMeanSpeedup(rows, "TG", "D"), "D-vs-TG")
 	b.ReportMetric(geoMeanSpeedup(rows, "N4", "D"), "D-vs-N4")
+}
+
+// BenchmarkParallelScaling measures morsel-driven intra-query parallelism
+// on multi-hop Table II queries (scaled LiveJournal), reporting the
+// geometric-mean speedup of the widest worker pool over 1 worker as a
+// custom metric. On a multi-core machine the speedup approaches the core
+// count; on one core it stays ~1x, which doubles as a check that the
+// parallel path adds no serial regression.
+func BenchmarkParallelScaling(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4 // exercise a real pool even on small CI machines
+	}
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.ParallelScaling(harness.Options{Scale: benchScale, Verify: true, Workers: workers})
+	}
+	b.ReportMetric(geoMeanSpeedup(rows, "1w", fmt.Sprintf("%dw", workers)), "speedup-vs-1w")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkMaintenance regenerates the Section V-F insert-throughput

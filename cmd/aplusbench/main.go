@@ -3,13 +3,22 @@
 //
 // Usage:
 //
-//	aplusbench -exp table2 [-scale 0.5]
+//	aplusbench -exp table2 [-scale 0.5] [-workers 8] [-json rows.json]
 //	aplusbench -exp all
 //
-// Experiments: table1, table2, table3, table4, table5, maintenance, all.
+// Experiments: table1, table2, table3, table4, table5, maintenance,
+// parallel, all.
+//
+// -workers runs every query through the morsel-driven parallel executor
+// with that pool size (0 = serial, matching the paper's single-threaded
+// runs). The parallel experiment is the exception: it always sweeps
+// 1..max(workers, GOMAXPROCS) worker counts, since a scaling curve needs
+// more than one. -json dumps every measured row as a machine-readable
+// JSON array for trajectory tracking across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +27,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|parallel|all")
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
 	verify := flag.Bool("verify", true, "cross-check counts across configurations")
+	workers := flag.Int("workers", 0, "query worker-pool size (0 = serial, N = morsel-driven with N workers)")
+	jsonPath := flag.String("json", "", "write all measured rows to this file as JSON")
 	flag.Parse()
 
-	o := harness.Options{Out: os.Stdout, Scale: *scale, Verify: *verify}
+	o := harness.Options{Out: os.Stdout, Scale: *scale, Verify: *verify, Workers: *workers}
 	run := map[string]func(harness.Options) []harness.Row{
 		"table1":      harness.Table1,
 		"table2":      harness.Table2,
@@ -31,18 +42,32 @@ func main() {
 		"table4":      harness.Table4,
 		"table5":      harness.Table5,
 		"maintenance": harness.Maintenance,
+		"parallel":    harness.ParallelScaling,
 	}
+	var rows []harness.Row
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "maintenance"} {
-			run[name](o)
+		for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "maintenance", "parallel"} {
+			rows = append(rows, run[name](o)...)
 		}
-		return
+	} else {
+		f, ok := run[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			flag.Usage()
+			os.Exit(2)
+		}
+		rows = f(o)
 	}
-	f, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal rows: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d rows to %s\n", len(rows), *jsonPath)
 	}
-	f(o)
 }

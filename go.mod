@@ -1,0 +1,3 @@
+module github.com/aplusdb/aplus
+
+go 1.22

@@ -27,10 +27,25 @@ type ScanVertexOp struct {
 }
 
 func (o *ScanVertexOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+	return o.runRange(rt, b, 0, o.tableSize(rt), next)
+}
+
+// tableSize reports the number of scan positions (partitionableOp).
+func (o *ScanVertexOp) tableSize(rt *Runtime) int {
+	if o.ExactID != nil {
+		return 1
+	}
+	if o.HasLabel {
+		return len(rt.G.VerticesWithLabel(o.Label))
+	}
+	return rt.G.NumVertices()
+}
+
+// runRange scans positions [lo, hi) of the vertex table — or, when a label
+// is fixed, of the per-label vertex list, so unlabeled vertices are never
+// touched (partitionableOp).
+func (o *ScanVertexOp) runRange(rt *Runtime, b *Binding, lo, hi int, next func() bool) bool {
 	tryOne := func(v storage.VertexID) bool {
-		if o.HasLabel && rt.G.VertexLabel(v) != o.Label {
-			return true
-		}
 		b.V[o.Slot] = v
 		if !evalAll(rt, b, o.Terms) {
 			return true
@@ -38,12 +53,26 @@ func (o *ScanVertexOp) run(rt *Runtime, b *Binding, next func() bool) bool {
 		return next()
 	}
 	if o.ExactID != nil {
+		if lo > 0 || hi < 1 {
+			return true
+		}
 		if int(*o.ExactID) >= rt.G.NumVertices() {
+			return true
+		}
+		if o.HasLabel && rt.G.VertexLabel(*o.ExactID) != o.Label {
 			return true
 		}
 		return tryOne(*o.ExactID)
 	}
-	for v := 0; v < rt.G.NumVertices(); v++ {
+	if o.HasLabel {
+		for _, v := range rt.G.VerticesWithLabel(o.Label)[lo:hi] {
+			if !tryOne(v) {
+				return false
+			}
+		}
+		return true
+	}
+	for v := lo; v < hi; v++ {
 		if !tryOne(storage.VertexID(v)) {
 			return false
 		}
@@ -77,6 +106,19 @@ type ScanEdgeOp struct {
 }
 
 func (o *ScanEdgeOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+	return o.runRange(rt, b, 0, o.tableSize(rt), next)
+}
+
+// tableSize reports the number of scan positions (partitionableOp).
+func (o *ScanEdgeOp) tableSize(rt *Runtime) int {
+	if o.ExactID != nil {
+		return 1
+	}
+	return rt.G.NumEdges()
+}
+
+// runRange scans edge slots [lo, hi) of the edge table (partitionableOp).
+func (o *ScanEdgeOp) runRange(rt *Runtime, b *Binding, lo, hi int, next func() bool) bool {
 	tryOne := func(e storage.EdgeID) bool {
 		if rt.G.EdgeDeleted(e) {
 			return true
@@ -93,12 +135,15 @@ func (o *ScanEdgeOp) run(rt *Runtime, b *Binding, next func() bool) bool {
 		return next()
 	}
 	if o.ExactID != nil {
+		if lo > 0 || hi < 1 {
+			return true
+		}
 		if int(*o.ExactID) >= rt.G.NumEdges() {
 			return true
 		}
 		return tryOne(*o.ExactID)
 	}
-	for e := 0; e < rt.G.NumEdges(); e++ {
+	for e := lo; e < hi; e++ {
 		if !tryOne(storage.EdgeID(e)) {
 			return false
 		}

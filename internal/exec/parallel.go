@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselSize is the number of root-scan positions handed to a worker
+// at a time. Morsels are small enough to balance skewed pipelines (one hub
+// vertex can dominate a morsel) and large enough to amortize the shared
+// cursor increment.
+const DefaultMorselSize = 1024
+
+// partitionableOp is implemented by root operators whose input is a dense
+// table of scan positions that can be split into independent ranges
+// (morsels). Only the first operator of a plan is ever partitioned; the
+// rest of the pipeline runs unchanged inside each worker.
+type partitionableOp interface {
+	Op
+	// tableSize returns the number of scan positions.
+	tableSize(rt *Runtime) int
+	// runRange behaves like run restricted to scan positions [lo, hi).
+	// Running every range of a partition of [0, tableSize) exactly once
+	// produces the same multiset of extensions as run.
+	runRange(rt *Runtime, b *Binding, lo, hi int, next func() bool) bool
+}
+
+var (
+	_ partitionableOp = (*ScanVertexOp)(nil)
+	_ partitionableOp = (*ScanEdgeOp)(nil)
+)
+
+// ParallelOptions configure morsel-driven execution.
+type ParallelOptions struct {
+	// Workers is the worker-pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// MorselSize is the scan-range size per work unit; <= 0 means
+	// DefaultMorselSize.
+	MorselSize int
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o ParallelOptions) morsel() int {
+	if o.MorselSize <= 0 {
+		return DefaultMorselSize
+	}
+	return o.MorselSize
+}
+
+// CountParallel executes the plan with a morsel-driven worker pool and
+// returns the number of matches. Each worker runs the full operator
+// pipeline over its own Binding and Runtime; per-worker ICost/PredEvals are
+// merged into rt after the barrier. Because every morsel is processed
+// exactly once and the counters are sums, the count and merged metrics are
+// bit-identical to the serial path regardless of worker count. Plans whose
+// root operator is not partitionable fall back to the serial path.
+func (p *Plan) CountParallel(rt *Runtime, o ParallelOptions) int64 {
+	workers := o.workers()
+	if workers <= 1 {
+		return p.Count(rt)
+	}
+	// One count per cache line: workers increment their slot once per
+	// match, and adjacent int64s would ping-pong the line between cores.
+	type paddedCount struct {
+		n int64
+		_ [56]byte
+	}
+	counts := make([]paddedCount, workers)
+	ran := p.runMorsels(rt, o, workers, func(w int) func(*Binding) bool {
+		return func(*Binding) bool {
+			counts[w].n++
+			return true
+		}
+	})
+	if !ran {
+		return p.Count(rt)
+	}
+	var n int64
+	for i := range counts {
+		n += counts[i].n
+	}
+	return n
+}
+
+// ExecuteParallel streams complete matches into emit from a morsel-driven
+// worker pool. Calls to emit are serialized (emit never runs concurrently
+// with itself) but arrive in a nondeterministic order; the binding passed
+// to emit is worker-owned and reused — copy it if retaining. Returning
+// false from emit stops all workers: no further emit calls occur, though
+// in-flight workers may still read the indexes briefly before parking.
+// Plans whose root operator is not partitionable fall back to the serial
+// path.
+func (p *Plan) ExecuteParallel(rt *Runtime, o ParallelOptions, emit func(*Binding) bool) {
+	workers := o.workers()
+	if workers <= 1 {
+		p.Execute(rt, emit)
+		return
+	}
+	var mu sync.Mutex
+	stopped := false
+	ran := p.runMorsels(rt, o, workers, func(int) func(*Binding) bool {
+		return func(b *Binding) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if stopped {
+				return false
+			}
+			if !emit(b) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+	})
+	if !ran {
+		p.Execute(rt, emit)
+	}
+}
+
+// runMorsels partitions the root scan into morsels dispensed from a shared
+// cursor and runs the tail pipeline in workers goroutines. sinkFor returns
+// the terminal emit for one worker; it must be safe for that worker's
+// exclusive use. It returns false (without spawning anything) when the
+// plan's root is not partitionable, signalling a serial fallback.
+func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, sinkFor func(w int) func(*Binding) bool) bool {
+	if len(p.Ops) == 0 {
+		return false
+	}
+	root, ok := p.Ops[0].(partitionableOp)
+	if !ok {
+		return false
+	}
+	size := root.tableSize(rt)
+	morsel := o.morsel()
+	numMorsels := (size + morsel - 1) / morsel
+	if workers > numMorsels {
+		workers = numMorsels
+	}
+	var (
+		cursor atomic.Int64
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+	)
+	rts := make([]*Runtime, workers)
+	for w := 0; w < workers; w++ {
+		wrt := &Runtime{Store: rt.Store, G: rt.G}
+		rts[w] = wrt
+		emit := sinkFor(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := NewBinding(p.NumV, p.NumE)
+			var runFrom func(i int) bool
+			runFrom = func(i int) bool {
+				if i == len(p.Ops) {
+					return emit(b)
+				}
+				return p.Ops[i].run(wrt, b, func() bool { return runFrom(i + 1) })
+			}
+			for !stop.Load() {
+				m := int(cursor.Add(1)) - 1
+				if m >= numMorsels {
+					return
+				}
+				lo := m * morsel
+				hi := lo + morsel
+				if hi > size {
+					hi = size
+				}
+				if !root.runRange(wrt, b, lo, hi, func() bool { return runFrom(1) }) {
+					// The pipeline aborted: emit returned false. Park the
+					// whole pool.
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, wrt := range rts {
+		rt.ICost += wrt.ICost
+		rt.PredEvals += wrt.PredEvals
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// chainGraph builds a deterministic pseudo-random labeled graph and a
+// two-hop plan over it (scan a, extend to b, extend to c).
+func chainGraph(t *testing.T, numV, degree int) (*index.Store, *Plan) {
+	t.Helper()
+	g := storage.NewGraph()
+	for i := 0; i < numV; i++ {
+		g.AddVertex(fmt.Sprintf("V%d", i%3))
+	}
+	for i := 0; i < numV; i++ {
+		for d := 0; d < degree; d++ {
+			dst := storage.VertexID((i*31 + d*17 + 7) % numV)
+			if _, err := g.AddEdge(storage.VertexID(i), dst, "E"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s, err := index.NewStore(g, index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eCodes, ok := s.Primary().ResolveCodes([]storage.Value{storage.Str("E")})
+	if !ok {
+		t.Fatal("label E should resolve")
+	}
+	lbl, _ := g.Catalog().LookupVertexLabel("V1")
+	plan := &Plan{
+		NumV: 3, NumE: 2,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0, HasLabel: true, Label: lbl},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{{
+				Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, Codes: eCodes, EdgeSlot: 0,
+			}}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{{
+				Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, Codes: eCodes, EdgeSlot: 1,
+			}}},
+		},
+	}
+	return s, plan
+}
+
+func TestCountParallelMatchesSerial(t *testing.T) {
+	s, plan := chainGraph(t, 211, 4)
+	serial := NewRuntime(s)
+	want := plan.Count(serial)
+	if want == 0 {
+		t.Fatal("test graph should produce matches")
+	}
+	for _, tc := range []ParallelOptions{
+		{Workers: 2},
+		{Workers: 3, MorselSize: 1},
+		{Workers: 8, MorselSize: 7},
+		{Workers: 4, MorselSize: 1 << 20}, // morsel larger than the table
+		{Workers: 64},                     // more workers than morsels
+	} {
+		rt := NewRuntime(s)
+		got := plan.CountParallel(rt, tc)
+		if got != want {
+			t.Errorf("%+v: count = %d, want %d", tc, got, want)
+		}
+		if rt.ICost != serial.ICost {
+			t.Errorf("%+v: merged ICost = %d, want %d", tc, rt.ICost, serial.ICost)
+		}
+		if rt.PredEvals != serial.PredEvals {
+			t.Errorf("%+v: merged PredEvals = %d, want %d", tc, rt.PredEvals, serial.PredEvals)
+		}
+	}
+}
+
+func TestCountParallelEmptyGraph(t *testing.T) {
+	g := storage.NewGraph()
+	s, err := index.NewStore(g, index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{NumV: 1, Ops: []Op{&ScanVertexOp{Slot: 0}}}
+	rt := NewRuntime(s)
+	if got := plan.CountParallel(rt, ParallelOptions{Workers: 4}); got != 0 {
+		t.Errorf("count on empty graph = %d, want 0", got)
+	}
+	if rt.ICost != 0 {
+		t.Errorf("ICost on empty graph = %d, want 0", rt.ICost)
+	}
+}
+
+func TestExecuteParallelEarlyTermination(t *testing.T) {
+	s, plan := chainGraph(t, 211, 4)
+	total := plan.Count(NewRuntime(s))
+	const limit = 5
+	if total <= limit {
+		t.Fatalf("need > %d matches, have %d", limit, total)
+	}
+	emits := 0
+	plan.ExecuteParallel(NewRuntime(s), ParallelOptions{Workers: 4, MorselSize: 8}, func(*Binding) bool {
+		emits++
+		return emits < limit
+	})
+	if emits != limit {
+		t.Errorf("emit called %d times, want exactly %d (no emits after false)", emits, limit)
+	}
+}
+
+func TestExecuteParallelSeesEveryMatch(t *testing.T) {
+	s, plan := chainGraph(t, 97, 3)
+	type match [3]storage.VertexID
+	serial := map[match]int{}
+	plan.Execute(NewRuntime(s), func(b *Binding) bool {
+		serial[match{b.V[0], b.V[1], b.V[2]}]++
+		return true
+	})
+	par := map[match]int{}
+	plan.ExecuteParallel(NewRuntime(s), ParallelOptions{Workers: 4, MorselSize: 3}, func(b *Binding) bool {
+		par[match{b.V[0], b.V[1], b.V[2]}]++
+		return true
+	})
+	if len(par) != len(serial) {
+		t.Fatalf("parallel saw %d distinct matches, serial %d", len(par), len(serial))
+	}
+	for m, n := range serial {
+		if par[m] != n {
+			t.Errorf("match %v: parallel multiplicity %d, serial %d", m, par[m], n)
+		}
+	}
+}
+
+func TestScanEdgeRunRange(t *testing.T) {
+	s, _ := chainGraph(t, 50, 2)
+	plan := &Plan{
+		NumV: 2, NumE: 1,
+		Ops: []Op{&ScanEdgeOp{EdgeSlot: 0, SrcSlot: 0, DstSlot: 1}},
+	}
+	want := plan.Count(NewRuntime(s))
+	if want != int64(s.Graph().NumLiveEdges()) {
+		t.Fatalf("serial edge scan = %d, want %d", want, s.Graph().NumLiveEdges())
+	}
+	if got := plan.CountParallel(NewRuntime(s), ParallelOptions{Workers: 3, MorselSize: 11}); got != want {
+		t.Errorf("parallel edge scan = %d, want %d", got, want)
+	}
+}

@@ -31,6 +31,9 @@ type Options struct {
 	// Verify cross-checks result counts across configurations and panics
 	// on disagreement; it is cheap relative to the runs themselves.
 	Verify bool
+	// Workers is the morsel-driven worker-pool size used for every query
+	// run (<= 1 means the serial path).
+	Workers int
 }
 
 func (o Options) scale() float64 {
@@ -64,8 +67,9 @@ type Row struct {
 	IndexedEdges int64
 }
 
-// measured runs one query under a mode and returns its row fields.
-func measure(s *index.Store, mode opt.Mode, q workload.Query) (float64, int64, int64, error) {
+// measure runs one query under a mode (with workers > 1, through the
+// morsel-driven parallel path) and returns its row fields.
+func measure(s *index.Store, mode opt.Mode, q workload.Query, workers int) (float64, int64, int64, error) {
 	qg, err := query.Parse(q.Cypher)
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("%s: %w", q.Name, err)
@@ -76,7 +80,12 @@ func measure(s *index.Store, mode opt.Mode, q workload.Query) (float64, int64, i
 	}
 	rt := exec.NewRuntime(s)
 	start := time.Now()
-	n := plan.Count(rt)
+	var n int64
+	if workers > 1 {
+		n = plan.CountParallel(rt, exec.ParallelOptions{Workers: workers})
+	} else {
+		n = plan.Count(rt)
+	}
 	return time.Since(start).Seconds(), n, rt.ICost, nil
 }
 

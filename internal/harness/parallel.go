@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/aplusdb/aplus/internal/gen"
+	"github.com/aplusdb/aplus/internal/opt"
+	"github.com/aplusdb/aplus/internal/workload"
+)
+
+// ParallelScaling measures morsel-driven intra-query speedup: multi-hop
+// Table II queries on labeled LiveJournal under 1, 2, ..., Workers workers
+// on one store. Unlike the table experiments, Workers here is the sweep's
+// upper end, not a per-query setting: a scaling curve needs several worker
+// counts, so Workers <= 1 sweeps up to GOMAXPROCS instead of running
+// serially. Counts and i-cost must agree exactly across worker counts
+// (the parallel path's correctness contract); runtimes show the scaling.
+// Config names are "1w", "2w", ... so speedups read against the "1w" base.
+func ParallelScaling(o Options) []Row {
+	w := o.out()
+	header(w, "Parallel scaling: morsel-driven execution (speedup vs 1 worker)")
+	maxWorkers := o.Workers
+	if maxWorkers <= 1 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	var workerCounts []int
+	for n := 1; n < maxWorkers; n *= 2 {
+		workerCounts = append(workerCounts, n)
+	}
+	workerCounts = append(workerCounts, maxWorkers)
+
+	base := gen.LiveJournal
+	g := gen.Build(scaled(base.WithLabels(2, 4), o.scale()))
+	s := buildStore(g, ConfigD())
+	queries := pickQueries(workload.SQ(2, 4), "SQ2", "SQ5", "SQ8")
+
+	var rows []Row
+	counts := map[string]map[string]int64{}
+	baselines := map[string]Row{}
+	for _, workers := range workerCounts {
+		cfg := fmt.Sprintf("%dw", workers)
+		counts[cfg] = map[string]int64{}
+		for _, q := range queries {
+			secs, n, icost, err := measure(s, opt.ModeDefault, q, workers)
+			if err != nil {
+				panic(err)
+			}
+			counts[cfg][q.Name] = n
+			r := Row{
+				Table: "parallel", Dataset: base.Name + dsSuffix(2, 4),
+				Config: cfg, Query: q.Name,
+				Seconds: secs, Count: n, ICost: icost,
+			}
+			rows = append(rows, r)
+			if workers == 1 {
+				baselines[q.Name] = r
+				printRow(w, r, nil)
+			} else {
+				b := baselines[q.Name]
+				printRow(w, r, &b)
+			}
+		}
+	}
+	if o.Verify {
+		verifyCounts("parallel", counts)
+		verifyICosts(rows)
+	}
+	return rows
+}
+
+// pickQueries filters a workload by name.
+func pickQueries(qs []workload.Query, names ...string) []workload.Query {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []workload.Query
+	for _, q := range qs {
+		if want[q.Name] {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// verifyICosts panics when worker counts disagree on a query's i-cost —
+// the morsel partition must not change the total list entries read.
+func verifyICosts(rows []Row) {
+	ref := map[string]int64{}
+	for _, r := range rows {
+		if prev, ok := ref[r.Query]; ok {
+			if r.ICost != prev {
+				panic(fmt.Sprintf("parallel: %s %s i-cost %d disagrees with %d", r.Config, r.Query, r.ICost, prev))
+			}
+		} else {
+			ref[r.Query] = r.ICost
+		}
+	}
+}

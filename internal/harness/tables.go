@@ -63,7 +63,7 @@ func Table2(o Options) []Row {
 			ir := time.Since(startIR).Seconds()
 			counts[c.name] = map[string]int64{}
 			for _, q := range queries {
-				secs, n, icost, err := measure(s, opt.ModeDefault, q)
+				secs, n, icost, err := measure(s, opt.ModeDefault, q, o.Workers)
 				if err != nil {
 					panic(err)
 				}
@@ -124,7 +124,7 @@ func Table3(o Options) []Row {
 		var baselines = map[string]Row{}
 		memD := memMB(s)
 		for _, q := range queries {
-			secs, n, icost, err := measure(s, opt.ModeDefault, q)
+			secs, n, icost, err := measure(s, opt.ModeDefault, q, o.Workers)
 			if err != nil {
 				panic(err)
 			}
@@ -141,7 +141,7 @@ func Table3(o Options) []Row {
 		}
 		ic := time.Since(startIC).Seconds()
 		for _, q := range queries {
-			secs, n, icost, err := measure(s, opt.ModeDefault, q)
+			secs, n, icost, err := measure(s, opt.ModeDefault, q, o.Workers)
 			if err != nil {
 				panic(err)
 			}
@@ -187,7 +187,7 @@ func Table4(o Options) []Row {
 			counts[name] = map[string]int64{}
 			st := s.Stats()
 			for _, q := range queries {
-				secs, n, icost, err := measure(s, opt.ModeDefault, q)
+				secs, n, icost, err := measure(s, opt.ModeDefault, q, o.Workers)
 				if err != nil {
 					panic(err)
 				}
@@ -269,7 +269,7 @@ func Table5(o Options) []Row {
 				if !pick[q.Name] {
 					continue
 				}
-				secs, n, icost, err := measure(s, system.mode, q)
+				secs, n, icost, err := measure(s, system.mode, q, o.Workers)
 				if err != nil {
 					panic(err)
 				}

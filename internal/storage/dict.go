@@ -1,14 +1,26 @@
 package storage
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Dict is an insertion-ordered string dictionary. Codes are dense uint32s in
 // insertion order; Rank provides the lexicographic rank of each code so that
 // dictionary-coded columns can be sorted without touching the strings.
+//
+// Inserts (Code) must be externally serialized against each other and
+// against readers, as for the rest of the storage layer. Read-side methods
+// — including the lazily materialized Rank — are safe to call from
+// concurrent query workers.
 type Dict struct {
 	codes map[string]uint32
 	strs  []string
-	ranks []uint32 // lazily computed; invalidated on insert
+	// ranks is computed lazily on first Rank call and invalidated on
+	// insert. It is an atomic pointer so that concurrent readers racing to
+	// materialize it are safe: each computes an identical table and the
+	// last store wins.
+	ranks atomic.Pointer[[]uint32]
 }
 
 // NewDict returns an empty dictionary.
@@ -24,7 +36,7 @@ func (d *Dict) Code(s string) uint32 {
 	c := uint32(len(d.strs))
 	d.codes[s] = c
 	d.strs = append(d.strs, s)
-	d.ranks = nil
+	d.ranks.Store(nil)
 	return c
 }
 
@@ -43,20 +55,23 @@ func (d *Dict) Len() int { return len(d.strs) }
 // Rank returns the lexicographic rank of code c among all interned strings.
 // Sorting by Rank is equivalent to sorting by the decoded strings.
 func (d *Dict) Rank(c uint32) uint32 {
-	if d.ranks == nil {
-		d.computeRanks()
+	if r := d.ranks.Load(); r != nil {
+		return (*r)[c]
 	}
-	return d.ranks[c]
+	ranks := d.computeRanks()
+	d.ranks.Store(&ranks)
+	return ranks[c]
 }
 
-func (d *Dict) computeRanks() {
+func (d *Dict) computeRanks() []uint32 {
 	order := make([]uint32, len(d.strs))
 	for i := range order {
 		order[i] = uint32(i)
 	}
 	sort.Slice(order, func(i, j int) bool { return d.strs[order[i]] < d.strs[order[j]] })
-	d.ranks = make([]uint32, len(d.strs))
+	ranks := make([]uint32, len(d.strs))
 	for rank, code := range order {
-		d.ranks[code] = uint32(rank)
+		ranks[code] = uint32(rank)
 	}
+	return ranks
 }

@@ -14,6 +14,10 @@ type Graph struct {
 	catalog *Catalog
 
 	vertexLabels []LabelID
+	// labelVertices[l] lists the vertices of label l in ascending ID order,
+	// so labeled scans touch only the matching bucket instead of probing
+	// every vertex's label.
+	labelVertices [][]VertexID
 
 	src        []VertexID
 	dst        []VertexID
@@ -54,7 +58,9 @@ func (g *Graph) NumLiveEdges() int { return len(g.src) - g.numDeleted }
 // AddVertex appends a vertex with the given label name and returns its ID.
 func (g *Graph) AddVertex(label string) VertexID {
 	id := VertexID(len(g.vertexLabels))
-	g.vertexLabels = append(g.vertexLabels, g.catalog.VertexLabel(label))
+	lid := g.catalog.VertexLabel(label)
+	g.vertexLabels = append(g.vertexLabels, lid)
+	g.addToLabelList(lid, id)
 	return id
 }
 
@@ -63,9 +69,28 @@ func (g *Graph) AddVertices(n int, label string) VertexID {
 	first := VertexID(len(g.vertexLabels))
 	lid := g.catalog.VertexLabel(label)
 	for i := 0; i < n; i++ {
+		id := VertexID(len(g.vertexLabels))
 		g.vertexLabels = append(g.vertexLabels, lid)
+		g.addToLabelList(lid, id)
 	}
 	return first
+}
+
+func (g *Graph) addToLabelList(l LabelID, v VertexID) {
+	for int(l) >= len(g.labelVertices) {
+		g.labelVertices = append(g.labelVertices, nil)
+	}
+	g.labelVertices[l] = append(g.labelVertices[l], v)
+}
+
+// VerticesWithLabel returns the vertices carrying label l in ascending ID
+// order. The slice is owned by the graph and must not be mutated; it is
+// stable between mutations, so concurrent readers are safe.
+func (g *Graph) VerticesWithLabel(l LabelID) []VertexID {
+	if int(l) >= len(g.labelVertices) {
+		return nil
+	}
+	return g.labelVertices[l]
 }
 
 // AddEdge appends an edge and returns its ID.
@@ -199,6 +224,9 @@ func (g *Graph) AvgDegree() float64 {
 // property columns.
 func (g *Graph) MemoryBytes() int64 {
 	b := int64(len(g.vertexLabels))*2 + int64(len(g.src))*4 + int64(len(g.dst))*4 + int64(len(g.edgeLabels))*2
+	for _, vs := range g.labelVertices {
+		b += int64(len(vs)) * 4
+	}
 	for _, c := range g.vertexProps {
 		b += c.MemoryBytes()
 	}
