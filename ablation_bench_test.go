@@ -138,6 +138,48 @@ func BenchmarkAblationSharedLevels(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationQueryShapes measures steady-state count throughput of
+// the block-decoded execution core on the intersection-heavy shapes the
+// zero-allocation work targets (triangle, diamond) plus a fan-out star
+// where count pushdown folds the tail EXTENDs into a product. The runtime
+// is reused across iterations, so allocs/op is the steady-state figure the
+// zero-alloc contract pins at 0.
+func BenchmarkAblationQueryShapes(b *testing.B) {
+	g := ablationGraph()
+	s, err := index.NewStore(g, index.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	shapes := []struct {
+		name, cypher string
+	}{
+		{"triangle", "MATCH a1-[e1]->a2-[e2]->a3, a3-[e3]->a1"},
+		{"diamond", "MATCH a1-[e1]->a2, a1-[e2]->a3, a2-[e3]->a4, a3-[e4]->a4"},
+		{"star3", "MATCH a1-[e1]->a2, a1-[e2]->a3, a1-[e3]->a4"},
+	}
+	for _, shape := range shapes {
+		q, err := query.Parse(shape.cypher)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := opt.Optimize(s, q, opt.ModeDefault)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(shape.name, func(b *testing.B) {
+			rt := exec.NewRuntime(s)
+			var count int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				count = plan.Count(rt)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(count), "matches")
+		})
+	}
+}
+
 // BenchmarkAblationWCOJVsBinary measures the triangle query under the full
 // WCOJ plan space versus binary joins on the same store.
 func BenchmarkAblationWCOJVsBinary(b *testing.B) {

@@ -209,3 +209,62 @@ func TestParallelismOnEmptyDB(t *testing.T) {
 		t.Errorf("count on empty db = %d, want 0", n)
 	}
 }
+
+// TestCountPushdownMatchesEnumeration pins the public contract of count
+// pushdown: Count (which may fold trailing fan-out EXTENDs into a product
+// of list lengths) agrees with a streamed enumeration via Query, including
+// parallel-edge multiplicities, at Parallelism 1 and 8 — with identical
+// merged metrics.
+func TestCountPushdownMatchesEnumeration(t *testing.T) {
+	db := New()
+	var vs []VertexID
+	for i := 0; i < 50; i++ {
+		v, err := db.AddVertex("A", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	for i, v := range vs {
+		for d := 1; d <= i%4; d++ {
+			if _, err := db.AddEdge(v, vs[(i+d)%len(vs)], "W", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Parallel edges on a hub: each multiplicity must be counted.
+	for k := 0; k < 3; k++ {
+		if _, err := db.AddEdge(vs[3], vs[4], "W", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fan-out star: the b/c/d extensions all hang off a, so counting folds
+	// their product.
+	const star = "MATCH (a)-[e1]->(b), (a)-[e2]->(c), (a)-[e3]->(d)"
+	db.Parallelism = 1
+	var enumerated int64
+	if err := db.Query(star, func(Row) bool {
+		enumerated++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if enumerated == 0 {
+		t.Fatal("degenerate test: no matches")
+	}
+	var metrics []Metrics
+	for _, workers := range []int{1, 8} {
+		db.Parallelism = workers
+		n, m, err := db.CountProfiled(star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != enumerated {
+			t.Errorf("Parallelism=%d: Count = %d, enumerated = %d", workers, n, enumerated)
+		}
+		metrics = append(metrics, m)
+	}
+	if metrics[0] != metrics[1] {
+		t.Errorf("metrics differ across worker counts: %+v vs %+v", metrics[0], metrics[1])
+	}
+}

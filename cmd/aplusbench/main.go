@@ -5,6 +5,7 @@
 //
 //	aplusbench -exp table2 [-scale 0.5] [-workers 8] [-json rows.json]
 //	aplusbench -exp all
+//	aplusbench -exp table5 -baseline old.json [-tolerance 0.10]
 //
 // Experiments: table1, table2, table3, table4, table5, maintenance,
 // parallel, all.
@@ -15,6 +16,12 @@
 // 1..max(workers, GOMAXPROCS) worker counts, since a scaling curve needs
 // more than one. -json dumps every measured row as a machine-readable
 // JSON array for trajectory tracking across commits.
+//
+// -baseline loads a prior -json dump and prints per-row deltas against it;
+// the process exits non-zero when any matched row runs slower than
+// baseline*(1+tolerance), its i-cost grows beyond the same factor, or its
+// count changed — the stored-baseline regression gate for CI and local
+// before/after runs.
 package main
 
 import (
@@ -32,7 +39,19 @@ func main() {
 	verify := flag.Bool("verify", true, "cross-check counts across configurations")
 	workers := flag.Int("workers", 0, "query worker-pool size (0 = serial, N = morsel-driven with N workers)")
 	jsonPath := flag.String("json", "", "write all measured rows to this file as JSON")
+	baseline := flag.String("baseline", "", "compare measured rows against this prior -json dump")
+	tolerance := flag.Float64("tolerance", 0.10, "slowdown fraction tolerated before -baseline reports a regression")
 	flag.Parse()
+
+	var baseRows []harness.Row
+	if *baseline != "" {
+		var err error
+		baseRows, err = harness.LoadRows(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load baseline: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	o := harness.Options{Out: os.Stdout, Scale: *scale, Verify: *verify, Workers: *workers}
 	run := map[string]func(harness.Options) []harness.Row{
@@ -69,5 +88,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d rows to %s\n", len(rows), *jsonPath)
+	}
+	if *baseline != "" {
+		if regressed := harness.CompareBaseline(os.Stdout, baseRows, rows, *tolerance); regressed > 0 {
+			os.Exit(1)
+		}
 	}
 }

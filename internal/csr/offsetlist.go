@@ -274,6 +274,40 @@ func (l List) At(i int) uint32 {
 	return val
 }
 
+// UnpackInto bulk-decodes every packed offset of the list into dst, which
+// must have length >= Len(). The group's byte width is resolved once and
+// each width gets its own tight loop, instead of At's per-element group
+// lookup and variable-width byte loop — the block-decode fast path the
+// executor uses when materializing secondary lists into scratch buffers.
+func (l List) UnpackInto(dst []uint32) {
+	n := int(l.n)
+	if n == 0 {
+		return
+	}
+	o := l.o
+	w := o.groupWidth[l.group]
+	p := o.groupByte[l.group] + uint64(l.lo-o.groupEntry[l.group])*uint64(w)
+	data := o.data[p : p+uint64(n)*uint64(w)]
+	switch w {
+	case 1:
+		for i := 0; i < n; i++ {
+			dst[i] = uint32(data[i])
+		}
+	case 2:
+		for i := 0; i < n; i++ {
+			dst[i] = uint32(data[2*i]) | uint32(data[2*i+1])<<8
+		}
+	case 3:
+		for i := 0; i < n; i++ {
+			dst[i] = uint32(data[3*i]) | uint32(data[3*i+1])<<8 | uint32(data[3*i+2])<<16
+		}
+	default:
+		for i := 0; i < n; i++ {
+			dst[i] = uint32(data[4*i]) | uint32(data[4*i+1])<<8 | uint32(data[4*i+2])<<16 | uint32(data[4*i+3])<<24
+		}
+	}
+}
+
 // Len returns the total number of indexed entries.
 func (o *OffsetLists) Len() int {
 	return int(o.groupEntry[len(o.groupEntry)-1])

@@ -179,3 +179,58 @@ func TestOffsetListsAtGlobal(t *testing.T) {
 		}
 	}
 }
+
+func TestUnpackIntoAllWidths(t *testing.T) {
+	// One owner group per byte width: group g's primary lists are long
+	// enough to force a (g+1)-byte offset width, and its offsets exercise
+	// the width's full range.
+	maxLen := []uint32{1 << 8, 1 << 16, 1 << 24, 1 << 25} // widths 1, 2, 3, 4
+	b := NewOffsetBuilder(4*GroupSize, nil)
+	rng := rand.New(rand.NewSource(7))
+	want := map[uint32][]uint32{}
+	for g := 0; g < 4; g++ {
+		owner := uint32(g * GroupSize)
+		n := 50 + g
+		offs := make([]uint32, n)
+		for i := range offs {
+			offs[i] = rng.Uint32() % maxLen[g]
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		for _, o := range offs {
+			b.Add(OffsetEntry{Owner: owner, Offset: o}, nil)
+		}
+		want[owner] = offs
+	}
+	o := b.Build(func(owner uint32) uint32 { return maxLen[owner/GroupSize] })
+	for g := 0; g < 4; g++ {
+		owner := uint32(g * GroupSize)
+		l := o.OwnerList(owner)
+		if l.Len() != len(want[owner]) {
+			t.Fatalf("group %d: len = %d, want %d", g, l.Len(), len(want[owner]))
+		}
+		dst := make([]uint32, l.Len())
+		l.UnpackInto(dst)
+		for i, w := range want[owner] {
+			if dst[i] != w {
+				t.Fatalf("group %d (width %d): dst[%d] = %d, want %d", g, g+1, i, dst[i], w)
+			}
+			if at := l.At(i); at != dst[i] {
+				t.Fatalf("group %d: UnpackInto disagrees with At at %d: %d vs %d", g, i, dst[i], at)
+			}
+		}
+		// Sublists must unpack with the correct base position.
+		if l.Len() > 10 {
+			sub := l.Sub(3, 10)
+			subDst := make([]uint32, sub.Len())
+			sub.UnpackInto(subDst)
+			for i := range subDst {
+				if subDst[i] != dst[3+i] {
+					t.Fatalf("group %d: Sub unpack mismatch at %d", g, i)
+				}
+			}
+		}
+	}
+	// Empty lists must be a no-op.
+	var empty List
+	empty.UnpackInto(nil)
+}

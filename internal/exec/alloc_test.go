@@ -1,0 +1,268 @@
+package exec
+
+// Zero-allocation regression tests for the block-decoded execution core:
+// once a Runtime is warm (pipeline compiled, scratch buffers grown), a
+// steady-state Count must perform no heap allocations at all — which in
+// particular pins the contract of 0 allocs per tuple for every operator on
+// both direct (primary) and offset-list (secondary) inputs.
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// allocGraph builds a small dense graph with parallel edges so duplicate
+// runs and multi-entry intersections are exercised.
+func allocGraph(t testing.TB) *storage.Graph {
+	t.Helper()
+	g := storage.NewGraph()
+	g.AddVertices(32, "A")
+	for v := 0; v < 32; v++ {
+		for d := 1; d <= 3; d++ {
+			w := (v + d) % 32
+			if _, err := g.AddEdge(storage.VertexID(v), storage.VertexID(w), "W"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.AddEdge(storage.VertexID(w), storage.VertexID(v), "W"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A parallel edge to make duplicate-run handling part of the loop.
+		if _, err := g.AddEdge(storage.VertexID(v), storage.VertexID((v+1)%32), "W"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func allocStore(t testing.TB) *index.Store {
+	t.Helper()
+	s, err := index.NewStore(allocGraph(t), index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// assertZeroAlloc warms the runtime once and then requires exactly zero
+// allocations per Count.
+func assertZeroAlloc(t *testing.T, rt *Runtime, plan *Plan) {
+	t.Helper()
+	want := plan.Count(rt) // warm: compile pipeline, grow scratch
+	if want == 0 {
+		t.Fatal("degenerate zero-alloc test: no matches")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if got := plan.Count(rt); got != want {
+			t.Fatalf("count changed across runs: %d vs %d", got, want)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Count allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// vpNbrSorted builds a secondary vertex-partitioned view (offset lists) in
+// neighbour-ID order, so its lists are intersectable with primary lists.
+func vpNbrSorted(t *testing.T, s *index.Store, dirs ...index.Direction) *index.VertexPartitioned {
+	t.Helper()
+	vp, err := s.CreateVertexPartitioned(index.VPDef{
+		View: index.View1Hop{Name: "VPn"},
+		Dirs: dirs,
+		Cfg:  index.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vp
+}
+
+func TestZeroAllocExtendDirect(t *testing.T) {
+	rt := NewRuntime(allocStore(t))
+	plan := &Plan{
+		NumV: 2, NumE: 1,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}
+
+func TestZeroAllocExtendOffset(t *testing.T) {
+	s := allocStore(t)
+	vp := vpNbrSorted(t, s, index.FW)
+	rt := NewRuntime(s)
+	plan := &Plan{
+		NumV: 2, NumE: 1,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListVP, VP: vp, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}
+
+func TestZeroAllocIntersect2WayDirect(t *testing.T) {
+	rt := NewRuntime(allocStore(t))
+	// Triangle: scan a0, extend a1, intersect FW(a1) ∩ BW(a0).
+	plan := &Plan{
+		NumV: 3, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+				{Kind: ListPrimary, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 2},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}
+
+func TestZeroAllocIntersect3WayDirect(t *testing.T) {
+	rt := NewRuntime(allocStore(t))
+	// Diamond closing: a3 in FW(a0) ∩ FW(a1) ∩ FW(a2).
+	plan := &Plan{
+		NumV: 4, NumE: 5,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+			}},
+			&ExtendIntersectOp{TargetSlot: 3, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 2},
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 3},
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 2, EdgeSlot: 4},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}
+
+func TestZeroAllocIntersect2WayOffset(t *testing.T) {
+	s := allocStore(t)
+	vp := vpNbrSorted(t, s, index.FW, index.BW)
+	rt := NewRuntime(s)
+	// Same triangle, but both intersected lists come from byte-packed
+	// offset lists that must be block-decoded into scratch buffers.
+	plan := &Plan{
+		NumV: 3, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListVP, VP: vp, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+				{Kind: ListVP, VP: vp, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 2},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}
+
+func TestZeroAllocIntersect3WayMixed(t *testing.T) {
+	s := allocStore(t)
+	vp := vpNbrSorted(t, s, index.FW)
+	rt := NewRuntime(s)
+	// 3-way intersection mixing direct and offset-list inputs.
+	plan := &Plan{
+		NumV: 4, NumE: 5,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+			}},
+			&ExtendIntersectOp{TargetSlot: 3, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 2},
+				{Kind: ListVP, VP: vp, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 3},
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 2, EdgeSlot: 4},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}
+
+func TestZeroAllocMultiExtend(t *testing.T) {
+	s, err := index.NewStore(storage.ExampleGraph(), index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := s.CreateVertexPartitioned(index.VPDef{
+		View: index.View1Hop{Name: "VPc"},
+		Dirs: []index.Direction{index.FW, index.BW},
+		Cfg: index.Config{
+			Partitions: index.DefaultConfig().Partitions,
+			Sorts:      []index.SortKey{{Var: pred.VarNbr, Prop: storage.PropCity}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(s)
+	cityKey := index.SortKey{Var: pred.VarNbr, Prop: storage.PropCity}
+	// Same-city join over offset lists sorted on the neighbour's city.
+	plan := &Plan{
+		NumV: 3, NumE: 2,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&MultiExtendOp{Key: cityKey, Groups: []MEGroup{
+				{TargetSlot: 1, Lists: []ListRef{{Kind: ListVP, VP: vp, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0, Expand: ExpandChoices(nil, vp.LevelCards(index.FW))}}},
+				{TargetSlot: 2, Lists: []ListRef{{Kind: ListVP, VP: vp, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 1, Expand: ExpandChoices(nil, vp.LevelCards(index.BW))}}},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}
+
+func TestZeroAllocSegmentFetch(t *testing.T) {
+	s, err := index.NewStore(storage.ExampleGraph(), index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := s.CreateVertexPartitioned(index.VPDef{
+		View: index.View1Hop{Name: "VPt"},
+		Dirs: []index.Direction{index.FW},
+		Cfg: index.Config{
+			Partitions: index.DefaultConfig().Partitions,
+			Sorts:      []index.SortKey{{Var: pred.VarAdj, Prop: storage.PropDate}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(s)
+	key := index.SortKey{Var: pred.VarAdj, Prop: storage.PropDate}
+	hi, ok := index.OrdinalOfValue(rt.G, key, storage.Int(10))
+	if !ok {
+		t.Fatal("ordinal")
+	}
+	plan := &Plan{
+		NumV: 2, NumE: 1,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{{
+				Kind: ListVP, VP: vp, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0,
+				Seg:    &Segment{Key: key, Hi: hi + 1, HasHi: true},
+				Expand: ExpandChoices(nil, vp.LevelCards(index.FW)),
+			}}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}

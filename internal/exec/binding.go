@@ -36,6 +36,14 @@ type Runtime struct {
 	// PredEvals counts per-entry predicate evaluations (the quantity that
 	// secondary indexes with matching sort orders reduce; Section V-C1).
 	PredEvals int64
+
+	// scratch is the per-worker arena of per-operator buffers; pipe caches
+	// the compiled closure chain (and reusable binding) of the last plan
+	// this Runtime executed, so warm re-executions are allocation-free. A
+	// Runtime consequently serves one plan execution at a time — the
+	// morsel-parallel path gives each worker its own Runtime.
+	scratch Scratch
+	pipe    *pipeline
 }
 
 // NewRuntime builds a runtime over a store.

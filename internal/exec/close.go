@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 )
 
 // CloseEdgeOp matches a query edge whose endpoints are both already bound,
@@ -18,15 +17,26 @@ type CloseEdgeOp struct {
 	Sorted bool
 }
 
-func (o *CloseEdgeOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+func (o *CloseEdgeOp) run(rt *Runtime, sc *opScratch, b *Binding, next func() bool) bool {
 	target := b.V[o.TargetSlot]
-	ok := true
-	done := forEachCombo([]ListRef{o.List}, func(codes [][]uint16) bool {
-		l := o.List.fetchWith(rt, b, codes[0])
+	sc.oneRef[0] = o.List
+	sc.initCombo(sc.oneRef[:])
+	for {
+		l := o.List.fetchWith(rt, b, sc.codes[0])
 		n := l.Len()
 		lo, hi := 0, n
 		if o.Sorted {
-			lo = sort.Search(n, func(i int) bool { return l.Nbr(i) >= target })
+			// Hand-rolled binary search (no sort.Search closure): the list
+			// stays in its packed representation — probing is O(log n), so
+			// block-decoding it would cost more than the probe saves.
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if l.Nbr(mid) < target {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
 			hi = lo
 			for hi < n && l.Nbr(hi) == target {
 				hi++
@@ -38,13 +48,13 @@ func (o *CloseEdgeOp) run(rt *Runtime, b *Binding, next func() bool) bool {
 			}
 			b.E[o.List.EdgeSlot] = l.Edge(i)
 			if !next() {
-				ok = false
 				return false
 			}
 		}
-		return true
-	})
-	return done && ok
+		if !sc.advanceCombo() {
+			return true
+		}
+	}
 }
 
 func (o *CloseEdgeOp) explain() string {

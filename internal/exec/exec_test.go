@@ -331,23 +331,47 @@ func TestFilterOp(t *testing.T) {
 	}
 }
 
-func TestGallopTo(t *testing.T) {
+func TestGallopNbrs(t *testing.T) {
 	nbrs := []uint32{1, 3, 3, 7, 9, 12, 15, 15, 15, 20}
-	eids := make([]uint64, len(nbrs))
-	l := index.DirectList(nbrs, eids)
-	for target := storage.VertexID(0); target <= 21; target++ {
-		got := gallopTo(l, 0, target)
+	for target := uint32(0); target <= 21; target++ {
+		got := gallopNbrs(nbrs, 0, target)
 		want := 0
-		for want < len(nbrs) && storage.VertexID(nbrs[want]) < target {
+		for want < len(nbrs) && nbrs[want] < target {
 			want++
 		}
 		if got != want {
-			t.Errorf("gallopTo(%d) = %d, want %d", target, got, want)
+			t.Errorf("gallopNbrs(%d) = %d, want %d", target, got, want)
 		}
 	}
 	// From a mid position.
-	if got := gallopTo(l, 4, 15); got != 6 {
-		t.Errorf("gallopTo from 4 = %d, want 6", got)
+	if got := gallopNbrs(nbrs, 4, 15); got != 6 {
+		t.Errorf("gallopNbrs from 4 = %d, want 6", got)
+	}
+}
+
+func TestRunEndOf(t *testing.T) {
+	// Long duplicate (parallel-edge) runs must be skipped by galloping, and
+	// the result must match a linear scan exactly.
+	nbrs := []uint32{1, 3, 3, 7, 9}
+	for i := 0; i < 1000; i++ {
+		nbrs = append(nbrs, 12)
+	}
+	nbrs = append(nbrs, 15, 20)
+	for _, pos := range []int{0, 1, 2, 3, 4, 5, 500, 1004, 1005, 1006} {
+		target := nbrs[pos]
+		got := runEndOf(nbrs, pos, target)
+		want := pos
+		for want < len(nbrs) && nbrs[want] == target {
+			want++
+		}
+		if got != want {
+			t.Errorf("runEndOf(pos=%d, target=%d) = %d, want %d", pos, target, got, want)
+		}
+	}
+	// Max-value target must not overflow.
+	maxed := []uint32{5, ^uint32(0), ^uint32(0)}
+	if got := runEndOf(maxed, 1, ^uint32(0)); got != 3 {
+		t.Errorf("runEndOf(max target) = %d, want 3", got)
 	}
 }
 

@@ -1,0 +1,255 @@
+package exec
+
+// Tests for count pushdown: when a plan ends in pure unfiltered EXTENDs
+// over slots bound earlier, Count folds the product of list lengths instead
+// of enumerating. The fold must be invisible — identical counts AND
+// identical i-cost versus full enumeration, at any worker count.
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// enumerate counts matches by streaming every binding (Execute never folds).
+func enumerate(rt *Runtime, p *Plan) int64 {
+	var n int64
+	p.Execute(rt, func(*Binding) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// assertFoldParity checks Count (folded), Execute (enumerated), and
+// CountParallel at 8 workers against each other, including i-cost.
+func assertFoldParity(t *testing.T, s *index.Store, p *Plan) {
+	t.Helper()
+	rtEnum := NewRuntime(s)
+	want := enumerate(rtEnum, p)
+
+	rtFold := NewRuntime(s)
+	got := p.Count(rtFold)
+	if got != want {
+		t.Errorf("folded Count = %d, enumerated = %d", got, want)
+	}
+	if rtFold.ICost != rtEnum.ICost {
+		t.Errorf("folded ICost = %d, enumerated = %d", rtFold.ICost, rtEnum.ICost)
+	}
+	if rtFold.PredEvals != rtEnum.PredEvals {
+		t.Errorf("folded PredEvals = %d, enumerated = %d", rtFold.PredEvals, rtEnum.PredEvals)
+	}
+
+	for _, workers := range []int{1, 8} {
+		rtPar := NewRuntime(s)
+		gotPar := p.CountParallel(rtPar, ParallelOptions{Workers: workers, MorselSize: 4})
+		if gotPar != want {
+			t.Errorf("CountParallel(%d workers) = %d, want %d", workers, gotPar, want)
+		}
+		if rtPar.ICost != rtEnum.ICost {
+			t.Errorf("CountParallel(%d workers) ICost = %d, want %d", workers, rtPar.ICost, rtEnum.ICost)
+		}
+	}
+}
+
+// foldGraph has skewed fan-out and parallel edges so products and
+// duplicate runs both matter.
+func foldGraph(t testing.TB) *storage.Graph {
+	t.Helper()
+	g := storage.NewGraph()
+	g.AddVertices(24, "A")
+	add := func(src, dst int) {
+		if _, err := g.AddEdge(storage.VertexID(src), storage.VertexID(dst), "W"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v < 24; v++ {
+		deg := v % 5 // some vertices have empty lists
+		for d := 1; d <= deg; d++ {
+			add(v, (v+d)%24)
+		}
+	}
+	// Parallel edges on a few hubs.
+	add(3, 4)
+	add(3, 4)
+	add(7, 8)
+	return g
+}
+
+func extend(owner, target, edge int) *ExtendIntersectOp {
+	return &ExtendIntersectOp{TargetSlot: target, Lists: []ListRef{
+		{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: owner, EdgeSlot: edge},
+	}}
+}
+
+func TestCountFoldStar(t *testing.T) {
+	s, err := index.NewStore(foldGraph(t), index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Star: every extension hangs off the scanned vertex — the whole tail
+	// folds into a product of list lengths.
+	p := &Plan{
+		NumV: 4, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			extend(0, 1, 0),
+			extend(0, 2, 1),
+			extend(0, 3, 2),
+		},
+	}
+	if got := p.countFoldStart(); got != 1 {
+		t.Errorf("countFoldStart = %d, want 1", got)
+	}
+	assertFoldParity(t, s, p)
+}
+
+func TestCountFoldPathSuffix(t *testing.T) {
+	s, err := index.NewStore(foldGraph(t), index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path: each extend depends on the previous one's target, so only the
+	// last operator folds.
+	p := &Plan{
+		NumV: 4, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			extend(0, 1, 0),
+			extend(1, 2, 1),
+			extend(2, 3, 2),
+		},
+	}
+	if got := p.countFoldStart(); got != 3 {
+		t.Errorf("countFoldStart = %d, want 3", got)
+	}
+	assertFoldParity(t, s, p)
+}
+
+func TestCountFoldBlockedBySuffixOps(t *testing.T) {
+	p := &Plan{
+		NumV: 4, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			extend(0, 1, 0),
+			&FilterOp{Terms: nil},
+		},
+	}
+	// A trailing FILTER blocks folding entirely.
+	if got := p.countFoldStart(); got != 3 {
+		t.Errorf("countFoldStart with trailing filter = %d, want 3", got)
+	}
+	// An E/I (2 lists) never folds.
+	p2 := &Plan{
+		NumV: 3, NumE: 2,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+				{Kind: ListPrimary, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 1},
+			}},
+		},
+	}
+	if got := p2.countFoldStart(); got != 2 {
+		t.Errorf("countFoldStart with E/I tail = %d, want 2", got)
+	}
+}
+
+func TestCountFoldTriangleThenFanOut(t *testing.T) {
+	s, err := index.NewStore(foldGraph(t), index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A triangle core followed by two independent fan-out extends: the two
+	// trailing extends fold, the E/I does not.
+	p := &Plan{
+		NumV: 5, NumE: 5,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			extend(0, 1, 0),
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+				{Kind: ListPrimary, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 2},
+			}},
+			extend(1, 3, 3),
+			extend(2, 4, 4),
+		},
+	}
+	if got := p.countFoldStart(); got != 3 {
+		t.Errorf("countFoldStart = %d, want 3", got)
+	}
+	assertFoldParity(t, s, p)
+}
+
+func TestCountFoldParallelEdges(t *testing.T) {
+	// Dedicated parallel-edge graph: every multiplicity must be counted.
+	g := storage.NewGraph()
+	g.AddVertices(3, "A")
+	for i := 0; i < 3; i++ {
+		g.AddEdge(0, 1, "W")
+	}
+	for i := 0; i < 2; i++ {
+		g.AddEdge(0, 2, "W")
+	}
+	s, err := index.NewStore(g, index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Plan{
+		NumV: 3, NumE: 2,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			extend(0, 1, 0),
+			extend(0, 2, 1),
+		},
+	}
+	rt := NewRuntime(s)
+	// 5 out-edges of v0, squared: 25.
+	if got := p.Count(rt); got != 25 {
+		t.Errorf("folded parallel-edge count = %d, want 25", got)
+	}
+	assertFoldParity(t, s, p)
+}
+
+func TestCountFoldEPOwnerDependency(t *testing.T) {
+	// An EP extend whose owner edge slot is bound by the previous suffix
+	// op must break the fold there.
+	s, err := index.NewStore(storage.ExampleGraph(), index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := s.CreateEdgePartitioned(index.EPDef{
+		View: index.View2Hop{
+			Name: "MF",
+			Dir:  index.DestinationFW,
+			Pred: pred.Predicate{}.
+				And(pred.VarTerm(pred.VarBound, storage.PropDate, pred.LT, pred.VarAdj, storage.PropDate)),
+		},
+		Cfg: index.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Plan{
+		NumV: 4, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			extend(0, 1, 0),
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListEP, EP: ep, OwnerEdgeSlot: 0, EdgeSlot: 1},
+			}},
+			&ExtendIntersectOp{TargetSlot: 3, Lists: []ListRef{
+				{Kind: ListEP, EP: ep, OwnerEdgeSlot: 1, EdgeSlot: 2},
+			}},
+		},
+	}
+	// Op 3 reads edge slot 1, bound by op 2 — only op 3 folds... but op 2
+	// reads edge slot 0 bound by op 1, which also blocks op 2 from joining
+	// the suffix once op 3 is in it. The longest valid suffix is just op 3.
+	if got := p.countFoldStart(); got != 3 {
+		t.Errorf("countFoldStart = %d, want 3", got)
+	}
+	assertFoldParity(t, s, p)
+}

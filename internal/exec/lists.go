@@ -2,9 +2,9 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
 )
 
 // ListKind selects which index a ListRef reads.
@@ -60,14 +60,6 @@ type ListRef struct {
 	Expand [][]uint16
 }
 
-// choices returns the bucket alternatives to process for sorted access.
-func (r ListRef) choices() [][]uint16 {
-	if len(r.Expand) > 0 {
-		return r.Expand
-	}
-	return [][]uint16{r.Codes}
-}
-
 // ExpandChoices enumerates every completion of prefix across the remaining
 // partition-level cardinalities (including the null buckets).
 func ExpandChoices(prefix []uint16, cards []int) [][]uint16 {
@@ -102,15 +94,16 @@ func (r ListRef) fetchWith(rt *Runtime, b *Binding, codes []uint16) index.AdjLis
 		l = r.EP.List(b.E[r.OwnerEdgeSlot], codes)
 	}
 	if r.Seg != nil {
-		l = segmentList(rt, b, l, *r.Seg)
+		l = segmentList(rt, b, l, r.Seg)
 	}
 	rt.ICost += int64(l.Len())
 	return l
 }
 
 // segmentList binary-searches the [Lo, Hi) ordinal range of the first sort
-// key inside a list sorted on it.
-func segmentList(rt *Runtime, b *Binding, l index.AdjList, seg Segment) index.AdjList {
+// key inside a list sorted on it. The searches are hand-rolled (no
+// sort.Search) so the per-fetch path allocates no closures.
+func segmentList(rt *Runtime, b *Binding, l index.AdjList, seg *Segment) index.AdjList {
 	g := rt.G
 	n := l.Len()
 	segLo, segHi := seg.Lo, seg.Hi
@@ -124,22 +117,34 @@ func segmentList(rt *Runtime, b *Binding, l index.AdjList, seg Segment) index.Ad
 		segLo, segHi = ord, ord+1
 		hasLo, hasHi = true, true
 	}
-	ordAt := func(i int) uint64 {
-		nbr, e := l.Get(i)
-		return index.SortKeyOrdinal(g, seg.Key, e, nbr)
-	}
 	lo := 0
 	if hasLo {
-		lo = sort.Search(n, func(i int) bool { return ordAt(i) >= segLo })
+		lo = segSearch(g, seg.Key, l, n, segLo)
 	}
 	hi := n
 	if hasHi {
-		hi = sort.Search(n, func(i int) bool { return ordAt(i) >= segHi })
+		hi = segSearch(g, seg.Key, l, n, segHi)
 	}
 	if lo > hi {
 		lo = hi
 	}
 	return l.Slice(lo, hi)
+}
+
+// segSearch returns the first position in [0, n) whose sort-key ordinal is
+// >= target (n when none is).
+func segSearch(g *storage.Graph, key index.SortKey, l index.AdjList, n int, target uint64) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		nbr, e := l.Get(mid)
+		if index.SortKeyOrdinal(g, key, e, nbr) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // String implements fmt.Stringer (used by plan explanations).

@@ -10,8 +10,11 @@ import (
 
 // Op is a physical operator. run processes the current binding and calls
 // next for every produced extension; returning false aborts the pipeline.
+// sc is the operator's slot in the worker's Scratch arena: all per-tuple
+// buffers live there, never on the heap, and Op values themselves carry no
+// mutable state so one Plan can run in many workers at once.
 type Op interface {
-	run(rt *Runtime, b *Binding, next func() bool) bool
+	run(rt *Runtime, sc *opScratch, b *Binding, next func() bool) bool
 	explain() string
 }
 
@@ -26,8 +29,8 @@ type ScanVertexOp struct {
 	Terms    []CompiledTerm
 }
 
-func (o *ScanVertexOp) run(rt *Runtime, b *Binding, next func() bool) bool {
-	return o.runRange(rt, b, 0, o.tableSize(rt), next)
+func (o *ScanVertexOp) run(rt *Runtime, sc *opScratch, b *Binding, next func() bool) bool {
+	return o.runRange(rt, sc, b, 0, o.tableSize(rt), next)
 }
 
 // tableSize reports the number of scan positions (partitionableOp).
@@ -44,7 +47,7 @@ func (o *ScanVertexOp) tableSize(rt *Runtime) int {
 // runRange scans positions [lo, hi) of the vertex table — or, when a label
 // is fixed, of the per-label vertex list, so unlabeled vertices are never
 // touched (partitionableOp).
-func (o *ScanVertexOp) runRange(rt *Runtime, b *Binding, lo, hi int, next func() bool) bool {
+func (o *ScanVertexOp) runRange(rt *Runtime, _ *opScratch, b *Binding, lo, hi int, next func() bool) bool {
 	tryOne := func(v storage.VertexID) bool {
 		b.V[o.Slot] = v
 		if !evalAll(rt, b, o.Terms) {
@@ -105,8 +108,8 @@ type ScanEdgeOp struct {
 	Terms                      []CompiledTerm
 }
 
-func (o *ScanEdgeOp) run(rt *Runtime, b *Binding, next func() bool) bool {
-	return o.runRange(rt, b, 0, o.tableSize(rt), next)
+func (o *ScanEdgeOp) run(rt *Runtime, sc *opScratch, b *Binding, next func() bool) bool {
+	return o.runRange(rt, sc, b, 0, o.tableSize(rt), next)
 }
 
 // tableSize reports the number of scan positions (partitionableOp).
@@ -118,7 +121,7 @@ func (o *ScanEdgeOp) tableSize(rt *Runtime) int {
 }
 
 // runRange scans edge slots [lo, hi) of the edge table (partitionableOp).
-func (o *ScanEdgeOp) runRange(rt *Runtime, b *Binding, lo, hi int, next func() bool) bool {
+func (o *ScanEdgeOp) runRange(rt *Runtime, _ *opScratch, b *Binding, lo, hi int, next func() bool) bool {
 	tryOne := func(e storage.EdgeID) bool {
 		if rt.G.EdgeDeleted(e) {
 			return true
@@ -163,21 +166,26 @@ func (o *ScanEdgeOp) explain() string {
 // intersects z >= 1 neighbour-ID-sorted adjacency lists and extends the
 // partial match by one query vertex, binding each list's matched edge. With
 // z = 1 no intersection is performed — a plain EXTEND.
+//
+// Every fetched list is block-decoded once into the scratch slot's flat
+// slices (zero-copy for direct lists); the intersection then gallops over
+// raw []uint32 neighbour arrays with no per-element representation branch.
 type ExtendIntersectOp struct {
 	Lists      []ListRef
 	TargetSlot int
 }
 
-func (o *ExtendIntersectOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+func (o *ExtendIntersectOp) run(rt *Runtime, sc *opScratch, b *Binding, next func() bool) bool {
 	if len(o.Lists) == 1 && o.Lists[0].Seg == nil {
 		// Plain EXTEND: order within the list is irrelevant, a prefix-coded
 		// multi-bucket range is fine.
-		r := o.Lists[0]
-		l := r.Fetch(rt, b)
-		for i := 0; i < l.Len(); i++ {
-			nbr, e := l.Get(i)
-			b.V[o.TargetSlot] = nbr
-			b.E[r.EdgeSlot] = e
+		r := &o.Lists[0]
+		sc.ensureLists(1)
+		sc.decode(0, r.Fetch(rt, b))
+		f := sc.lists[0]
+		for i, nbr := range f.nbrs {
+			b.V[o.TargetSlot] = storage.VertexID(nbr)
+			b.E[r.EdgeSlot] = storage.EdgeID(f.eids[i])
 			if !next() {
 				return false
 			}
@@ -186,103 +194,83 @@ func (o *ExtendIntersectOp) run(rt *Runtime, b *Binding, next func() bool) bool 
 	}
 	// Sorted access (segments or intersections) works bucket-by-bucket:
 	// process each combination of the lists' innermost-bucket choices.
-	return forEachCombo(o.Lists, func(codes [][]uint16) bool {
-		lists := make([]index.AdjList, len(o.Lists))
-		for i, r := range o.Lists {
-			lists[i] = r.fetchWith(rt, b, codes[i])
-			if lists[i].Len() == 0 {
-				return true
-			}
-		}
-		if len(lists) == 1 {
-			r := o.Lists[0]
-			l := lists[0]
-			for i := 0; i < l.Len(); i++ {
-				nbr, e := l.Get(i)
-				b.V[o.TargetSlot] = nbr
-				b.E[r.EdgeSlot] = e
-				if !next() {
-					return false
-				}
-			}
-			return true
-		}
-		return o.intersect(rt, b, lists, next)
-	})
-}
-
-// forEachCombo walks the cartesian product of each list's bucket choices.
-func forEachCombo(lists []ListRef, f func(codes [][]uint16) bool) bool {
-	z := len(lists)
-	choices := make([][][]uint16, z)
-	idx := make([]int, z)
-	for i, r := range lists {
-		choices[i] = r.choices()
-	}
-	codes := make([][]uint16, z)
+	z := len(o.Lists)
+	sc.initCombo(o.Lists)
+	sc.ensureLists(z)
 	for {
-		for i := 0; i < z; i++ {
-			codes[i] = choices[i][idx[i]]
-		}
-		if !f(codes) {
-			return false
-		}
-		// Odometer advance.
-		i := z - 1
-		for ; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(choices[i]) {
+		empty := false
+		for i := range o.Lists {
+			l := o.Lists[i].fetchWith(rt, b, sc.codes[i])
+			if l.Len() == 0 {
+				empty = true
 				break
 			}
-			idx[i] = 0
+			sc.decode(i, l)
 		}
-		if i < 0 {
+		if !empty {
+			if z == 1 {
+				r := &o.Lists[0]
+				f := sc.lists[0]
+				for i, nbr := range f.nbrs {
+					b.V[o.TargetSlot] = storage.VertexID(nbr)
+					b.E[r.EdgeSlot] = storage.EdgeID(f.eids[i])
+					if !next() {
+						return false
+					}
+				}
+			} else if !o.intersect(sc, b, next) {
+				return false
+			}
+		}
+		if !sc.advanceCombo() {
 			return true
 		}
 	}
 }
 
-// intersect performs a z-way sorted intersection with duplicate-aware runs
-// (parallel edges produce one output per edge combination).
-func (o *ExtendIntersectOp) intersect(rt *Runtime, b *Binding, lists []index.AdjList, next func() bool) bool {
-	z := len(lists)
-	pos := make([]int, z)
-	runEnd := make([]int, z)
+// intersect performs a z-way sorted intersection over the block-decoded
+// lists with duplicate-aware runs (parallel edges produce one output per
+// edge combination).
+func (o *ExtendIntersectOp) intersect(sc *opScratch, b *Binding, next func() bool) bool {
+	z := len(sc.lists)
+	pos, runEnd := sc.pos, sc.runEnd
+	for i := range pos {
+		pos[i] = 0
+	}
 	for {
 		// Propose the maximum current neighbour.
-		var target storage.VertexID
+		var target uint32
 		for i := 0; i < z; i++ {
-			if pos[i] >= lists[i].Len() {
+			nbrs := sc.lists[i].nbrs
+			if pos[i] >= len(nbrs) {
 				return true
 			}
-			if n := lists[i].Nbr(pos[i]); n > target {
+			if n := nbrs[pos[i]]; n > target {
 				target = n
 			}
 		}
 		// Advance every list to >= target; restart when overshooting.
 		agreed := true
 		for i := 0; i < z; i++ {
-			pos[i] = gallopTo(lists[i], pos[i], target)
-			if pos[i] >= lists[i].Len() {
+			nbrs := sc.lists[i].nbrs
+			pos[i] = gallopNbrs(nbrs, pos[i], target)
+			if pos[i] >= len(nbrs) {
 				return true
 			}
-			if lists[i].Nbr(pos[i]) != target {
+			if nbrs[pos[i]] != target {
 				agreed = false
 			}
 		}
 		if !agreed {
 			continue
 		}
-		// Compute per-list runs of the matched neighbour.
+		// Locate each list's duplicate run of the matched neighbour by
+		// galloping, so long parallel-edge runs are skipped in one step.
 		for i := 0; i < z; i++ {
-			j := pos[i]
-			for j < lists[i].Len() && lists[i].Nbr(j) == target {
-				j++
-			}
-			runEnd[i] = j
+			runEnd[i] = runEndOf(sc.lists[i].nbrs, pos[i], target)
 		}
-		b.V[o.TargetSlot] = target
-		if !o.emitRuns(rt, b, lists, pos, runEnd, 0, next) {
+		b.V[o.TargetSlot] = storage.VertexID(target)
+		if !o.emitRuns(sc, b, 0, next) {
 			return false
 		}
 		for i := 0; i < z; i++ {
@@ -292,46 +280,19 @@ func (o *ExtendIntersectOp) intersect(rt *Runtime, b *Binding, lists []index.Adj
 }
 
 // emitRuns emits the cross product of edge choices across lists.
-func (o *ExtendIntersectOp) emitRuns(rt *Runtime, b *Binding, lists []index.AdjList, pos, runEnd []int, i int, next func() bool) bool {
-	if i == len(lists) {
+func (o *ExtendIntersectOp) emitRuns(sc *opScratch, b *Binding, i int, next func() bool) bool {
+	if i == len(sc.lists) {
 		return next()
 	}
-	for k := pos[i]; k < runEnd[i]; k++ {
-		b.E[o.Lists[i].EdgeSlot] = lists[i].Edge(k)
-		if !o.emitRuns(rt, b, lists, pos, runEnd, i+1, next) {
+	eids := sc.lists[i].eids
+	slot := o.Lists[i].EdgeSlot
+	for k := sc.pos[i]; k < sc.runEnd[i]; k++ {
+		b.E[slot] = storage.EdgeID(eids[k])
+		if !o.emitRuns(sc, b, i+1, next) {
 			return false
 		}
 	}
 	return true
-}
-
-// gallopTo returns the first position >= from whose neighbour is >= target,
-// using exponential probing followed by binary search.
-func gallopTo(l index.AdjList, from int, target storage.VertexID) int {
-	n := l.Len()
-	if from >= n || l.Nbr(from) >= target {
-		return from
-	}
-	step := 1
-	lo := from
-	hi := from + step
-	for hi < n && l.Nbr(hi) < target {
-		lo = hi
-		step *= 2
-		hi = lo + step
-	}
-	if hi > n {
-		hi = n
-	}
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if l.Nbr(mid) < target {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }
 
 func (o *ExtendIntersectOp) explain() string {
@@ -364,51 +325,54 @@ type MultiExtendOp struct {
 }
 
 type meCursor struct {
-	list  index.AdjList
-	ref   ListRef
-	group int
-	pos   int
-	end   int // run end for the current ordinal
+	list index.AdjList
+	ref  ListRef
+	pos  int
+	end  int // run end for the current ordinal
 }
 
-func (o *MultiExtendOp) run(rt *Runtime, b *Binding, next func() bool) bool {
-	var refs []ListRef
-	var groups []int
-	for gi, g := range o.Groups {
-		for _, r := range g.Lists {
-			refs = append(refs, r)
-			groups = append(groups, gi)
-		}
-	}
-	return forEachCombo(refs, func(codes [][]uint16) bool {
-		var cursors []meCursor
-		for i, r := range refs {
-			l := r.fetchWith(rt, b, codes[i])
+func (o *MultiExtendOp) run(rt *Runtime, sc *opScratch, b *Binding, next func() bool) bool {
+	sc.initME(o)
+	sc.initCombo(sc.refs)
+	for {
+		ok := true
+		for i := range sc.refs {
+			l := sc.refs[i].fetchWith(rt, b, sc.codes[i])
 			if l.Len() == 0 {
-				return true
+				ok = false
+				break
 			}
-			cursors = append(cursors, meCursor{list: l, ref: r, group: groups[i]})
+			sc.cursors[i] = meCursor{list: l, ref: sc.refs[i]}
 		}
-		return o.merge(rt, b, cursors, next)
-	})
+		if ok && !o.merge(rt, sc, b, next) {
+			return false
+		}
+		if !sc.advanceCombo() {
+			return true
+		}
+	}
 }
 
-func (o *MultiExtendOp) merge(rt *Runtime, b *Binding, cursors []meCursor, next func() bool) bool {
+// meOrdinal computes the sort-key ordinal of cursor entry i.
+func meOrdinal(g *storage.Graph, key index.SortKey, c *meCursor, i int) uint64 {
+	nbr, e := c.list.Get(i)
+	return index.SortKeyOrdinal(g, key, e, nbr)
+}
+
+func (o *MultiExtendOp) merge(rt *Runtime, sc *opScratch, b *Binding, next func() bool) bool {
 	g := rt.G
-	ordAt := func(c *meCursor, i int) uint64 {
-		nbr, e := c.list.Get(i)
-		return index.SortKeyOrdinal(g, o.Key, e, nbr)
-	}
+	cursors := sc.cursors
 	nullOrd := ^uint64(0)
 	for {
 		// Find the max current ordinal.
 		var target uint64
 		for i := range cursors {
-			if cursors[i].pos >= cursors[i].list.Len() {
+			c := &cursors[i]
+			if c.pos >= c.list.Len() {
 				return true
 			}
-			if o := ordAt(&cursors[i], cursors[i].pos); o > target {
-				target = o
+			if ord := meOrdinal(g, o.Key, c, c.pos); ord > target {
+				target = ord
 			}
 		}
 		if target == nullOrd {
@@ -418,13 +382,13 @@ func (o *MultiExtendOp) merge(rt *Runtime, b *Binding, cursors []meCursor, next 
 		agreed := true
 		for i := range cursors {
 			c := &cursors[i]
-			for c.pos < c.list.Len() && ordAt(c, c.pos) < target {
+			for c.pos < c.list.Len() && meOrdinal(g, o.Key, c, c.pos) < target {
 				c.pos++
 			}
 			if c.pos >= c.list.Len() {
 				return true
 			}
-			if ordAt(c, c.pos) != target {
+			if meOrdinal(g, o.Key, c, c.pos) != target {
 				agreed = false
 			}
 		}
@@ -434,12 +398,12 @@ func (o *MultiExtendOp) merge(rt *Runtime, b *Binding, cursors []meCursor, next 
 		for i := range cursors {
 			c := &cursors[i]
 			j := c.pos
-			for j < c.list.Len() && ordAt(c, j) == target {
+			for j < c.list.Len() && meOrdinal(g, o.Key, c, j) == target {
 				j++
 			}
 			c.end = j
 		}
-		if !o.emitGroups(rt, b, cursors, 0, next) {
+		if !o.emitGroups(rt, sc, b, 0, next) {
 			return false
 		}
 		for i := range cursors {
@@ -450,25 +414,19 @@ func (o *MultiExtendOp) merge(rt *Runtime, b *Binding, cursors []meCursor, next 
 
 // emitGroups walks groups in order, intersecting each group's runs on the
 // neighbour and emitting the cross product across groups.
-func (o *MultiExtendOp) emitGroups(rt *Runtime, b *Binding, cursors []meCursor, gi int, next func() bool) bool {
+func (o *MultiExtendOp) emitGroups(rt *Runtime, sc *opScratch, b *Binding, gi int, next func() bool) bool {
 	if gi == len(o.Groups) {
 		return next()
 	}
-	// Collect this group's cursors.
-	var mine []*meCursor
-	for i := range cursors {
-		if cursors[i].group == gi {
-			mine = append(mine, &cursors[i])
-		}
-	}
+	gs := &sc.groups[gi]
 	target := o.Groups[gi].TargetSlot
-	if len(mine) == 1 {
-		c := mine[0]
+	if len(gs.cur) == 1 {
+		c := &sc.cursors[gs.cur[0]]
 		for k := c.pos; k < c.end; k++ {
 			nbr, e := c.list.Get(k)
 			b.V[target] = nbr
 			b.E[c.ref.EdgeSlot] = e
-			if !o.emitGroups(rt, b, cursors, gi+1, next) {
+			if !o.emitGroups(rt, sc, b, gi+1, next) {
 				return false
 			}
 		}
@@ -476,13 +434,14 @@ func (o *MultiExtendOp) emitGroups(rt *Runtime, b *Binding, cursors []meCursor, 
 	}
 	// Multiple lists for one target: the runs are sorted by neighbour
 	// within the equal-ordinal region; intersect them.
-	idx := make([]int, len(mine))
-	for i, c := range mine {
-		idx[i] = c.pos
+	idx, ends := gs.idx, gs.ends
+	for i, ci := range gs.cur {
+		idx[i] = sc.cursors[ci].pos
 	}
 	for {
 		var nbrTarget storage.VertexID
-		for i, c := range mine {
+		for i, ci := range gs.cur {
+			c := &sc.cursors[ci]
 			if idx[i] >= c.end {
 				return true
 			}
@@ -491,7 +450,8 @@ func (o *MultiExtendOp) emitGroups(rt *Runtime, b *Binding, cursors []meCursor, 
 			}
 		}
 		agreed := true
-		for i, c := range mine {
+		for i, ci := range gs.cur {
+			c := &sc.cursors[ci]
 			for idx[i] < c.end && c.list.Nbr(idx[i]) < nbrTarget {
 				idx[i]++
 			}
@@ -505,35 +465,39 @@ func (o *MultiExtendOp) emitGroups(rt *Runtime, b *Binding, cursors []meCursor, 
 		if !agreed {
 			continue
 		}
-		runEnds := make([]int, len(mine))
-		for i, c := range mine {
+		for i, ci := range gs.cur {
+			c := &sc.cursors[ci]
 			j := idx[i]
 			for j < c.end && c.list.Nbr(j) == nbrTarget {
 				j++
 			}
-			runEnds[i] = j
+			ends[i] = j
 		}
 		b.V[target] = nbrTarget
-		var emitEdges func(i int) bool
-		emitEdges = func(i int) bool {
-			if i == len(mine) {
-				return o.emitGroups(rt, b, cursors, gi+1, next)
-			}
-			for k := idx[i]; k < runEnds[i]; k++ {
-				b.E[mine[i].ref.EdgeSlot] = mine[i].list.Edge(k)
-				if !emitEdges(i + 1) {
-					return false
-				}
-			}
-			return true
-		}
-		if !emitEdges(0) {
+		if !o.emitGroupEdges(rt, sc, b, gi, 0, next) {
 			return false
 		}
-		for i := range mine {
-			idx[i] = runEnds[i]
+		for i := range gs.cur {
+			idx[i] = ends[i]
 		}
 	}
+}
+
+// emitGroupEdges emits the cross product of edge choices inside group gi,
+// then recurses into the next group.
+func (o *MultiExtendOp) emitGroupEdges(rt *Runtime, sc *opScratch, b *Binding, gi, i int, next func() bool) bool {
+	gs := &sc.groups[gi]
+	if i == len(gs.cur) {
+		return o.emitGroups(rt, sc, b, gi+1, next)
+	}
+	c := &sc.cursors[gs.cur[i]]
+	for k := gs.idx[i]; k < gs.ends[i]; k++ {
+		b.E[c.ref.EdgeSlot] = c.list.Edge(k)
+		if !o.emitGroupEdges(rt, sc, b, gi, i+1, next) {
+			return false
+		}
+	}
+	return true
 }
 
 func (o *MultiExtendOp) explain() string {
@@ -554,7 +518,7 @@ type FilterOp struct {
 	Terms []CompiledTerm
 }
 
-func (o *FilterOp) run(rt *Runtime, b *Binding, next func() bool) bool {
+func (o *FilterOp) run(rt *Runtime, _ *opScratch, b *Binding, next func() bool) bool {
 	if !evalAll(rt, b, o.Terms) {
 		return true
 	}

@@ -23,7 +23,7 @@ type partitionableOp interface {
 	// runRange behaves like run restricted to scan positions [lo, hi).
 	// Running every range of a partition of [0, tableSize) exactly once
 	// produces the same multiset of extensions as run.
-	runRange(rt *Runtime, b *Binding, lo, hi int, next func() bool) bool
+	runRange(rt *Runtime, sc *opScratch, b *Binding, lo, hi int, next func() bool) bool
 }
 
 var (
@@ -55,36 +55,22 @@ func (o ParallelOptions) morsel() int {
 }
 
 // CountParallel executes the plan with a morsel-driven worker pool and
-// returns the number of matches. Each worker runs the full operator
-// pipeline over its own Binding and Runtime; per-worker ICost/PredEvals are
+// returns the number of matches. Each worker runs the operator pipeline
+// (with the same count pushdown as the serial path) over its own Binding,
+// Runtime and Scratch arena; per-worker counts and ICost/PredEvals are
 // merged into rt after the barrier. Because every morsel is processed
-// exactly once and the counters are sums, the count and merged metrics are
-// bit-identical to the serial path regardless of worker count. Plans whose
-// root operator is not partitionable fall back to the serial path.
+// exactly once, the counters are sums, and folding charges the i-cost
+// enumeration would have, the count and merged metrics are bit-identical
+// to the serial path regardless of worker count. Plans whose root operator
+// is not partitionable fall back to the serial path.
 func (p *Plan) CountParallel(rt *Runtime, o ParallelOptions) int64 {
 	workers := o.workers()
 	if workers <= 1 {
 		return p.Count(rt)
 	}
-	// One count per cache line: workers increment their slot once per
-	// match, and adjacent int64s would ping-pong the line between cores.
-	type paddedCount struct {
-		n int64
-		_ [56]byte
-	}
-	counts := make([]paddedCount, workers)
-	ran := p.runMorsels(rt, o, workers, func(w int) func(*Binding) bool {
-		return func(*Binding) bool {
-			counts[w].n++
-			return true
-		}
-	})
+	n, ran := p.runMorsels(rt, o, workers, true, nil)
 	if !ran {
 		return p.Count(rt)
-	}
-	var n int64
-	for i := range counts {
-		n += counts[i].n
 	}
 	return n
 }
@@ -105,7 +91,7 @@ func (p *Plan) ExecuteParallel(rt *Runtime, o ParallelOptions, emit func(*Bindin
 	}
 	var mu sync.Mutex
 	stopped := false
-	ran := p.runMorsels(rt, o, workers, func(int) func(*Binding) bool {
+	_, ran := p.runMorsels(rt, o, workers, false, func(int) func(*Binding) bool {
 		return func(b *Binding) bool {
 			mu.Lock()
 			defer mu.Unlock()
@@ -125,17 +111,24 @@ func (p *Plan) ExecuteParallel(rt *Runtime, o ParallelOptions, emit func(*Bindin
 }
 
 // runMorsels partitions the root scan into morsels dispensed from a shared
-// cursor and runs the tail pipeline in workers goroutines. sinkFor returns
-// the terminal emit for one worker; it must be safe for that worker's
-// exclusive use. It returns false (without spawning anything) when the
-// plan's root is not partitionable, signalling a serial fallback.
-func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, sinkFor func(w int) func(*Binding) bool) bool {
+// cursor and runs the tail pipeline in workers goroutines, each over its
+// own Runtime-owned pipeline (binding + scratch arena + closure chain).
+// With counting true the workers use the allocation-free counting sink with
+// count pushdown and the summed count is returned; otherwise sinkFor
+// returns the terminal emit for one worker, which must be safe for that
+// worker's exclusive use. It reports ran=false (without spawning anything)
+// when the plan's root is not partitionable, signalling a serial fallback.
+func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting bool, sinkFor func(w int) func(*Binding) bool) (int64, bool) {
 	if len(p.Ops) == 0 {
-		return false
+		return 0, false
 	}
 	root, ok := p.Ops[0].(partitionableOp)
 	if !ok {
-		return false
+		return 0, false
+	}
+	stop := len(p.Ops)
+	if counting {
+		stop = p.countFoldStart()
 	}
 	size := root.tableSize(rt)
 	morsel := o.morsel()
@@ -143,50 +136,57 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, sinkFor f
 	if workers > numMorsels {
 		workers = numMorsels
 	}
+	// Workers accumulate in their pipeline-local counter and store the
+	// result here once at exit; wg.Wait orders those stores before the sum.
+	counts := make([]int64, workers)
 	var (
-		cursor atomic.Int64
-		stop   atomic.Bool
-		wg     sync.WaitGroup
+		cursor  atomic.Int64
+		stopAll atomic.Bool
+		wg      sync.WaitGroup
 	)
 	rts := make([]*Runtime, workers)
 	for w := 0; w < workers; w++ {
 		wrt := &Runtime{Store: rt.Store, G: rt.G}
 		rts[w] = wrt
-		emit := sinkFor(w)
+		var emit func(*Binding) bool
+		if !counting {
+			emit = sinkFor(w)
+		}
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			b := NewBinding(p.NumV, p.NumE)
-			var runFrom func(i int) bool
-			runFrom = func(i int) bool {
-				if i == len(p.Ops) {
-					return emit(b)
-				}
-				return p.Ops[i].run(wrt, b, func() bool { return runFrom(i + 1) })
-			}
-			for !stop.Load() {
+			pl := wrt.pipelineFor(p)
+			pl.stop = stop
+			pl.emit = emit
+			pl.n = 0
+			for !stopAll.Load() {
 				m := int(cursor.Add(1)) - 1
 				if m >= numMorsels {
-					return
+					break
 				}
 				lo := m * morsel
 				hi := lo + morsel
 				if hi > size {
 					hi = size
 				}
-				if !root.runRange(wrt, b, lo, hi, func() bool { return runFrom(1) }) {
+				if !root.runRange(wrt, wrt.scratch.op(0), pl.b, lo, hi, pl.next[1]) {
 					// The pipeline aborted: emit returned false. Park the
 					// whole pool.
-					stop.Store(true)
-					return
+					stopAll.Store(true)
+					break
 				}
 			}
-		}()
+			counts[w] = pl.n
+		}(w)
 	}
 	wg.Wait()
+	var n int64
+	for w := range counts {
+		n += counts[w]
+	}
 	for _, wrt := range rts {
 		rt.ICost += wrt.ICost
 		rt.PredEvals += wrt.PredEvals
 	}
-	return true
+	return n, true
 }

@@ -19,29 +19,142 @@ type Plan struct {
 	EstimatedICost float64
 }
 
-// Execute streams complete matches into emit; returning false from emit
-// stops execution early. The binding passed to emit is reused — copy it if
-// retaining.
-func (p *Plan) Execute(rt *Runtime, emit func(*Binding) bool) {
-	b := NewBinding(p.NumV, p.NumE)
-	var run func(i int) bool
-	run = func(i int) bool {
-		if i == len(p.Ops) {
-			return emit(b)
-		}
-		return p.Ops[i].run(rt, b, func() bool { return run(i + 1) })
-	}
-	run(0)
+// pipeline is a plan compiled against one Runtime: the reusable binding,
+// the operator scratch arena, and a closure chain built once so that the
+// per-tuple path performs no allocations (the previous implementation
+// rebuilt a closure per operator invocation). A Runtime caches the pipeline
+// of the last plan it executed, so repeated Count/Execute calls on a warm
+// Runtime are allocation-free.
+type pipeline struct {
+	plan *Plan
+	rt   *Runtime
+	b    *Binding
+	// next[i] runs operators i.. and then the sink; next[i] is passed as
+	// the continuation of operator i-1.
+	next []func() bool
+	// stop is the operator index where the sink takes over: len(Ops) for
+	// full enumeration, the fold boundary for pushed-down counting.
+	stop int
+	// emit is the enumeration sink; nil selects the counting sink.
+	emit func(*Binding) bool
+	n    int64
 }
 
-// Count executes the plan and returns the number of matches.
+// pipelineFor returns the Runtime's cached pipeline for p, building it on
+// first use or when the Runtime last executed a different plan.
+func (rt *Runtime) pipelineFor(p *Plan) *pipeline {
+	if rt.pipe != nil && rt.pipe.plan == p {
+		return rt.pipe
+	}
+	pl := &pipeline{plan: p, rt: rt, b: NewBinding(p.NumV, p.NumE)}
+	rt.scratch.reset(len(p.Ops))
+	pl.next = make([]func() bool, len(p.Ops)+1)
+	for i := 1; i <= len(p.Ops); i++ {
+		i := i
+		pl.next[i] = func() bool { return pl.step(i) }
+	}
+	rt.pipe = pl
+	return pl
+}
+
+// step runs operators i.. of the pipeline, or the sink once i reaches the
+// stop boundary.
+func (pl *pipeline) step(i int) bool {
+	if i >= pl.stop {
+		return pl.sink()
+	}
+	return pl.plan.Ops[i].run(pl.rt, pl.rt.scratch.op(i), pl.b, pl.next[i+1])
+}
+
+// sink consumes one boundary tuple: enumeration hands it to emit, counting
+// folds the remaining pure-EXTEND suffix (possibly empty) into a product.
+func (pl *pipeline) sink() bool {
+	if pl.emit != nil {
+		return pl.emit(pl.b)
+	}
+	pl.n += pl.plan.foldedCount(pl.rt, pl.b, pl.stop)
+	return true
+}
+
+// Execute streams complete matches into emit; returning false from emit
+// stops execution early. The binding passed to emit is reused — copy it if
+// retaining. A Runtime must not execute two plans concurrently; the
+// morsel-parallel path gives each worker its own Runtime.
+func (p *Plan) Execute(rt *Runtime, emit func(*Binding) bool) {
+	pl := rt.pipelineFor(p)
+	pl.stop = len(p.Ops)
+	pl.emit = emit
+	pl.step(0)
+	pl.emit = nil
+}
+
+// Count executes the plan and returns the number of matches. When the plan
+// ends in pure unfiltered EXTENDs over slots bound earlier, counting folds
+// the product of adjacency-list lengths at that boundary instead of
+// enumerating bindings (count pushdown): the count and the accumulated
+// i-cost are bit-identical to enumeration, with orders of magnitude fewer
+// operator invocations on star/fan-out queries.
 func (p *Plan) Count(rt *Runtime) int64 {
-	var n int64
-	p.Execute(rt, func(*Binding) bool {
-		n++
-		return true
-	})
-	return n
+	pl := rt.pipelineFor(p)
+	pl.stop = p.countFoldStart()
+	pl.emit = nil
+	pl.n = 0
+	pl.step(0)
+	return pl.n
+}
+
+// countFoldStart returns the start of the longest plan suffix consisting
+// solely of pure unfiltered EXTENDs (one list, no sorted segment) whose
+// owner slots are all bound before the suffix, so no suffix operator
+// consumes another's output. Counting folds that suffix into a product of
+// list lengths. len(p.Ops) means no folding applies; the suffix never
+// includes operator 0 (the root scan is partitioned, not folded).
+func (p *Plan) countFoldStart() int {
+	start := len(p.Ops)
+	for start > 1 {
+		op, ok := p.Ops[start-1].(*ExtendIntersectOp)
+		if !ok || len(op.Lists) != 1 || op.Lists[0].Seg != nil {
+			break
+		}
+		// Nothing already in the suffix may read a slot this op binds.
+		dep := false
+		for _, later := range p.Ops[start:] {
+			r := &later.(*ExtendIntersectOp).Lists[0]
+			if r.Kind == ListEP {
+				if r.OwnerEdgeSlot == op.Lists[0].EdgeSlot {
+					dep = true
+					break
+				}
+			} else if r.OwnerVertexSlot == op.TargetSlot {
+				dep = true
+				break
+			}
+		}
+		if dep {
+			break
+		}
+		start--
+	}
+	return start
+}
+
+// foldedCount returns the number of matches the plan suffix [start:) would
+// enumerate from the boundary binding b, as the product of its adjacency-
+// list lengths, charging exactly the i-cost enumeration would have charged:
+// enumeration fetches suffix list i once per tuple produced by lists 0..i-1.
+func (p *Plan) foldedCount(rt *Runtime, b *Binding, start int) int64 {
+	total := int64(1)
+	for _, op := range p.Ops[start:] {
+		o := op.(*ExtendIntersectOp)
+		l := o.Lists[0].Fetch(rt, b) // charges this list's length once
+		n := int64(l.Len())
+		rt.ICost += n * (total - 1) // the remaining fetches enumeration does
+		total *= n
+		if total == 0 {
+			return 0 // enumeration never reaches the later lists
+		}
+	}
+	return total
 }
 
 // Explain renders the pipeline, one operator per line.

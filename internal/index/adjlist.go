@@ -64,6 +64,47 @@ func (l AdjList) Edge(i int) storage.EdgeID {
 	return storage.EdgeID(l.eids[i])
 }
 
+// Direct returns the raw (nbr, eid) payload arrays when the list is stored
+// directly (primary indexes and merged buffers), letting executors read it
+// with zero copies; ok is false for offset lists, which need DecodeInto.
+// Callers must not mutate the returned slices.
+func (l AdjList) Direct() (nbrs []uint32, eids []uint64, ok bool) {
+	if l.baseNbrs != nil {
+		return nil, nil, false
+	}
+	return l.nbrs, l.eids, true
+}
+
+// DecodeInto bulk-decodes the list into nbrs/eids, reusing their capacity
+// and growing them when needed, and returns slices of length Len(). Offset
+// lists are resolved with one bulk unpack of the byte-packed offsets
+// (csr.List.UnpackInto) followed by a gather through the owner's primary
+// range — the per-element representation branch and byte-unpacking loop of
+// Get/Nbr are paid once per fetch instead of once per access.
+func (l AdjList) DecodeInto(nbrs []uint32, eids []uint64) ([]uint32, []uint64) {
+	n := l.Len()
+	if cap(nbrs) < n {
+		nbrs = make([]uint32, n)
+	}
+	nbrs = nbrs[:n]
+	if cap(eids) < n {
+		eids = make([]uint64, n)
+	}
+	eids = eids[:n]
+	if l.baseNbrs == nil {
+		copy(nbrs, l.nbrs)
+		copy(eids, l.eids)
+		return nbrs, eids
+	}
+	// Unpack the offsets into nbrs, then resolve both payloads in place.
+	l.off.UnpackInto(nbrs)
+	for i, o := range nbrs {
+		eids[i] = l.baseEids[o]
+		nbrs[i] = l.baseNbrs[o]
+	}
+	return nbrs, eids
+}
+
 // Materialize copies the list into fresh (nbr, eid) arrays.
 func (l AdjList) Materialize() ([]uint32, []uint64) {
 	n := l.Len()
