@@ -22,9 +22,33 @@ type Recommendation struct {
 // IV-D): each candidate is derived from the workload's predicates, built,
 // scored by re-optimizing every query, then dropped. budgetBytes limits
 // the combined footprint of the selection (0 = unlimited). The database is
-// left unchanged.
+// left unchanged: the trial indexes are built and dropped on a private
+// rebuilt copy of the store, so published snapshots stay frozen and
+// concurrent queries are never disturbed. Advise counts as a write for the
+// Query-callback guard (it is heavyweight and order-sensitive).
 func (db *DB) Advise(workload []string, budgetBytes int64) ([]Recommendation, error) {
-	s, err := db.ensureStore()
+	if err := db.writeGuard(); err != nil {
+		return nil, err
+	}
+	mgr, err := db.ensureManager()
+	if err != nil {
+		return nil, err
+	}
+	// Fold pending writes so the advisor sees every committed edge, then
+	// rebuild a private store over a private graph clone (index builds
+	// cache categorical encodings on the graph, which must not race the
+	// published one's readers).
+	if err := mgr.Merge(); err != nil {
+		return nil, err
+	}
+	sn := mgr.Acquire()
+	defer sn.Release()
+	// A writer may have committed between the Merge and the Acquire; fold
+	// any pending deletes into the private clone so candidates are sized
+	// and scored over exactly the snapshot's live edges.
+	g2 := sn.Graph().Clone()
+	g2.ApplyTombstones(sn.Delta().DeletedEdges())
+	s, err := sn.Store().CloneRebuilt(g2, sn.Store().Primary().Config())
 	if err != nil {
 		return nil, err
 	}

@@ -33,28 +33,39 @@
 // metrics regardless of worker count; Query streams the same set of rows
 // but in a nondeterministic order when Parallelism != 1.
 //
-// Concurrent reads (Count, CountProfiled, Query, Explain, Stats,
-// VertexProp, EdgeProp) are safe from any number of goroutines. Writes
-// (AddVertex, AddEdge, DeleteEdge, Flush, Exec, DropIndex) are serialized
-// against reads by a coarse reader/writer lock on the index store and may
-// also be issued from multiple goroutines, though the interleaving between
-// writes is then unspecified. Advise is a write: it transiently builds and
-// drops trial indexes. Never call any DB method from inside a Query
-// callback: the callback runs under the store's read lock, and a nested
-// acquisition deadlocks once a writer is waiting. To read properties of a
-// matched row, use Row.VertexProp/Row.EdgeProp, which piggyback on the
-// running query's lock.
+// The database is snapshot-isolated. Every read (Count, CountProfiled,
+// Query, Explain, Stats, VertexProp, EdgeProp) pins the current immutable
+// snapshot with two atomic operations — there is no lock on the read path
+// at all — and observes exactly that state for its whole run. Writes
+// (AddVertex, AddEdge, DeleteEdge, and grouped batches via Batch) stage
+// their changes on a copy-on-write clone plus a delta overlay and publish
+// a new snapshot with one atomic swap: readers never block on writers,
+// and writers never wait for in-flight queries to drain. Writers serialize
+// against each other; a write becomes visible to reads that start after
+// its batch commits. A background merger folds large deltas back into
+// block-packed index form off the query path (Flush forces it).
+//
+// Reads may be issued from anywhere, including from inside a Query
+// callback (the nested read pins its own snapshot). Writes issued from
+// inside a Query callback fail fast with ErrWriteInQueryCallback — the
+// running query could never observe them anyway, since it reads its pinned
+// snapshot; stage the changes and apply them after the query returns, e.g.
+// in one Batch. Advise counts as a write: it builds and drops trial
+// indexes.
 package aplus
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/aplusdb/aplus/internal/exec"
 	"github.com/aplusdb/aplus/internal/index"
 	"github.com/aplusdb/aplus/internal/opt"
 	"github.com/aplusdb/aplus/internal/query"
+	"github.com/aplusdb/aplus/internal/snap"
 	"github.com/aplusdb/aplus/internal/storage"
 )
 
@@ -90,14 +101,33 @@ func (p PlannerOptions) mode() opt.Mode {
 	}
 }
 
+// ErrWriteInQueryCallback is returned by every write entry point when it is
+// invoked from inside a Query callback: the running query reads its pinned
+// snapshot and could never observe the write, so the call is almost always
+// a bug (and under the pre-snapshot lock-based engine it self-deadlocked).
+// Collect the changes and apply them after the query returns, e.g. in one
+// Batch.
+var ErrWriteInQueryCallback = errors.New(
+	"aplus: write issued from inside a Query callback; apply writes after the query returns (e.g. in one DB.Batch)")
+
+// ErrWriteInBatchCallback is returned by every DB-level write entry point
+// when it is invoked from inside a Batch callback: the batch already holds
+// the writer mutex, so a nested DB write would self-deadlock. Stage the op
+// on the *Batch argument instead.
+var ErrWriteInBatchCallback = errors.New(
+	"aplus: DB write issued from inside a Batch callback; stage the op on the Batch argument instead")
+
 // DB is an in-memory graph database with A+ indexes.
 type DB struct {
-	g     *storage.Graph
-	store *index.Store
-	// storeMu guards the store pointer (so the first queries racing on a
-	// freshly loaded DB construct the primary indexes exactly once) and,
-	// while no store exists yet, direct graph mutations.
-	storeMu sync.Mutex
+	// g is the load-phase graph: it is mutated directly (under mu) only
+	// until the first query or DDL builds the indexes and publishes the
+	// first snapshot; afterwards the graph of record lives in snapshots.
+	g *storage.Graph
+	// mgr owns the snapshot chain once indexes exist; the atomic pointer
+	// keeps the read path lock-free.
+	mgr atomic.Pointer[snap.Manager]
+	// mu guards manager creation and pre-snapshot direct graph writes.
+	mu sync.Mutex
 
 	// Planner controls the optimizer's plan space for subsequent queries.
 	Planner PlannerOptions
@@ -110,6 +140,21 @@ type DB struct {
 	// MorselSize overrides the scan-range size handed to each worker
 	// (0 = exec.DefaultMorselSize). Exposed for tests and tuning.
 	MorselSize int
+
+	// MergeThreshold overrides the number of pending delta ops after which
+	// a commit schedules a background merge (0 = the engine default). It
+	// must be set before the first query or DDL.
+	MergeThreshold int
+
+	// activeQueries counts Query calls in flight and cbGoroutines marks the
+	// goroutines currently allowed to run their callbacks; activeBatches
+	// and batchGoroutines do the same for Batch callbacks (which hold the
+	// writer mutex). Both let writes from inside a callback fail fast
+	// instead of misbehaving or self-deadlocking.
+	activeQueries   atomic.Int64
+	cbGoroutines    sync.Map // goroutine id -> *atomic.Int64 nesting count
+	activeBatches   atomic.Int64
+	batchGoroutines sync.Map // goroutine id -> *atomic.Int64 nesting count
 }
 
 // New returns an empty database with the default index configuration
@@ -122,46 +167,23 @@ func New() *DB {
 // helpers and the experiment harness).
 func newFromGraph(g *storage.Graph) *DB { return &DB{g: g} }
 
-// ensureStore builds the primary indexes lazily after loading and returns
-// the store.
-func (db *DB) ensureStore() (*index.Store, error) {
-	db.storeMu.Lock()
-	defer db.storeMu.Unlock()
-	if db.store != nil {
-		return db.store, nil
+// ensureManager builds the primary indexes and publishes the first
+// snapshot on first use. The load-phase graph is frozen from then on.
+func (db *DB) ensureManager() (*snap.Manager, error) {
+	if m := db.mgr.Load(); m != nil {
+		return m, nil
 	}
-	s, err := index.NewStore(db.g, index.DefaultConfig())
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if m := db.mgr.Load(); m != nil {
+		return m, nil
+	}
+	m, err := snap.NewManager(db.g, index.DefaultConfig(), snap.Options{MergeThreshold: db.MergeThreshold})
 	if err != nil {
 		return nil, err
 	}
-	db.store = s
-	return s, nil
-}
-
-// getStore returns the store pointer (nil before the first query or DDL)
-// with the happens-before edge the lazy build requires.
-func (db *DB) getStore() *index.Store {
-	db.storeMu.Lock()
-	defer db.storeMu.Unlock()
-	return db.store
-}
-
-// readLocked runs f holding whichever lock makes graph reads consistent
-// with lock-serialized writes: the store's read lock once indexes exist,
-// storeMu before then (direct graph writes hold it). f receives the store
-// (nil before the first query or DDL).
-func (db *DB) readLocked(f func(s *index.Store)) {
-	db.storeMu.Lock()
-	s := db.store
-	if s == nil {
-		defer db.storeMu.Unlock()
-		f(nil)
-		return
-	}
-	db.storeMu.Unlock()
-	s.RLock()
-	defer s.RUnlock()
-	f(s)
+	db.mgr.Store(m)
+	return m, nil
 }
 
 // workers resolves the effective worker-pool size.
@@ -179,75 +201,164 @@ func (db *DB) parallelOptions() exec.ParallelOptions {
 	return exec.ParallelOptions{Workers: db.workers(), MorselSize: db.MorselSize}
 }
 
-// AddVertex appends a vertex. label may be empty.
-func (db *DB) AddVertex(label string, props Props) (VertexID, error) {
-	db.storeMu.Lock()
-	defer db.storeMu.Unlock()
-	if db.store != nil {
-		// Queries read the vertex table and per-label lists under the
-		// store's read lock; vertex appends must exclude them.
-		db.store.Lock()
-		defer db.store.Unlock()
-	}
-	v := db.g.AddVertex(label)
-	for k, val := range props {
-		sv, err := toValue(val)
-		if err != nil {
-			return v, fmt.Errorf("aplus: property %q: %w", k, err)
-		}
-		if err := db.g.SetVertexProp(v, k, sv); err != nil {
-			return v, err
-		}
-	}
-	return v, nil
+// Batch is a group of writes staged against one snapshot and committed
+// atomically: either every op becomes visible in a single snapshot
+// publication, or (when the callback errors) none does. Batching is the
+// preferred write path under load — one grouped commit amortizes the
+// copy-on-write clone across all its ops.
+type Batch struct {
+	sb *snap.Batch
 }
 
-// AddEdge appends an edge. Before the first query the edge goes straight
-// into the graph; afterwards it is routed through index maintenance
-// (update buffers merged at a threshold, as in Section IV-C of the paper).
-func (db *DB) AddEdge(src, dst VertexID, label string, props Props) (EdgeID, error) {
-	vals := make(map[string]storage.Value, len(props))
-	for k, val := range props {
-		sv, err := toValue(val)
-		if err != nil {
-			return 0, fmt.Errorf("aplus: property %q: %w", k, err)
-		}
-		vals[k] = sv
-	}
-	db.storeMu.Lock()
-	if s := db.store; s != nil {
-		db.storeMu.Unlock()
-		return s.InsertEdge(src, dst, label, vals)
-	}
-	defer db.storeMu.Unlock()
-	e, err := db.g.AddEdge(src, dst, label)
+// AddVertex appends a vertex to the batch. label may be empty.
+func (b *Batch) AddVertex(label string, props Props) (VertexID, error) {
+	vals, err := toValues(props)
 	if err != nil {
 		return 0, err
 	}
-	for k, v := range vals {
-		if err := db.g.SetEdgeProp(e, k, v); err != nil {
+	return b.sb.AddVertex(label, vals)
+}
+
+// AddEdge appends an edge to the batch. The endpoints may be pre-existing
+// vertices or vertices added earlier in the same batch.
+func (b *Batch) AddEdge(src, dst VertexID, label string, props Props) (EdgeID, error) {
+	vals, err := toValues(props)
+	if err != nil {
+		return 0, err
+	}
+	return b.sb.AddEdge(src, dst, label, vals)
+}
+
+// DeleteEdge stages an edge deletion in the batch.
+func (b *Batch) DeleteEdge(e EdgeID) error { return b.sb.DeleteEdge(e) }
+
+// Batch stages a group of writes and commits them atomically when fn
+// returns nil (one snapshot publication for the whole group); when fn
+// returns an error, every staged op is discarded and the error is
+// returned. Batches serialize against other writes; readers are never
+// blocked — queries that started before the commit keep observing their
+// pinned snapshot, queries that start afterwards observe all of it.
+//
+// Inside fn, stage ops only on the *Batch argument: DB-level writes would
+// deadlock on the held writer mutex and fail fast with
+// ErrWriteInBatchCallback instead. DB-level reads are allowed; they pin
+// the current snapshot and therefore do not see the ops staged so far.
+func (db *DB) Batch(fn func(*Batch) error) error {
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	mgr, err := db.ensureManager()
+	if err != nil {
+		return err
+	}
+	sb := mgr.Begin()
+	// Abort is a no-op after Commit; the defer guarantees the writer mutex
+	// is released even when fn panics or exits the goroutine.
+	defer sb.Abort()
+	db.activeBatches.Add(1)
+	defer db.activeBatches.Add(-1)
+	defer markGoroutine(&db.batchGoroutines)()
+	if err := fn(&Batch{sb: sb}); err != nil {
+		return err
+	}
+	return sb.Commit()
+}
+
+// AddVertex appends a vertex. label may be empty. After the first query or
+// DDL this is a batch of one; group bulk writes with Batch instead.
+func (db *DB) AddVertex(label string, props Props) (VertexID, error) {
+	vals, err := toValues(props)
+	if err != nil {
+		return 0, err
+	}
+	return writeOne(db, func(sb *snap.Batch) (VertexID, error) {
+		return sb.AddVertex(label, vals)
+	}, func() (VertexID, error) {
+		v := db.g.AddVertex(label)
+		for k, sv := range vals {
+			if err := db.g.SetVertexProp(v, k, sv); err != nil {
+				return v, err
+			}
+		}
+		return v, nil
+	})
+}
+
+// AddEdge appends an edge. Before the first query the edge goes straight
+// into the graph; afterwards it is a batch of one, committed into the
+// current snapshot's delta overlay (group bulk writes with Batch).
+func (db *DB) AddEdge(src, dst VertexID, label string, props Props) (EdgeID, error) {
+	vals, err := toValues(props)
+	if err != nil {
+		return 0, err
+	}
+	return writeOne(db, func(sb *snap.Batch) (EdgeID, error) {
+		return sb.AddEdge(src, dst, label, vals)
+	}, func() (EdgeID, error) {
+		e, err := db.g.AddEdge(src, dst, label)
+		if err != nil {
 			return 0, err
 		}
-	}
-	return e, nil
+		for k, v := range vals {
+			if err := db.g.SetEdgeProp(e, k, v); err != nil {
+				return 0, err
+			}
+		}
+		return e, nil
+	})
 }
 
-// DeleteEdge tombstones an edge; the tombstone is merged out of the
-// indexes at the next buffer merge.
+// DeleteEdge tombstones an edge; the tombstone lives in the snapshot delta
+// until the background merger folds it out of the indexes.
 func (db *DB) DeleteEdge(e EdgeID) error {
-	db.storeMu.Lock()
-	if s := db.store; s != nil {
-		db.storeMu.Unlock()
-		return s.DeleteEdge(e)
-	}
-	defer db.storeMu.Unlock()
-	return db.g.DeleteEdge(e)
+	_, err := writeOne(db, func(sb *snap.Batch) (struct{}, error) {
+		return struct{}{}, sb.DeleteEdge(e)
+	}, func() (struct{}, error) {
+		return struct{}{}, db.g.DeleteEdge(e)
+	})
+	return err
 }
 
-// Flush merges all pending index update buffers.
+// writeOne runs a single write through the guard and the right path:
+// once a snapshot manager exists, a batch of one; before then, a direct
+// mutation of the load-phase graph under db.mu (re-checking the manager
+// under the lock, since a concurrent first query may have just published).
+func writeOne[T any](db *DB, staged func(*snap.Batch) (T, error), loadPhase func() (T, error)) (T, error) {
+	var zero T
+	if err := db.writeGuard(); err != nil {
+		return zero, err
+	}
+	if mgr := db.mgr.Load(); mgr != nil {
+		return commitOne(mgr, staged)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if mgr := db.mgr.Load(); mgr != nil {
+		return commitOne(mgr, staged)
+	}
+	return loadPhase()
+}
+
+// commitOne runs a single staged op as its own batch.
+func commitOne[T any](mgr *snap.Manager, stage func(*snap.Batch) (T, error)) (T, error) {
+	sb := mgr.Begin()
+	defer sb.Abort() // no-op after Commit; releases the mutex on panic
+	id, err := stage(sb)
+	if err != nil {
+		return id, err
+	}
+	return id, sb.Commit()
+}
+
+// Flush folds all pending delta ops into a fresh block-packed base,
+// synchronously (the background merger does the same off the query path
+// once enough ops accumulate).
 func (db *DB) Flush() error {
-	if s := db.getStore(); s != nil {
-		return s.Flush()
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	if mgr := db.mgr.Load(); mgr != nil {
+		return mgr.Merge()
 	}
 	return nil
 }
@@ -255,7 +366,10 @@ func (db *DB) Flush() error {
 // Exec runs an index DDL command: RECONFIGURE PRIMARY INDEXES …,
 // CREATE 1-HOP VIEW …, or CREATE 2-HOP VIEW ….
 func (db *DB) Exec(ddl string) error {
-	s, err := db.ensureStore()
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	mgr, err := db.ensureManager()
 	if err != nil {
 		return err
 	}
@@ -265,46 +379,49 @@ func (db *DB) Exec(ddl string) error {
 	}
 	switch d := d.(type) {
 	case query.Reconfigure:
-		return s.Reconfigure(d.Cfg)
+		return mgr.Reconfigure(d.Cfg)
 	case query.Create1Hop:
-		_, err := s.CreateVertexPartitioned(d.Def)
-		return err
+		return mgr.CreateVertexPartitioned(d.Def)
 	case query.Create2Hop:
-		_, err := s.CreateEdgePartitioned(d.Def)
-		return err
+		return mgr.CreateEdgePartitioned(d.Def)
 	default:
 		return fmt.Errorf("aplus: unsupported DDL")
 	}
 }
 
-// DropIndex removes a secondary index by view name.
+// DropIndex removes a secondary index by view name. Like every write it is
+// rejected from inside a Query callback; since the signature has no error,
+// that case also reports false — indistinguishable from a missing index,
+// so don't drop indexes from callbacks.
 func (db *DB) DropIndex(name string) bool {
-	if s := db.getStore(); s != nil {
-		return s.DropIndex(name)
+	if err := db.writeGuard(); err != nil {
+		return false
+	}
+	if mgr := db.mgr.Load(); mgr != nil {
+		return mgr.DropIndex(name)
 	}
 	return false
 }
 
 // Row is one query match: variable name to matched entity ID.
 type Row struct {
-	db       *DB
+	g        *storage.Graph
 	Vertices map[string]VertexID
 	Edges    map[string]EdgeID
 }
 
-// VertexProp reads a property of a matched vertex. Use it (not
-// DB.VertexProp) inside a Query callback: it relies on the read lock the
-// running query already holds, where DB.VertexProp's own lock acquisition
-// would deadlock against a waiting writer. Do not call it after the
-// callback returns.
+// VertexProp reads a property of a matched vertex from the snapshot the
+// running query has pinned, so the value is consistent with the match even
+// while writers commit concurrently. Do not call it after the callback
+// returns.
 func (r Row) VertexProp(v VertexID, key string) any {
-	return fromValue(r.db.g.VertexProp(v, key))
+	return fromValue(r.g.VertexProp(v, key))
 }
 
 // EdgeProp reads a property of a matched edge; the Query-callback
 // counterpart of DB.EdgeProp (see Row.VertexProp).
 func (r Row) EdgeProp(e EdgeID, key string) any {
-	return fromValue(r.db.g.EdgeProp(e, key))
+	return fromValue(r.g.EdgeProp(e, key))
 }
 
 // Metrics reports the work a query execution performed.
@@ -327,13 +444,12 @@ func (db *DB) Count(cypher string) (int64, error) {
 // CountProfiled runs a query and also reports execution metrics. The count
 // and the merged ICost/PredEvals are identical whatever Parallelism is.
 func (db *DB) CountProfiled(cypher string) (int64, Metrics, error) {
-	s, err := db.ensureStore()
+	s, err := db.pin()
 	if err != nil {
 		return 0, Metrics{}, err
 	}
-	s.RLock()
-	defer s.RUnlock()
-	plan, rt, err := db.planLocked(s, cypher)
+	defer s.Release()
+	plan, rt, err := db.planSnap(s, cypher)
 	if err != nil {
 		return 0, Metrics{}, err
 	}
@@ -343,20 +459,32 @@ func (db *DB) CountProfiled(cypher string) (int64, Metrics, error) {
 
 // Query streams matches to fn; returning false stops early. fn is never
 // called concurrently with itself, but with Parallelism != 1 rows arrive in
-// a nondeterministic order.
+// a nondeterministic order. The query observes the snapshot current when it
+// started for its entire run: concurrently committed writes neither appear
+// in its rows nor block it. fn may issue reads (they pin their own, possibly
+// newer, snapshot); writes from inside fn fail with ErrWriteInQueryCallback.
 func (db *DB) Query(cypher string, fn func(Row) bool) error {
-	s, err := db.ensureStore()
+	s, err := db.pin()
 	if err != nil {
 		return err
 	}
-	s.RLock()
-	defer s.RUnlock()
-	plan, rt, err := db.planLocked(s, cypher)
+	defer s.Release()
+	plan, rt, err := db.planSnap(s, cypher)
 	if err != nil {
 		return err
 	}
-	plan.ExecuteParallel(rt, db.parallelOptions(), func(b *exec.Binding) bool {
-		row := Row{db: db, Vertices: make(map[string]VertexID), Edges: make(map[string]EdgeID)}
+	db.activeQueries.Add(1)
+	defer db.activeQueries.Add(-1)
+	// Mark the goroutines that may run fn — this one (serial path and
+	// non-partitionable fallback) and every pool worker — so writeGuard can
+	// reject writes issued from inside the callback.
+	unmark := db.markCallbackGoroutine()
+	defer unmark()
+	opts := db.parallelOptions()
+	opts.OnWorkerStart = db.markCallbackGoroutine
+	g := s.Graph()
+	plan.ExecuteParallel(rt, opts, func(b *exec.Binding) bool {
+		row := Row{g: g, Vertices: make(map[string]VertexID), Edges: make(map[string]EdgeID)}
 		for i, name := range plan.VertexNames {
 			row.Vertices[name] = b.V[i]
 		}
@@ -370,45 +498,69 @@ func (db *DB) Query(cypher string, fn func(Row) bool) error {
 
 // Explain returns the physical plan chosen for a query.
 func (db *DB) Explain(cypher string) (string, error) {
-	s, err := db.ensureStore()
+	s, err := db.pin()
 	if err != nil {
 		return "", err
 	}
-	s.RLock()
-	defer s.RUnlock()
-	plan, _, err := db.planLocked(s, cypher)
+	defer s.Release()
+	plan, _, err := db.planSnap(s, cypher)
 	if err != nil {
 		return "", err
 	}
 	return plan.Explain(), nil
 }
 
-// planLocked parses and optimizes under the store's read lock (the
-// optimizer reads index metadata and statistics).
-func (db *DB) planLocked(s *index.Store, cypher string) (*exec.Plan, *exec.Runtime, error) {
+// pin builds the indexes if needed and pins the current snapshot.
+func (db *DB) pin() (*snap.Snapshot, error) {
+	mgr, err := db.ensureManager()
+	if err != nil {
+		return nil, err
+	}
+	return mgr.Acquire(), nil
+}
+
+// planSnap parses and optimizes against a pinned snapshot. While the
+// snapshot carries unmerged writes, secondary indexes are hidden from the
+// planner: materialized views do not cover the delta overlay, and the
+// primary indexes (which splice it) answer every query shape.
+func (db *DB) planSnap(s *snap.Snapshot, cypher string) (*exec.Plan, *exec.Runtime, error) {
 	q, err := query.Parse(cypher)
 	if err != nil {
 		return nil, nil, err
 	}
-	plan, err := opt.Optimize(s, q, db.Planner.mode())
+	mode := db.Planner.mode()
+	if !s.Delta().Empty() {
+		mode.DisableSecondary = true
+	}
+	plan, err := opt.Optimize(s.Store(), q, mode)
 	if err != nil {
 		return nil, nil, err
 	}
-	return plan, exec.NewRuntime(s), nil
+	return plan, exec.NewRuntimeOver(s.Store(), s.Graph(), s.Delta()), nil
 }
 
 // VertexProp reads a vertex property (nil when absent).
 func (db *DB) VertexProp(v VertexID, key string) any {
-	var out any
-	db.readLocked(func(*index.Store) { out = fromValue(db.g.VertexProp(v, key)) })
-	return out
+	if mgr := db.mgr.Load(); mgr != nil {
+		s := mgr.Acquire()
+		defer s.Release()
+		return fromValue(s.Graph().VertexProp(v, key))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return fromValue(db.g.VertexProp(v, key))
 }
 
 // EdgeProp reads an edge property (nil when absent).
 func (db *DB) EdgeProp(e EdgeID, key string) any {
-	var out any
-	db.readLocked(func(*index.Store) { out = fromValue(db.g.EdgeProp(e, key)) })
-	return out
+	if mgr := db.mgr.Load(); mgr != nil {
+		s := mgr.Acquire()
+		defer s.Release()
+		return fromValue(s.Graph().EdgeProp(e, key))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return fromValue(db.g.EdgeProp(e, key))
 }
 
 // Stats summarizes the database and index footprints.
@@ -419,26 +571,136 @@ type Stats struct {
 	PrimaryIDListBytes         int64
 	SecondaryIndexBytes        int64
 	IndexedEdgesIncludingViews int64
+
+	// Epoch is the current snapshot's publication number (0 before the
+	// first query or DDL).
+	Epoch uint64
+	// PendingWrites is the number of committed ops awaiting a merge into
+	// block-packed index form.
+	PendingWrites int
+	// RetiredEpochs counts superseded snapshots whose last reader has
+	// unpinned.
+	RetiredEpochs int64
+	// LastMergeError is the most recent delta-fold failure ("" when the
+	// last fold succeeded). A persistent value here means pending writes
+	// cannot currently be folded into block-packed form and PendingWrites
+	// will keep climbing; Flush returns the same error synchronously.
+	LastMergeError string
 }
 
 // Stats reports sizes; index fields are zero before the first query or DDL.
 func (db *DB) Stats() Stats {
-	var st Stats
-	db.readLocked(func(s *index.Store) {
-		st = Stats{
-			NumVertices: db.g.NumVertices(),
-			NumEdges:    db.g.NumLiveEdges(),
-			GraphBytes:  db.g.MemoryBytes(),
+	mgr := db.mgr.Load()
+	if mgr == nil {
+		db.mu.Lock()
+		if db.mgr.Load() == nil {
+			st := Stats{
+				NumVertices: db.g.NumVertices(),
+				NumEdges:    db.g.NumLiveEdges(),
+				GraphBytes:  db.g.MemoryBytes(),
+			}
+			db.mu.Unlock()
+			return st
 		}
-		if s != nil {
-			is := s.StatsLocked()
-			st.PrimaryLevelBytes = is.PrimaryLevels
-			st.PrimaryIDListBytes = is.PrimaryIDLists
-			st.SecondaryIndexBytes = is.SecondaryBytes
-			st.IndexedEdgesIncludingViews = is.IndexedEdges
+		db.mu.Unlock()
+		mgr = db.mgr.Load()
+	}
+	s := mgr.Acquire()
+	defer s.Release()
+	g := s.Graph()
+	is := s.Store().StatsLocked()
+	ms := mgr.Stats()
+	return Stats{
+		NumVertices:                g.NumVertices(),
+		NumEdges:                   g.NumLiveEdges() - s.Delta().Deletes(),
+		GraphBytes:                 g.MemoryBytes(),
+		PrimaryLevelBytes:          is.PrimaryLevels,
+		PrimaryIDListBytes:         is.PrimaryIDLists,
+		SecondaryIndexBytes:        is.SecondaryBytes,
+		IndexedEdgesIncludingViews: is.IndexedEdges,
+		Epoch:                      ms.Epoch,
+		PendingWrites:              s.Delta().Pending(),
+		RetiredEpochs:              ms.RetiredEpochs,
+		LastMergeError:             ms.LastMergeError,
+	}
+}
+
+// writeGuard rejects writes issued from inside a Query or Batch callback.
+// It is free when neither is in flight; otherwise it identifies the
+// calling goroutine (one small runtime.Stack read) and checks it against
+// the goroutines currently marked as running callbacks.
+func (db *DB) writeGuard() error {
+	inQuery := db.activeQueries.Load() > 0
+	inBatch := db.activeBatches.Load() > 0
+	if !inQuery && !inBatch {
+		return nil
+	}
+	id := gid()
+	if inQuery {
+		if _, ok := db.cbGoroutines.Load(id); ok {
+			return ErrWriteInQueryCallback
 		}
-	})
-	return st
+	}
+	if inBatch {
+		if _, ok := db.batchGoroutines.Load(id); ok {
+			return ErrWriteInBatchCallback
+		}
+	}
+	return nil
+}
+
+// markGoroutine registers the calling goroutine in a callback-goroutine
+// set and returns the matching unmark. Nesting (a callback issued from
+// inside a callback on the same goroutine) is counted, so an inner unmark
+// does not strip the outer protection.
+func markGoroutine(m *sync.Map) func() {
+	id := gid()
+	v, _ := m.LoadOrStore(id, new(atomic.Int64))
+	c := v.(*atomic.Int64)
+	c.Add(1)
+	return func() {
+		if c.Add(-1) == 0 {
+			m.Delete(id)
+		}
+	}
+}
+
+// markCallbackGoroutine marks the caller as a Query-callback goroutine.
+func (db *DB) markCallbackGoroutine() func() {
+	return markGoroutine(&db.cbGoroutines)
+}
+
+// gid returns the calling goroutine's id, parsed from the first line of its
+// stack header ("goroutine N [...]"). It costs roughly a microsecond and is
+// only used on write entry points while queries are in flight, and once per
+// worker per streaming query.
+func gid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[len("goroutine "):n]
+	var id uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+func toValues(props Props) (map[string]storage.Value, error) {
+	if len(props) == 0 {
+		return nil, nil
+	}
+	vals := make(map[string]storage.Value, len(props))
+	for k, val := range props {
+		sv, err := toValue(val)
+		if err != nil {
+			return nil, fmt.Errorf("aplus: property %q: %w", k, err)
+		}
+		vals[k] = sv
+	}
+	return vals, nil
 }
 
 func toValue(v any) (storage.Value, error) {

@@ -1,0 +1,607 @@
+package aplus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// snapTestDB builds a small indexed database: n vertices labeled V, a ring
+// of E0 edges, and indexes already built (the first Count publishes the
+// first snapshot).
+func snapTestDB(t *testing.T, n int) *DB {
+	t.Helper()
+	db := New()
+	for i := 0; i < n; i++ {
+		if _, err := db.AddVertex("V", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := db.AddEdge(VertexID(i), VertexID((i+1)%n), "E0", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Count("MATCH (a:V)-[e:E0]->(b:V)"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func mustCount(t *testing.T, db *DB, q string) int64 {
+	t.Helper()
+	n, err := db.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+const snapEdgeQuery = "MATCH (a:V)-[e:E0]->(b:V)"
+
+func TestBatchCommitIsAtomic(t *testing.T) {
+	db := snapTestDB(t, 16)
+	base := mustCount(t, db, snapEdgeQuery)
+
+	err := db.Batch(func(b *Batch) error {
+		v, err := b.AddVertex("V", Props{"name": "new"})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := b.AddEdge(VertexID(i), v, "E0", nil); err != nil {
+				return err
+			}
+		}
+		return b.DeleteEdge(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != base+5-1 {
+		t.Fatalf("count %d want %d", got, base+4)
+	}
+	if got := db.VertexProp(VertexID(16), "name"); got != "new" {
+		t.Fatalf("batch vertex prop = %v", got)
+	}
+}
+
+func TestBatchErrorDiscardsEverything(t *testing.T) {
+	db := snapTestDB(t, 16)
+	base := mustCount(t, db, snapEdgeQuery)
+	boom := errors.New("boom")
+
+	err := db.Batch(func(b *Batch) error {
+		if _, err := b.AddEdge(0, 1, "E0", nil); err != nil {
+			return err
+		}
+		if err := b.DeleteEdge(2); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != base {
+		t.Fatalf("aborted batch leaked: count %d want %d", got, base)
+	}
+}
+
+// TestWriteInsideQueryCallbackFailsFast pins the guard satellite: every
+// write entry point invoked from inside a Query callback must return
+// ErrWriteInQueryCallback immediately (the lock-based engine used to
+// self-deadlock here), at both worker counts.
+func TestWriteInsideQueryCallbackFailsFast(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			db := snapTestDB(t, 16)
+			db.Parallelism = workers
+			checked := false
+			err := db.Query(snapEdgeQuery, func(Row) bool {
+				checked = true
+				if _, err := db.AddEdge(0, 1, "E0", nil); !errors.Is(err, ErrWriteInQueryCallback) {
+					t.Errorf("AddEdge: %v", err)
+				}
+				if _, err := db.AddVertex("V", nil); !errors.Is(err, ErrWriteInQueryCallback) {
+					t.Errorf("AddVertex: %v", err)
+				}
+				if err := db.DeleteEdge(0); !errors.Is(err, ErrWriteInQueryCallback) {
+					t.Errorf("DeleteEdge: %v", err)
+				}
+				if err := db.Flush(); !errors.Is(err, ErrWriteInQueryCallback) {
+					t.Errorf("Flush: %v", err)
+				}
+				if err := db.Batch(func(*Batch) error { return nil }); !errors.Is(err, ErrWriteInQueryCallback) {
+					t.Errorf("Batch: %v", err)
+				}
+				if err := db.Exec("CREATE 1-HOP VIEW X MATCH vs-[eadj]->vd INDEX AS FW PARTITION BY eadj.label"); !errors.Is(err, ErrWriteInQueryCallback) {
+					t.Errorf("Exec: %v", err)
+				}
+				if _, err := db.Advise([]string{snapEdgeQuery}, 0); !errors.Is(err, ErrWriteInQueryCallback) {
+					t.Errorf("Advise: %v", err)
+				}
+				return false // one row suffices
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !checked {
+				t.Fatal("callback never ran")
+			}
+			// After the query the same goroutine may write again.
+			if _, err := db.AddEdge(0, 1, "E0", nil); err != nil {
+				t.Fatalf("write after query: %v", err)
+			}
+			// Nested reads stay allowed from inside callbacks.
+			err = db.Query(snapEdgeQuery, func(Row) bool {
+				if _, err := db.Count(snapEdgeQuery); err != nil {
+					t.Errorf("nested Count: %v", err)
+				}
+				return false
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWritersDoNotBlockOnReaders pins the tentpole's scheduling contract:
+// a writer commits while a Query callback is still in flight on another
+// goroutine, without waiting for the query to finish.
+func TestWritersDoNotBlockOnReaders(t *testing.T) {
+	db := snapTestDB(t, 64)
+	inCallback := make(chan struct{})
+	releaseCallback := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		first := true
+		done <- db.Query(snapEdgeQuery, func(Row) bool {
+			if first {
+				first = false
+				close(inCallback)
+				<-releaseCallback
+			}
+			return true
+		})
+	}()
+	<-inCallback
+	// The reader is parked inside its callback, snapshot pinned. A commit
+	// must still go through.
+	if _, err := db.AddEdge(0, 2, "E0", nil); err != nil {
+		t.Fatal(err)
+	}
+	close(releaseCallback)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != 65 {
+		t.Fatalf("count %d want 65", got)
+	}
+}
+
+// TestDeleteVisibleBeforeMerge checks delta delete splicing end to end:
+// a deletion is observed by queries immediately (while still buffered) and
+// survives the fold.
+func TestDeleteVisibleBeforeMerge(t *testing.T) {
+	db := snapTestDB(t, 16)
+	if err := db.DeleteEdge(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != 15 {
+		t.Fatalf("pre-merge count %d want 15", got)
+	}
+	if st := db.Stats(); st.PendingWrites == 0 {
+		t.Fatal("delete not pending")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.PendingWrites != 0 {
+		t.Fatalf("pending %d after flush", st.PendingWrites)
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != 15 {
+		t.Fatalf("post-merge count %d want 15", got)
+	}
+}
+
+// TestCountPushdownWithDeltaOverlay checks that the count-pushdown fold
+// stays bit-identical to enumeration (count and i-cost, at any worker
+// count) when lists carry a delta overlay.
+func TestCountPushdownWithDeltaOverlay(t *testing.T) {
+	db := snapTestDB(t, 16)
+	// Make the delta non-trivial: fan-out edges on a few hubs plus a
+	// deletion, all unmerged.
+	err := db.Batch(func(b *Batch) error {
+		for i := 0; i < 6; i++ {
+			if _, err := b.AddEdge(2, VertexID(5+i), "E0", nil); err != nil {
+				return err
+			}
+			if _, err := b.AddEdge(2, VertexID(5+i), "E0", nil); err != nil { // parallel
+				return err
+			}
+		}
+		return b.DeleteEdge(7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().PendingWrites == 0 {
+		t.Fatal("delta unexpectedly empty")
+	}
+
+	star := "MATCH (a:V)-[e1:E0]->(b:V), (a:V)-[e2:E0]->(c:V)"
+	db.Parallelism = 1
+	serial, m1, err := db.CountProfiled(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enumerated int64
+	if err := db.Query(star, func(Row) bool { enumerated++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if serial != enumerated {
+		t.Fatalf("folded %d != enumerated %d", serial, enumerated)
+	}
+	db.Parallelism = 8
+	par, m8, err := db.CountProfiled(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != serial || m8.ICost != m1.ICost {
+		t.Fatalf("parallel (%d, icost %d) != serial (%d, icost %d)", par, m8.ICost, serial, m1.ICost)
+	}
+}
+
+// TestSecondaryIndexWithDelta: materialized views are hidden while a delta
+// is pending (they cannot cover it) and come back after the fold, with
+// counts identical throughout.
+func TestSecondaryIndexWithDelta(t *testing.T) {
+	db := snapTestDB(t, 16)
+	if err := db.Exec("CREATE 1-HOP VIEW VN MATCH vs-[eadj]->vd INDEX AS FW-BW PARTITION BY eadj.label"); err != nil {
+		t.Fatal(err)
+	}
+	base := mustCount(t, db, snapEdgeQuery)
+	if _, err := db.AddEdge(1, 4, "E0", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != base+1 {
+		t.Fatalf("count with pending delta %d want %d", got, base+1)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != base+1 {
+		t.Fatalf("count after fold %d want %d", got, base+1)
+	}
+}
+
+// TestConcurrentSnapshotStress is the DB-level mixed workload under -race:
+// 8 reader goroutines count continuously while one writer commits batches
+// and the background merger folds (tiny threshold). Every count observed
+// must be a state the writer actually published: with inserts only, counts
+// must be non-decreasing per reader.
+func TestConcurrentSnapshotStress(t *testing.T) {
+	db := snapTestDB(t, 64)
+	db.MergeThreshold = 0 // default; set before first use would be needed
+	const (
+		readers    = 8
+		batches    = 30
+		perBatch   = 8
+		finalCount = 64 + batches*perBatch
+	)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			last := int64(0)
+			for !stop.Load() {
+				n := mustCount(t, db, snapEdgeQuery)
+				if n < last {
+					t.Errorf("reader %d: count went backwards: %d after %d", r, n, last)
+					return
+				}
+				last = n
+			}
+		}(r)
+	}
+	for i := 0; i < batches; i++ {
+		err := db.Batch(func(b *Batch) error {
+			for j := 0; j < perBatch; j++ {
+				if _, err := b.AddEdge(VertexID((i*7+j)%64), VertexID((i*13+j+1)%64), "E0", nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != finalCount {
+		t.Fatalf("final count %d want %d", got, finalCount)
+	}
+	st := db.Stats()
+	if st.Epoch == 0 {
+		t.Fatal("no epochs published")
+	}
+	t.Logf("epoch=%d retired=%d pending=%d", st.Epoch, st.RetiredEpochs, st.PendingWrites)
+}
+
+// TestNewLabelAfterIndexBuild: an edge whose label the frozen base has
+// never seen cannot be buffered; the commit must fold to a fresh base and
+// stay queryable.
+func TestNewLabelAfterIndexBuild(t *testing.T) {
+	db := snapTestDB(t, 8)
+	if _, err := db.AddEdge(0, 3, "Brand", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.PendingWrites != 0 {
+		t.Fatalf("unbufferable edge left pending ops: %d", st.PendingWrites)
+	}
+	n, err := db.Count("MATCH (a:V)-[e:Brand]->(b:V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("count %d want 1", n)
+	}
+}
+
+// TestBatchPoisonedByStagingError: a staging failure (here a property kind
+// mismatch discovered after the edge was appended to the clone) must make
+// Commit refuse even when the callback swallows the error — otherwise the
+// half-staged edge (in the graph, absent from the delta) would be visible
+// to scan-anchored plans but not index-anchored ones.
+func TestBatchPoisonedByStagingError(t *testing.T) {
+	db := snapTestDB(t, 8)
+	if _, err := db.AddEdge(0, 1, "E0", Props{"amt": 7}); err != nil { // int column exists
+		t.Fatal(err)
+	}
+	base := mustCount(t, db, snapEdgeQuery)
+	err := db.Batch(func(b *Batch) error {
+		_, err := b.AddEdge(2, 3, "E0", Props{"amt": "not-an-int"})
+		if err == nil {
+			t.Error("kind mismatch not reported")
+		}
+		return nil // swallow it — Commit must still refuse
+	})
+	if err == nil {
+		t.Fatal("poisoned batch committed")
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != base {
+		t.Fatalf("half-staged edge leaked: count %d want %d", got, base)
+	}
+	st := db.Stats()
+	if st.NumEdges != int(base) {
+		t.Fatalf("Stats.NumEdges %d want %d", st.NumEdges, base)
+	}
+}
+
+// TestWriteInsideBatchCallbackFailsFast: DB-level writes from inside a
+// Batch callback would deadlock on the held writer mutex; they must fail
+// with ErrWriteInBatchCallback instead, while staged Batch ops and
+// DB-level reads keep working.
+func TestWriteInsideBatchCallbackFailsFast(t *testing.T) {
+	db := snapTestDB(t, 16)
+	base := mustCount(t, db, snapEdgeQuery)
+	err := db.Batch(func(b *Batch) error {
+		if _, err := db.AddEdge(0, 1, "E0", nil); !errors.Is(err, ErrWriteInBatchCallback) {
+			t.Errorf("nested AddEdge: %v", err)
+		}
+		if err := db.Flush(); !errors.Is(err, ErrWriteInBatchCallback) {
+			t.Errorf("nested Flush: %v", err)
+		}
+		if err := db.Batch(func(*Batch) error { return nil }); !errors.Is(err, ErrWriteInBatchCallback) {
+			t.Errorf("nested Batch: %v", err)
+		}
+		// Reads pin the pre-batch snapshot and stay legal.
+		if got := mustCount(t, db, snapEdgeQuery); got != base {
+			t.Errorf("read inside batch saw %d want %d", got, base)
+		}
+		_, err := b.AddEdge(0, 1, "E0", nil) // staging on the batch is the way
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustCount(t, db, snapEdgeQuery); got != base+1 {
+		t.Fatalf("count %d want %d", got, base+1)
+	}
+	// The guard lifts once the batch commits.
+	if _, err := db.AddEdge(1, 2, "E0", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchPanicReleasesWriterLock: a panicking batch callback must not
+// leave the writer mutex held (regression: Begin locked it and only the
+// error path aborted).
+func TestBatchPanicReleasesWriterLock(t *testing.T) {
+	db := snapTestDB(t, 8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic to propagate")
+			}
+		}()
+		_ = db.Batch(func(*Batch) error { panic("user bug") })
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.AddEdge(0, 1, "E0", nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write deadlocked after a panicking batch")
+	}
+}
+
+// TestNewStringSortKeyValueFoldsBase: under a string sort key, a batch
+// that interns a brand-new string value cannot be buffered — the clone's
+// dictionary ranks diverge from the frozen base's, which would splice
+// lists out of order (regression: delta entries carried clone-space
+// ordinals). The commit must fold to a fresh base and answer exactly.
+func TestNewStringSortKeyValueFoldsBase(t *testing.T) {
+	db := New()
+	for i := 0; i < 8; i++ {
+		if _, err := db.AddVertex("V", Props{"city": string(rune('m' + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := db.AddEdge(VertexID(i), VertexID((i+1)%8), "E0", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Exec("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.city"); err != nil {
+		t.Fatal(err)
+	}
+	// 'a' sorts before every existing city, so a clone-space rank would
+	// shift all ranks; 'z' sorts after everything.
+	err := db.Batch(func(b *Batch) error {
+		va, err := b.AddVertex("V", Props{"city": "a"})
+		if err != nil {
+			return err
+		}
+		vz, err := b.AddVertex("V", Props{"city": "z"})
+		if err != nil {
+			return err
+		}
+		if _, err := b.AddEdge(0, va, "E0", nil); err != nil {
+			return err
+		}
+		if _, err := b.AddEdge(0, vz, "E0", nil); err != nil {
+			return err
+		}
+		_, err = b.AddEdge(1, vz, "E0", nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.PendingWrites != 0 {
+		t.Fatalf("unbufferable string sort value left pending ops: %d", st.PendingWrites)
+	}
+	for city, want := range map[string]int64{"a": 1, "z": 2, "m": 1} {
+		n, err := db.Count(fmt.Sprintf("MATCH (x:V)-[e:E0]->(y:V) WHERE y.city = '%s'", city))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("city %q count %d want %d", city, n, want)
+		}
+	}
+	// Existing string values still buffer (no fold needed).
+	if _, err := db.AddEdge(2, 5, "E0", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.PendingWrites != 1 {
+		t.Fatalf("bufferable insert folded eagerly: pending %d", st.PendingWrites)
+	}
+	n, err := db.Count("MATCH (x:V)-[e:E0]->(y:V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Fatalf("total %d want 12", n)
+	}
+}
+
+// TestDropIndexSurvivesMerge: a drop followed by a fold must stay dropped
+// (regression: a fold racing the drop could republish the pre-drop store).
+func TestDropIndexSurvivesMerge(t *testing.T) {
+	db := snapTestDB(t, 16)
+	if err := db.Exec("CREATE 1-HOP VIEW DropMe MATCH vs-[eadj]->vd INDEX AS FW PARTITION BY eadj.label"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddEdge(0, 5, "E0", nil); err != nil { // dirty the delta
+		t.Fatal(err)
+	}
+	if !db.DropIndex("DropMe") {
+		t.Fatal("drop failed")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.DropIndex("DropMe") {
+		t.Fatal("index resurrected by the merge")
+	}
+	if st := db.Stats(); st.SecondaryIndexBytes != 0 {
+		t.Fatalf("secondary bytes %d after drop+merge", st.SecondaryIndexBytes)
+	}
+}
+
+// TestNewVertexLabelVisibleImmediately: the planner resolves label names
+// against the frozen base catalog, so a commit that interns a brand-new
+// label must fold to a fresh base — otherwise the committed entities stay
+// invisible to queries until some unrelated merge (regression: a
+// vertex-only batch left an empty delta, so nothing ever folded).
+func TestNewVertexLabelVisibleImmediately(t *testing.T) {
+	db := snapTestDB(t, 8)
+	if _, err := db.AddVertex("Person", nil); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Count("MATCH (p:Person)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("new-label vertex invisible: count %d want 1", n)
+	}
+	// Same through a batch mixing a new label with edges to it.
+	err = db.Batch(func(b *Batch) error {
+		v, err := b.AddVertex("Org", nil)
+		if err != nil {
+			return err
+		}
+		_, err = b.AddEdge(0, v, "E0", nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err = db.Count("MATCH (a:V)-[e:E0]->(o:Org)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("edge to new-label vertex invisible: count %d want 1", n)
+	}
+}
+
+// TestStatsEpochObservability: epochs advance with commits and retirement
+// tracks unpinned snapshots.
+func TestStatsEpochObservability(t *testing.T) {
+	db := snapTestDB(t, 8)
+	st0 := db.Stats()
+	if _, err := db.AddEdge(0, 2, "E0", nil); err != nil {
+		t.Fatal(err)
+	}
+	st1 := db.Stats()
+	if st1.Epoch <= st0.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", st0.Epoch, st1.Epoch)
+	}
+	if st1.PendingWrites != 1 {
+		t.Fatalf("pending %d want 1", st1.PendingWrites)
+	}
+	if st1.RetiredEpochs < st0.RetiredEpochs {
+		t.Fatal("retired count went backwards")
+	}
+}

@@ -132,3 +132,29 @@ func BenchmarkMaintenance(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMixedWorkload runs the snapshot-isolation mixed experiment:
+// readers counting over pinned snapshots while a writer commits batches
+// and the background merger folds deltas. The custom metrics report read
+// tail latency with and without concurrent writes — the snapshot design's
+// contract is that the ratio stays small (readers take no lock a writer
+// could hold). -benchtime=1x makes this the CI smoke for the mixed path.
+func BenchmarkMixedWorkload(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Mixed(harness.Options{Scale: benchScale, MixedReads: 50})
+	}
+	p99 := map[string]float64{}
+	for _, r := range rows {
+		if r.Query == "p99" {
+			if len(r.Config) >= 5 && r.Config[:5] == "mixed" {
+				p99["mixed"] = r.Seconds
+			} else {
+				p99["readonly"] = r.Seconds
+			}
+		}
+	}
+	if p99["readonly"] > 0 {
+		b.ReportMetric(p99["mixed"]/p99["readonly"], "p99-ratio-mixed-vs-readonly")
+	}
+}

@@ -81,6 +81,33 @@ func main() {
 	}
 	fmt.Printf("...in EUR after reconfiguration: %d (i-cost %d)\n", n, m.ICost)
 
+	// Writes after the indexes exist are snapshot-isolated: group them in
+	// one Batch and they commit atomically — queries either see all of the
+	// batch or none of it, and never block on it. (Writes also work one at
+	// a time; Batch amortizes the commit over the group.)
+	var v6 aplus.VertexID
+	if err := db.Batch(func(b *aplus.Batch) error {
+		var err error
+		v6, err = b.AddVertex("Account", aplus.Props{"acc": "SV", "city": "SF"})
+		if err != nil {
+			return err
+		}
+		if _, err := b.AddEdge(accounts[0], v6, "W",
+			aplus.Props{"amt": 60, "currency": "EUR", "date": 21}); err != nil {
+			return err
+		}
+		_, err = b.AddEdge(v6, accounts[2], "W",
+			aplus.Props{"amt": 15, "currency": "EUR", "date": 22})
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	n, err = db.Count(q + ", r2.currency = 'EUR'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("...including the batched transfers: %d\n", n)
+
 	// Inspect the chosen plan.
 	plan, err := db.Explain(q)
 	if err != nil {

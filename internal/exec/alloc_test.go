@@ -266,3 +266,112 @@ func TestZeroAllocSegmentFetch(t *testing.T) {
 	}
 	assertZeroAlloc(t, rt, plan)
 }
+
+// deltaRuntime builds a runtime pinned to a snapshot-style state with a
+// non-empty delta overlay: fresh edges buffered across many owners plus a
+// few deletes of base edges, over the frozen allocStore base. This is the
+// shape every fetch must splice through.
+func deltaRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	g := allocGraph(t)
+	s, err := index.NewStore(g, index.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := g.Clone()
+	b := index.NewDeltaBuilder(index.NewDelta(), s.Primary(), g2)
+	for v := 0; v < 32; v += 2 {
+		e, err := g2.AddEdge(storage.VertexID(v), storage.VertexID((v+5)%32), "W")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Insert(e)
+		// A parallel delta edge, so spliced duplicate runs are exercised.
+		e2, err := g2.AddEdge(storage.VertexID(v), storage.VertexID((v+5)%32), "W")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Insert(e2)
+	}
+	b.Delete(storage.EdgeID(3))
+	b.Delete(storage.EdgeID(10))
+	if b.Impossible() {
+		t.Fatal("delta unexpectedly unbufferable")
+	}
+	d := b.Freeze()
+	if d.Empty() {
+		t.Fatal("delta unexpectedly empty")
+	}
+	return NewRuntimeOver(s, g2, d)
+}
+
+// TestZeroAllocExtendDeltaSplice pins the snapshot-read contract: a Count
+// whose EXTEND fetches splice a non-empty delta overlay into the frozen
+// base must stay allocation-free in steady state (the merged entries land
+// in reusable per-op scratch buffers).
+func TestZeroAllocExtendDeltaSplice(t *testing.T) {
+	rt := deltaRuntime(t)
+	plan := &Plan{
+		NumV: 2, NumE: 1,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}
+
+// TestZeroAllocIntersectDeltaSplice is the 2-way E/I variant: both
+// intersected lists are spliced before galloping.
+func TestZeroAllocIntersectDeltaSplice(t *testing.T) {
+	rt := deltaRuntime(t)
+	plan := &Plan{
+		NumV: 3, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+				{Kind: ListPrimary, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 2},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+}
+
+// TestDeltaSpliceCountMatchesEnumeration cross-checks the delta fetch path
+// against itself: the folded Count (FetchLen arithmetic) must equal full
+// enumeration (Splice materialization), with identical i-cost.
+func TestDeltaSpliceCountMatchesEnumeration(t *testing.T) {
+	rt := deltaRuntime(t)
+	rtEnum := &Runtime{Store: rt.Store, G: rt.G, Delta: rt.Delta}
+	// Star fan-out whose tail folds under count pushdown.
+	plan := &Plan{
+		NumV: 3, NumE: 2,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 1},
+			}},
+		},
+	}
+	if plan.countFoldStart() >= len(plan.Ops) {
+		t.Fatal("fold suffix not recognized")
+	}
+	folded := plan.Count(rt)
+	var enumerated int64
+	plan.Execute(rtEnum, func(*Binding) bool { enumerated++; return true })
+	if folded != enumerated {
+		t.Fatalf("folded count %d != enumerated %d", folded, enumerated)
+	}
+	if rt.ICost != rtEnum.ICost {
+		t.Fatalf("folded i-cost %d != enumerated %d", rt.ICost, rtEnum.ICost)
+	}
+}

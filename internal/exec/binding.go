@@ -31,6 +31,13 @@ type Runtime struct {
 	Store *index.Store
 	G     *storage.Graph
 
+	// Delta is the pinned snapshot's overlay of unmerged writes (nil when
+	// the snapshot is clean): primary list fetches splice its per-owner
+	// insert runs and delete records into the flat-slice decode, and scans
+	// skip its pending deletes. G is then the snapshot's graph, which may
+	// contain vertices/edges the frozen Store has not indexed yet.
+	Delta *index.Delta
+
 	// ICost counts adjacency entries read from lists.
 	ICost int64
 	// PredEvals counts per-entry predicate evaluations (the quantity that
@@ -49,4 +56,15 @@ type Runtime struct {
 // NewRuntime builds a runtime over a store.
 func NewRuntime(s *index.Store) *Runtime {
 	return &Runtime{Store: s, G: s.Graph()}
+}
+
+// NewRuntimeOver builds a runtime reading through a pinned snapshot: the
+// frozen base store s, the snapshot's graph g (a superset of the store's
+// build graph), and the delta overlay d (an empty or nil delta disables
+// splicing entirely).
+func NewRuntimeOver(s *index.Store, g *storage.Graph, d *index.Delta) *Runtime {
+	if d.Empty() {
+		d = nil
+	}
+	return &Runtime{Store: s, G: g, Delta: d}
 }

@@ -22,7 +22,7 @@ func (o *CloseEdgeOp) run(rt *Runtime, sc *opScratch, b *Binding, next func() bo
 	sc.oneRef[0] = o.List
 	sc.initCombo(sc.oneRef[:])
 	for {
-		l := o.List.fetchWith(rt, b, sc.codes[0])
+		l := o.List.fetchWith(rt, sc, 0, b, sc.codes[0])
 		n := l.Len()
 		lo, hi := 0, n
 		if o.Sorted {

@@ -77,27 +77,59 @@ func ExpandChoices(prefix []uint16, cards []int) [][]uint16 {
 	return out
 }
 
-// Fetch resolves the list under the current binding (using r.Codes) and
-// counts its length toward the runtime's i-cost.
-func (r ListRef) Fetch(rt *Runtime, b *Binding) index.AdjList {
-	return r.fetchWith(rt, b, r.Codes)
-}
-
-func (r ListRef) fetchWith(rt *Runtime, b *Binding, codes []uint16) index.AdjList {
-	var l index.AdjList
+// fetchBase resolves the list from the indexes under the current binding,
+// without segment restriction, delta splicing, or i-cost accounting.
+func (r ListRef) fetchBase(rt *Runtime, b *Binding, codes []uint16) index.AdjList {
 	switch r.Kind {
 	case ListPrimary:
-		l = rt.Store.Primary().List(r.Dir, b.V[r.OwnerVertexSlot], codes)
+		return rt.Store.Primary().List(r.Dir, b.V[r.OwnerVertexSlot], codes)
 	case ListVP:
-		l = r.VP.List(r.Dir, b.V[r.OwnerVertexSlot], codes)
+		return r.VP.List(r.Dir, b.V[r.OwnerVertexSlot], codes)
 	case ListEP:
-		l = r.EP.List(b.E[r.OwnerEdgeSlot], codes)
+		return r.EP.List(b.E[r.OwnerEdgeSlot], codes)
+	}
+	return index.AdjList{}
+}
+
+// fetchWith resolves the list under the current binding, splices the pinned
+// snapshot's delta overlay into primary fetches (writing the merged entries
+// into list position li's reusable scratch buffer, so steady-state fetches
+// stay allocation-free), applies the sorted-segment restriction, and counts
+// the resulting length toward the runtime's i-cost. Secondary-index fetches
+// never need splicing: the planner hides secondary indexes while a snapshot
+// carries a non-empty delta.
+func (r ListRef) fetchWith(rt *Runtime, sc *opScratch, li int, b *Binding, codes []uint16) index.AdjList {
+	l := r.fetchBase(rt, b, codes)
+	if rt.Delta != nil && r.Kind == ListPrimary {
+		owner := uint32(b.V[r.OwnerVertexSlot])
+		if rt.Delta.Touches(r.Dir, owner) {
+			buf := sc.spliceBuf(li)
+			buf.nbrs, buf.eids = rt.Delta.Splice(rt.Store.Primary(), r.Dir, owner, codes, l, buf.nbrs, buf.eids)
+			l = index.DirectList(buf.nbrs, buf.eids)
+		}
 	}
 	if r.Seg != nil {
 		l = segmentList(rt, b, l, r.Seg)
 	}
 	rt.ICost += int64(l.Len())
 	return l
+}
+
+// FetchLen returns the length fetching this list would produce — including
+// the delta overlay, but without materializing the merged entries — and
+// charges that length to the runtime's i-cost exactly as a fetch would.
+// This is the count-pushdown fold path, which multiplies lengths instead of
+// enumerating; fold refs never carry segments.
+func (r ListRef) FetchLen(rt *Runtime, b *Binding) int {
+	n := r.fetchBase(rt, b, r.Codes).Len()
+	if rt.Delta != nil && r.Kind == ListPrimary {
+		owner := uint32(b.V[r.OwnerVertexSlot])
+		if rt.Delta.Touches(r.Dir, owner) {
+			n = rt.Delta.SpliceLen(r.Dir, owner, r.Codes, n)
+		}
+	}
+	rt.ICost += int64(n)
+	return n
 }
 
 // segmentList binary-searches the [Lo, Hi) ordinal range of the first sort

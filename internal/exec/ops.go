@@ -126,6 +126,9 @@ func (o *ScanEdgeOp) runRange(rt *Runtime, _ *opScratch, b *Binding, lo, hi int,
 		if rt.G.EdgeDeleted(e) {
 			return true
 		}
+		if rt.Delta != nil && rt.Delta.EdgeDeleted(e) {
+			return true
+		}
 		if o.HasLabel && rt.G.EdgeLabel(e) != o.Label {
 			return true
 		}
@@ -181,7 +184,7 @@ func (o *ExtendIntersectOp) run(rt *Runtime, sc *opScratch, b *Binding, next fun
 		// multi-bucket range is fine.
 		r := &o.Lists[0]
 		sc.ensureLists(1)
-		sc.decode(0, r.Fetch(rt, b))
+		sc.decode(0, r.fetchWith(rt, sc, 0, b, r.Codes))
 		f := sc.lists[0]
 		for i, nbr := range f.nbrs {
 			b.V[o.TargetSlot] = storage.VertexID(nbr)
@@ -200,7 +203,7 @@ func (o *ExtendIntersectOp) run(rt *Runtime, sc *opScratch, b *Binding, next fun
 	for {
 		empty := false
 		for i := range o.Lists {
-			l := o.Lists[i].fetchWith(rt, b, sc.codes[i])
+			l := o.Lists[i].fetchWith(rt, sc, i, b, sc.codes[i])
 			if l.Len() == 0 {
 				empty = true
 				break
@@ -337,7 +340,7 @@ func (o *MultiExtendOp) run(rt *Runtime, sc *opScratch, b *Binding, next func() 
 	for {
 		ok := true
 		for i := range sc.refs {
-			l := sc.refs[i].fetchWith(rt, b, sc.codes[i])
+			l := sc.refs[i].fetchWith(rt, sc, i, b, sc.codes[i])
 			if l.Len() == 0 {
 				ok = false
 				break

@@ -38,6 +38,11 @@ type ParallelOptions struct {
 	// MorselSize is the scan-range size per work unit; <= 0 means
 	// DefaultMorselSize.
 	MorselSize int
+	// OnWorkerStart, when set, runs at the start of every worker goroutine
+	// and returns a teardown called when the worker exits. Callers use it to
+	// tag worker goroutines (e.g. so writes issued from inside a streaming
+	// callback can be detected and rejected).
+	OnWorkerStart func() func()
 }
 
 func (o ParallelOptions) workers() int {
@@ -146,7 +151,7 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 	)
 	rts := make([]*Runtime, workers)
 	for w := 0; w < workers; w++ {
-		wrt := &Runtime{Store: rt.Store, G: rt.G}
+		wrt := &Runtime{Store: rt.Store, G: rt.G, Delta: rt.Delta}
 		rts[w] = wrt
 		var emit func(*Binding) bool
 		if !counting {
@@ -155,6 +160,9 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if o.OnWorkerStart != nil {
+				defer o.OnWorkerStart()()
+			}
 			pl := wrt.pipelineFor(p)
 			pl.stop = stop
 			pl.emit = emit

@@ -146,8 +146,8 @@ func (p *Plan) foldedCount(rt *Runtime, b *Binding, start int) int64 {
 	total := int64(1)
 	for _, op := range p.Ops[start:] {
 		o := op.(*ExtendIntersectOp)
-		l := o.Lists[0].Fetch(rt, b) // charges this list's length once
-		n := int64(l.Len())
+		// charges this list's (delta-spliced) length once
+		n := int64(o.Lists[0].FetchLen(rt, b))
 		rt.ICost += n * (total - 1) // the remaining fetches enumeration does
 		total *= n
 		if total == 0 {

@@ -64,6 +64,12 @@ type opScratch struct {
 	pos    []int
 	runEnd []int
 
+	// spliceBufs back delta-overlay splices, one per list position of the
+	// op, so every concurrently live fetch of the op has its own merged
+	// copy. Kept separate from bufs: a spliced list may later be "decoded"
+	// zero-copy (it is direct), and the decode buffers must never alias it.
+	spliceBufs []decodeBuf
+
 	// MULTI-EXTEND state, computed once per (worker, op slot): the flattened
 	// list refs across groups, each ref's group, the merge cursors, and
 	// per-group emit state.
@@ -143,6 +149,15 @@ func (sc *opScratch) ensureLists(z int) {
 	sc.lists = sc.lists[:z]
 	sc.pos = sc.pos[:z]
 	sc.runEnd = sc.runEnd[:z]
+}
+
+// spliceBuf returns list position i's reusable delta-splice buffer, growing
+// the slot array on first use (steady-state fetches reuse grown buffers).
+func (sc *opScratch) spliceBuf(i int) *decodeBuf {
+	for len(sc.spliceBufs) <= i {
+		sc.spliceBufs = append(sc.spliceBufs, decodeBuf{})
+	}
+	return &sc.spliceBufs[i]
 }
 
 // decode block-decodes list i into flat slices: direct lists are aliased

@@ -24,7 +24,7 @@ func TestCompareBaselineNoRegression(t *testing.T) {
 	cur[1].Seconds = 1.2  // faster
 	cur[2].ICost = 400    // cheaper plan
 	var buf bytes.Buffer
-	if n := CompareBaseline(&buf, base, cur, 0.10); n != 0 {
+	if n := CompareBaseline(&buf, base, cur, 0.10, 0.10); n != 0 {
 		t.Fatalf("regressions = %d, want 0\n%s", n, buf.String())
 	}
 	if !strings.Contains(buf.String(), "no regressions (3 rows compared)") {
@@ -39,7 +39,7 @@ func TestCompareBaselineDetects(t *testing.T) {
 	cur[1].Count = 201   // wrong result: always a regression
 	cur[2].ICost = 600   // 20% more list entries read
 	var buf bytes.Buffer
-	if n := CompareBaseline(&buf, base, cur, 0.10); n != 3 {
+	if n := CompareBaseline(&buf, base, cur, 0.10, 0.10); n != 3 {
 		t.Fatalf("regressions = %d, want 3\n%s", n, buf.String())
 	}
 	out := buf.String()
@@ -55,7 +55,7 @@ func TestCompareBaselineUnmatchedRows(t *testing.T) {
 	cur := append(baselineRows(), Row{Table: "table5", Dataset: "LJ", Config: "N4", Query: "SQ1", Seconds: 3})
 	cur = cur[1:] // drop base[0]: present in baseline only
 	var buf bytes.Buffer
-	if n := CompareBaseline(&buf, base, cur, 0.10); n != 0 {
+	if n := CompareBaseline(&buf, base, cur, 0.10, 0.10); n != 0 {
 		t.Fatalf("unmatched rows must not regress, got %d\n%s", n, buf.String())
 	}
 	out := buf.String()
@@ -98,7 +98,21 @@ func TestCompareBaselineNoiseFloor(t *testing.T) {
 		{Table: "t", Dataset: "d", Config: "c", Query: "wrong", Seconds: 0.00002, Count: 6, ICost: 10},
 	}
 	var buf bytes.Buffer
-	if n := CompareBaseline(&buf, base, cur, 0.10); n != 1 {
+	if n := CompareBaseline(&buf, base, cur, 0.10, 0.10); n != 1 {
 		t.Fatalf("regressions = %d, want 1 (count mismatch only)\n%s", n, buf.String())
+	}
+}
+
+func TestCompareBaselineAdvisoryRuntime(t *testing.T) {
+	base := []Row{{Table: "t", Dataset: "d", Config: "c", Query: "q1", Seconds: 0.010, Count: 100, ICost: 1000}}
+	cur := []Row{{Table: "t", Dataset: "d", Config: "c", Query: "q1", Seconds: 0.100, Count: 100, ICost: 1000}} // 10x slower, same count/icost
+	var buf bytes.Buffer
+	if n := CompareBaseline(&buf, base, cur, -1, 0.10); n != 0 {
+		t.Fatalf("advisory runtime must not regress, got %d:\n%s", n, buf.String())
+	}
+	cur[0].ICost = 5000 // i-cost still gates
+	buf.Reset()
+	if n := CompareBaseline(&buf, base, cur, -1, 0.10); n != 1 {
+		t.Fatalf("i-cost regression missed under advisory runtime, got %d:\n%s", n, buf.String())
 	}
 }

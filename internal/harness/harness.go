@@ -34,6 +34,14 @@ type Options struct {
 	// Workers is the morsel-driven worker-pool size used for every query
 	// run (<= 1 means the serial path).
 	Workers int
+
+	// Mixed-workload experiment knobs (see Mixed); zero values pick the
+	// defaults noted on each field.
+	MixedReaders    int     // reader goroutines (default 8)
+	MixedWriters    int     // writer goroutines (default 1)
+	MixedBatch      int     // ops per committed batch (default 64)
+	MixedReads      int     // queries per reader per phase (default 200)
+	MixedWriteRatio float64 // fraction of batch ops that are deletes (default 0.2)
 }
 
 func (o Options) scale() float64 {

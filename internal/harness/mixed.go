@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aplusdb/aplus/internal/exec"
+	"github.com/aplusdb/aplus/internal/gen"
+	"github.com/aplusdb/aplus/internal/opt"
+	"github.com/aplusdb/aplus/internal/query"
+	"github.com/aplusdb/aplus/internal/snap"
+	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/workload"
+)
+
+// Mixed measures the snapshot-isolated engine under a concurrent
+// read/write workload. Two phases on one dataset:
+//
+//   - readonly: Readers goroutines each run Reads queries against pinned
+//     snapshots, recording per-query latency;
+//   - mixed: the same readers, plus MixedWriters goroutines committing
+//     batches of MixedBatch ops (MixedWriteRatio of which are deletes of
+//     edges a writer inserted earlier, the rest inserts) while the
+//     background merger folds deltas.
+//
+// Reported rows carry read p50/p99 per phase (Seconds) and writer
+// throughput; the printed summary includes the mixed/readonly p99 ratio —
+// the snapshot design's acceptance bar is staying within 2x, since readers
+// take no lock a writer could hold.
+func Mixed(o Options) []Row {
+	w := o.out()
+	readers := o.MixedReaders
+	if readers <= 0 {
+		readers = 8
+	}
+	writers := o.MixedWriters
+	if writers <= 0 {
+		writers = 1
+	}
+	batch := o.MixedBatch
+	if batch <= 0 {
+		batch = 64
+	}
+	reads := o.MixedReads
+	if reads <= 0 {
+		reads = 200
+	}
+	ratio := o.MixedWriteRatio
+	if ratio < 0 || ratio >= 1 {
+		ratio = 0.2
+	}
+	header(w, fmt.Sprintf("Mixed workload: %d readers x %d reads, %d writer(s), batch %d, delete ratio %.2f",
+		readers, reads, writers, batch, ratio))
+
+	base := gen.LiveJournal
+	g := gen.Build(scaled(base.WithLabels(2, 4), o.scale()))
+	nv := g.NumVertices()
+	m, err := snap.NewManager(g, ConfigD(), snap.Options{})
+	if err != nil {
+		panic(err)
+	}
+	q := pickQueries(workload.SQ(2, 4), "SQ2")[0]
+	qg, err := query.Parse(q.Cypher)
+	if err != nil {
+		panic(err)
+	}
+	ds := base.Name + dsSuffix(2, 4)
+
+	runReaders := func() [][]time.Duration {
+		lat := make([][]time.Duration, readers)
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				lat[r] = make([]time.Duration, 0, reads)
+				for i := 0; i < reads; i++ {
+					start := time.Now()
+					s := m.Acquire()
+					mode := opt.ModeDefault
+					if !s.Delta().Empty() {
+						mode.DisableSecondary = true
+					}
+					plan, err := opt.Optimize(s.Store(), qg, mode)
+					if err != nil {
+						s.Release()
+						panic(err)
+					}
+					rt := exec.NewRuntimeOver(s.Store(), s.Graph(), s.Delta())
+					plan.Count(rt)
+					s.Release()
+					lat[r] = append(lat[r], time.Since(start))
+				}
+			}(r)
+		}
+		wg.Wait()
+		return lat
+	}
+
+	var rows []Row
+
+	// Phase 1: read-only baseline.
+	roStart := time.Now()
+	roLat := flatten(runReaders())
+	roElapsed := time.Since(roStart).Seconds()
+	roP50, roP99 := percentiles(roLat)
+	fmt.Fprintf(w, "%-8s readonly   %2dr      p50 %10v  p99 %10v  (%d reads in %.3fs)\n",
+		ds, readers, roP50, roP99, len(roLat), roElapsed)
+	rows = append(rows,
+		Row{Table: "mixed", Dataset: ds, Config: fmt.Sprintf("readonly-%dr", readers), Query: "p50", Seconds: roP50.Seconds()},
+		Row{Table: "mixed", Dataset: ds, Config: fmt.Sprintf("readonly-%dr", readers), Query: "p99", Seconds: roP99.Seconds()},
+	)
+
+	// Phase 2: same readers with writers committing concurrently.
+	var stopWriters atomic.Bool
+	var writeOps atomic.Int64
+	var wwg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		wwg.Add(1)
+		go func(wi int) {
+			defer wwg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + wi)))
+			var mine []storage.EdgeID
+			for !stopWriters.Load() {
+				b := m.Begin()
+				n := 0
+				for n < batch {
+					if len(mine) > 0 && rng.Float64() < ratio {
+						i := rng.Intn(len(mine))
+						if err := b.DeleteEdge(mine[i]); err != nil {
+							panic(err)
+						}
+						mine = append(mine[:i], mine[i+1:]...)
+					} else {
+						e, err := b.AddEdge(
+							storage.VertexID(rng.Intn(nv)),
+							storage.VertexID(rng.Intn(nv)),
+							"E0", nil)
+						if err != nil {
+							panic(err)
+						}
+						mine = append(mine, e)
+					}
+					n++
+				}
+				if err := b.Commit(); err != nil {
+					panic(err)
+				}
+				writeOps.Add(int64(n))
+			}
+		}(wi)
+	}
+	mixStart := time.Now()
+	mixLat := flatten(runReaders())
+	mixElapsed := time.Since(mixStart).Seconds()
+	stopWriters.Store(true)
+	wwg.Wait()
+	if err := m.Merge(); err != nil {
+		panic(err)
+	}
+
+	mixP50, mixP99 := percentiles(mixLat)
+	ops := writeOps.Load()
+	rate := float64(ops) / mixElapsed
+	ratio99 := mixP99.Seconds() / roP99.Seconds()
+	cfg := fmt.Sprintf("mixed-%dr%dw", readers, writers)
+	fmt.Fprintf(w, "%-8s %s  p50 %10v  p99 %10v  (p99 ratio %.2fx vs readonly)\n",
+		ds, cfg, mixP50, mixP99, ratio99)
+	fmt.Fprintf(w, "%-8s writers    %d x batch %-5d %10d write ops in %.3fs -> %10.0f ops/s\n",
+		ds, writers, batch, ops, mixElapsed, rate)
+	st := m.Stats()
+	fmt.Fprintf(w, "%-8s snapshots  epoch=%d retired=%d merges=%d pending=%d\n",
+		ds, st.Epoch, st.RetiredEpochs, st.Merges, st.PendingOps)
+	rows = append(rows,
+		Row{Table: "mixed", Dataset: ds, Config: cfg, Query: "p50", Seconds: mixP50.Seconds()},
+		Row{Table: "mixed", Dataset: ds, Config: cfg, Query: "p99", Seconds: mixP99.Seconds()},
+		Row{Table: "mixed", Dataset: ds, Config: cfg, Query: "writes", Seconds: mixElapsed, Count: ops},
+	)
+	return rows
+}
+
+func flatten(lat [][]time.Duration) []time.Duration {
+	var out []time.Duration
+	for _, l := range lat {
+		out = append(out, l...)
+	}
+	return out
+}
+
+func percentiles(lat []time.Duration) (p50, p99 time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.99)
+}

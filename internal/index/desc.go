@@ -322,6 +322,14 @@ func valueOrdinal(col *storage.Column, v storage.Value) (uint64, bool) {
 			return 0, false
 		}
 		return uint64(v.I) ^ (1 << 63), true
+	case storage.KindFloat:
+		switch v.Kind {
+		case storage.KindFloat:
+			return storage.FloatOrdinal(v.F), true
+		case storage.KindInt:
+			return storage.FloatOrdinal(float64(v.I)), true
+		}
+		return 0, false
 	case storage.KindString:
 		if v.Kind != storage.KindString {
 			return 0, false

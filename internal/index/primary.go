@@ -18,6 +18,11 @@ type Primary struct {
 	levels []level
 	fw, bw *csr.CSR
 
+	// edgeBound is the graph's edge-slot count when the CSRs were built;
+	// edges at or past it live only in snapshot delta overlays until the
+	// next merge.
+	edgeBound storage.EdgeID
+
 	// Maintenance state (Section IV-C): per-owner update buffers holding
 	// freshly inserted edges until the next merge, plus a count of pending
 	// tombstones that forces lists to filter deleted edges.
@@ -44,11 +49,12 @@ func BuildPrimary(g *storage.Graph, cfg Config) (*Primary, error) {
 		return nil, err
 	}
 	p := &Primary{
-		g:      g,
-		cfg:    cfg,
-		levels: levels,
-		fwBuf:  make(map[uint32][]bufEntry),
-		bwBuf:  make(map[uint32][]bufEntry),
+		g:         g,
+		cfg:       cfg,
+		levels:    levels,
+		edgeBound: storage.EdgeID(g.NumEdges()),
+		fwBuf:     make(map[uint32][]bufEntry),
+		bwBuf:     make(map[uint32][]bufEntry),
 	}
 	cards := levelCards(levels)
 	fb := csr.NewBuilder(g.NumVertices(), cards)
@@ -123,13 +129,21 @@ func (p *Primary) ResolveCodes(vals []storage.Value) ([]uint16, bool) {
 	return codes, true
 }
 
+// EdgeBound returns the graph's edge-slot count when the CSRs were built;
+// edges at or past it are absent from the base and live in delta overlays.
+func (p *Primary) EdgeBound() storage.EdgeID { return p.edgeBound }
+
 // List returns the adjacency list of v under dir, restricted to the bucket
 // prefix codes (possibly empty = the whole neighbourhood). Pending update
-// buffers and tombstones are merged in, preserving sort order.
+// buffers and tombstones are merged in, preserving sort order. Vertices
+// added after the build (snapshot deltas) have an empty base list.
 func (p *Primary) List(dir Direction, v storage.VertexID, codes []uint16) AdjList {
 	c := p.dirCSR(dir)
-	lo, hi := c.PrefixRange(uint32(v), codes)
-	base := DirectList(c.Nbrs()[lo:hi], c.EIDs()[lo:hi])
+	var base AdjList
+	if int(v) < c.NumOwners() {
+		lo, hi := c.PrefixRange(uint32(v), codes)
+		base = DirectList(c.Nbrs()[lo:hi], c.EIDs()[lo:hi])
+	}
 	buf := p.dirBuf(dir)[uint32(v)]
 	if len(buf) == 0 && p.tombstones == 0 {
 		return base
@@ -146,6 +160,9 @@ func (p *Primary) OwnerList(dir Direction, v storage.VertexID) AdjList {
 // ownerSlices returns the raw owner-range arrays for offset resolution.
 func (p *Primary) ownerSlices(dir Direction, v storage.VertexID) ([]uint32, []uint64) {
 	c := p.dirCSR(dir)
+	if int(v) >= c.NumOwners() {
+		return nil, nil
+	}
 	lo, hi := c.OwnerRange(uint32(v))
 	return c.Nbrs()[lo:hi], c.EIDs()[lo:hi]
 }
@@ -153,7 +170,11 @@ func (p *Primary) ownerSlices(dir Direction, v storage.VertexID) ([]uint32, []ui
 // OwnerLen returns the number of entries in v's full list under dir,
 // excluding pending buffers (the sizing basis for offset widths).
 func (p *Primary) OwnerLen(dir Direction, v storage.VertexID) uint32 {
-	lo, hi := p.dirCSR(dir).OwnerRange(uint32(v))
+	c := p.dirCSR(dir)
+	if int(v) >= c.NumOwners() {
+		return 0
+	}
+	lo, hi := c.OwnerRange(uint32(v))
 	return hi - lo
 }
 
@@ -282,6 +303,7 @@ func (p *Primary) rebuild() error {
 	}
 	p.fw, p.bw = fresh.fw, fresh.bw
 	p.levels = fresh.levels
+	p.edgeBound = fresh.edgeBound
 	p.fwBuf = make(map[uint32][]bufEntry)
 	p.bwBuf = make(map[uint32][]bufEntry)
 	p.buffered = 0

@@ -259,6 +259,84 @@ func (s *Store) rebuildAll() error {
 	return nil
 }
 
+// CloneRebuilt builds a brand-new store over g with the primary
+// configuration cfg and this store's secondary index definitions, leaving
+// the receiver untouched. It is the snapshot merger's fold step: g is a
+// private graph clone with pending tombstones already applied, and the
+// result becomes the frozen base of the next epoch.
+func (s *Store) CloneRebuilt(g *storage.Graph, cfg Config) (*Store, error) {
+	ns, err := NewStore(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ns.MergeThreshold = s.MergeThreshold
+	for _, v := range s.vps {
+		nv, err := BuildVertexPartitioned(ns.primary, v.Def())
+		if err != nil {
+			return nil, err
+		}
+		ns.vps = append(ns.vps, nv)
+	}
+	for _, e := range s.eps {
+		ne, err := BuildEdgePartitioned(ns.primary, e.Def())
+		if err != nil {
+			return nil, err
+		}
+		ns.eps = append(ns.eps, ne)
+	}
+	return ns, nil
+}
+
+// WithVertexPartitioned returns a copy of the store (sharing the graph,
+// primary, and existing secondaries) with v registered. Frozen stores
+// published in snapshots are never mutated; DDL derives a successor store
+// instead.
+func (s *Store) WithVertexPartitioned(v *VertexPartitioned) *Store {
+	ns := s.shallowCopy()
+	ns.vps = append(ns.vps, v)
+	return ns
+}
+
+// WithEdgePartitioned is WithVertexPartitioned for 2-hop views.
+func (s *Store) WithEdgePartitioned(e *EdgePartitioned) *Store {
+	ns := s.shallowCopy()
+	ns.eps = append(ns.eps, e)
+	return ns
+}
+
+// WithoutIndex returns a copy of the store lacking the named secondary
+// index; ok is false (and the receiver is returned) when no index matches.
+func (s *Store) WithoutIndex(name string) (*Store, bool) {
+	for i, v := range s.vps {
+		if v.Name() == name {
+			ns := s.shallowCopy()
+			ns.vps = append(ns.vps[:i:i], ns.vps[i+1:]...)
+			return ns, true
+		}
+	}
+	for i, e := range s.eps {
+		if e.Name() == name {
+			ns := s.shallowCopy()
+			ns.eps = append(ns.eps[:i:i], ns.eps[i+1:]...)
+			return ns, true
+		}
+	}
+	return s, false
+}
+
+// HasIndex reports whether a secondary index with the given name exists.
+func (s *Store) HasIndex(name string) bool { return s.lookupName(name) }
+
+func (s *Store) shallowCopy() *Store {
+	return &Store{
+		g:              s.g,
+		primary:        s.primary,
+		vps:            append([]*VertexPartitioned(nil), s.vps...),
+		eps:            append([]*EdgePartitioned(nil), s.eps...),
+		MergeThreshold: s.MergeThreshold,
+	}
+}
+
 // Stats summarizes the store's footprint.
 type Stats struct {
 	// PrimaryLevels and PrimaryIDLists split the primary index footprint

@@ -1,0 +1,238 @@
+package snap
+
+import (
+	"fmt"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// scheduleMerge starts a background fold unless one is already running (or
+// runs it inline under Options.SyncMerge). Commits landing while a fold is
+// in flight are rebased onto its result at publish time, and re-trigger a
+// fold themselves if the rebased delta is still above threshold.
+func (m *Manager) scheduleMerge() {
+	if m.opts.SyncMerge {
+		_ = m.Merge()
+		return
+	}
+	if !m.merging.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		for {
+			if err := m.Merge(); err != nil {
+				// Merge recorded the failure for Stats; stop rather than
+				// retry, which would hot-loop full rebuilds. The next
+				// commit re-triggers a fold attempt; synchronous Flush
+				// callers see the error directly.
+				m.merging.Store(false)
+				return
+			}
+			m.merging.Store(false)
+			// A commit may have crossed the threshold after Merge loaded
+			// its final (empty) view but before the flag cleared — its
+			// scheduleMerge CAS lost against the still-true flag. Re-check
+			// and reclaim so no over-threshold delta is left unmerged on a
+			// burst-then-idle workload.
+			if m.cur.Load().delta.Pending() < m.opts.threshold() {
+				return
+			}
+			if !m.merging.CompareAndSwap(false, true) {
+				return
+			}
+		}
+	}()
+}
+
+// Merge folds every pending delta op into a fresh block-packed base
+// (rebuilding the primary CSRs and all secondary indexes off the query
+// path) and publishes the result, looping until it observes an empty
+// delta. Readers keep executing against their pinned snapshots throughout;
+// commits are only excluded for the brief publish swap, except in the rare
+// fallback where a rebase is impossible. Concurrent merges serialize. The
+// outcome is mirrored into Stats().LastMergeError: set on failure, cleared
+// on success, whether the caller is the background scheduler or Flush.
+func (m *Manager) Merge() (err error) {
+	m.mergeMu.Lock()
+	defer m.mergeMu.Unlock()
+	defer func() {
+		if err != nil {
+			s := err.Error()
+			m.mergeErr.Store(&s)
+		} else {
+			m.mergeErr.Store(nil)
+		}
+	}()
+	attempts := 0
+	for {
+		s := m.cur.Load()
+		if s.delta.Empty() {
+			return nil
+		}
+		if attempts >= 2 {
+			// Writers keep outrunning the fold (or keep introducing values
+			// the fresh base cannot buffer): build once while holding the
+			// writer mutex. Readers still never block.
+			m.mu.Lock()
+			s = m.cur.Load()
+			if s.delta.Empty() {
+				m.mu.Unlock()
+				return nil
+			}
+			st, g2, err := foldSnapshot(s)
+			if err != nil {
+				m.mu.Unlock()
+				return err
+			}
+			m.publishBaseLocked(st, g2, index.NewDelta())
+			m.merges.Add(1)
+			m.mu.Unlock()
+			return nil
+		}
+		attempts++
+
+		// Heavy build, no locks held: commits continue publishing.
+		st, g2, err := foldSnapshot(s)
+		if err != nil {
+			return err
+		}
+
+		m.mu.Lock()
+		cur := m.cur.Load()
+		if cur == s {
+			m.publishBaseLocked(st, g2, index.NewDelta())
+			m.merges.Add(1)
+			m.mu.Unlock()
+			continue // drain anything committed after the swap
+		}
+		if cur.baseGen == s.baseGen {
+			// Commits landed during the build; rebase the op suffix they
+			// appended onto the freshly built base.
+			g3 := cur.graph.Clone()
+			g3.ApplyTombstones(s.delta.DeletedEdges())
+			if d2, ok := index.RebaseDelta(cur.delta, s.delta.LogLen(), st.Primary(), g3); ok {
+				m.baseGen++
+				m.publishLocked(&Snapshot{baseGen: m.baseGen, store: st, graph: g3, delta: d2})
+				m.merges.Add(1)
+				m.mu.Unlock()
+				continue
+			}
+		}
+		// The base changed under us (an impossible-to-buffer commit folded
+		// it) or the suffix cannot be rebased: retry from the new current.
+		m.mu.Unlock()
+	}
+}
+
+// foldSnapshot builds the merged base for s: a graph clone with s's pending
+// tombstones applied, indexed from scratch under the same primary config
+// and secondary definitions.
+func foldSnapshot(s *Snapshot) (*index.Store, *storage.Graph, error) {
+	g2 := s.graph.Clone()
+	g2.ApplyTombstones(s.delta.DeletedEdges())
+	st, err := s.store.CloneRebuilt(g2, s.store.Primary().Config())
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, g2, nil
+}
+
+// Reconfigure rebuilds the base under a new primary configuration (the
+// paper's RECONFIGURE PRIMARY INDEXES), folding any pending delta in the
+// same pass, and publishes the result. Readers never block; writers are
+// excluded for the duration of the rebuild (DDL is rare and already a
+// full-rebuild operation).
+func (m *Manager) Reconfigure(cfg index.Config) error {
+	m.mergeMu.Lock()
+	defer m.mergeMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.cur.Load()
+	g2 := s.graph.Clone()
+	g2.ApplyTombstones(s.delta.DeletedEdges())
+	st, err := s.store.CloneRebuilt(g2, cfg)
+	if err != nil {
+		return err
+	}
+	m.publishBaseLocked(st, g2, index.NewDelta())
+	return nil
+}
+
+// CreateVertexPartitioned builds a secondary vertex-partitioned index (the
+// paper's CREATE 1-HOP VIEW) and publishes a snapshot carrying it. Pending
+// delta ops are folded first so the view covers every committed edge.
+func (m *Manager) CreateVertexPartitioned(def index.VPDef) error {
+	m.mergeMu.Lock()
+	defer m.mergeMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, err := m.foldForDDLLocked(def.View.Name)
+	if err != nil {
+		return err
+	}
+	vp, err := index.BuildVertexPartitioned(s.store.Primary(), def)
+	if err != nil {
+		return err
+	}
+	m.publishLocked(&Snapshot{baseGen: s.baseGen, store: s.store.WithVertexPartitioned(vp), graph: s.graph, delta: s.delta})
+	return nil
+}
+
+// CreateEdgePartitioned is CreateVertexPartitioned for 2-hop views.
+func (m *Manager) CreateEdgePartitioned(def index.EPDef) error {
+	m.mergeMu.Lock()
+	defer m.mergeMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, err := m.foldForDDLLocked(def.View.Name)
+	if err != nil {
+		return err
+	}
+	ep, err := index.BuildEdgePartitioned(s.store.Primary(), def)
+	if err != nil {
+		return err
+	}
+	m.publishLocked(&Snapshot{baseGen: s.baseGen, store: s.store.WithEdgePartitioned(ep), graph: s.graph, delta: s.delta})
+	return nil
+}
+
+// foldForDDLLocked checks the view name is free and, when a delta is
+// pending, folds it so the new view is built over complete data. Returns
+// the snapshot to build against (the current one, possibly just
+// republished merged). Callers hold mergeMu and mu.
+func (m *Manager) foldForDDLLocked(name string) (*Snapshot, error) {
+	s := m.cur.Load()
+	if s.store.HasIndex(name) {
+		return nil, fmt.Errorf("index: an index named %q already exists", name)
+	}
+	if s.delta.Empty() {
+		return s, nil
+	}
+	st, g2, err := foldSnapshot(s)
+	if err != nil {
+		return nil, err
+	}
+	m.publishBaseLocked(st, g2, index.NewDelta())
+	m.merges.Add(1)
+	return m.cur.Load(), nil
+}
+
+// DropIndex publishes a snapshot lacking the named secondary index,
+// reporting whether it existed. Like the other DDL publications it
+// excludes in-flight merges (mergeMu): a fold that started from a pre-drop
+// snapshot rebuilds every secondary of that snapshot, and publishing its
+// rebase after the drop would silently resurrect the index.
+func (m *Manager) DropIndex(name string) bool {
+	m.mergeMu.Lock()
+	defer m.mergeMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.cur.Load()
+	ns, ok := s.store.WithoutIndex(name)
+	if !ok {
+		return false
+	}
+	m.publishLocked(&Snapshot{baseGen: s.baseGen, store: ns, graph: s.graph, delta: s.delta})
+	return true
+}

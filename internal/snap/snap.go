@@ -1,0 +1,346 @@
+// Package snap provides epoch-based snapshot isolation over the A+ index
+// store. The current database state is one immutable Snapshot — a frozen
+// base Store (graph + primary + secondary indexes), the snapshot's graph
+// (which may extend the base's build graph), and a Delta overlay of
+// committed-but-unmerged writes — published through an atomic pointer.
+//
+// Readers pin the current snapshot with Manager.Acquire (one atomic load +
+// one atomic increment; no mutex anywhere on the read path) and release it
+// when done; a pinned snapshot never changes, so a query observes one
+// consistent state for its whole run, bit-identical no matter how many
+// commits or merges land concurrently. Writers batch their changes
+// (Manager.Begin / Batch.Commit): a batch stages appends on a copy-on-write
+// clone of the graph and a successor Delta, then publishes the new snapshot
+// with one atomic swap — readers never block on writers and writers never
+// wait for readers to drain. A background merger folds large deltas back
+// into block-packed CSR form (Manager.Merge) and republishes, rebasing any
+// ops committed during the fold. Superseded epochs are retired once their
+// last reader unpins (Manager.Stats observability; memory itself is
+// reclaimed by the garbage collector).
+package snap
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// Options configure a Manager.
+type Options struct {
+	// MergeThreshold is the number of pending delta ops after which a
+	// commit schedules a merge (<= 0 = index.DefaultMergeThreshold).
+	MergeThreshold int
+	// SyncMerge folds deltas synchronously inside the committing goroutine
+	// instead of in the background (deterministic tests, benchmarks of the
+	// fold itself).
+	SyncMerge bool
+}
+
+func (o Options) threshold() int {
+	if o.MergeThreshold <= 0 {
+		return index.DefaultMergeThreshold
+	}
+	return o.MergeThreshold
+}
+
+// Snapshot is one immutable epoch of the database: the frozen base store,
+// the snapshot's graph, and the delta overlay. All accessors are safe from
+// any number of goroutines for as long as the snapshot is pinned.
+type Snapshot struct {
+	epoch uint64
+	// baseGen identifies the frozen base the delta is expressed against;
+	// merges and reconfigurations bump it, commits preserve it.
+	baseGen uint64
+	store   *index.Store
+	graph   *storage.Graph
+	delta   *index.Delta
+	mgr     *Manager
+
+	pins       atomic.Int64
+	superseded atomic.Bool
+	retired    atomic.Bool
+}
+
+// Epoch returns the snapshot's publication number (monotonically
+// increasing across commits, merges, and DDL).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Store returns the frozen base store. It must never be mutated.
+func (s *Snapshot) Store() *index.Store { return s.store }
+
+// Graph returns the snapshot's graph, a superset of the base store's build
+// graph. It must never be mutated.
+func (s *Snapshot) Graph() *storage.Graph { return s.graph }
+
+// Delta returns the snapshot's overlay of unmerged writes (never nil; may
+// be empty).
+func (s *Snapshot) Delta() *index.Delta { return s.delta }
+
+// Release unpins the snapshot. Each Acquire must be paired with exactly one
+// Release; after Release the snapshot must not be read through again.
+func (s *Snapshot) Release() {
+	if s.pins.Add(-1) == 0 && s.superseded.Load() {
+		s.retire()
+	}
+}
+
+func (s *Snapshot) retire() {
+	if s.retired.CompareAndSwap(false, true) {
+		s.mgr.retired.Add(1)
+	}
+}
+
+// Manager owns the snapshot chain: it publishes new epochs (commits,
+// merges, DDL) under a writer mutex and hands the current epoch to readers
+// with no locking at all.
+type Manager struct {
+	opts Options
+
+	// mu serializes all publications: batches hold it from Begin to
+	// Commit/Abort (grouped commit), merges and DDL take it briefly to
+	// swap in their result. Readers never touch it.
+	mu  sync.Mutex
+	cur atomic.Pointer[Snapshot]
+	// epoch and baseGen are the publication counters, guarded by mu.
+	epoch   uint64
+	baseGen uint64
+
+	// mergeMu serializes merges and DDL against each other (their builds
+	// run outside mu so commits keep flowing).
+	mergeMu sync.Mutex
+	merging atomic.Bool
+
+	retired atomic.Int64
+	merges  atomic.Int64
+	// mergeErr records the most recent background fold failure (cleared on
+	// the next success) so it is observable via Stats; synchronous callers
+	// (Flush) get the error returned directly.
+	mergeErr atomic.Pointer[string]
+}
+
+// NewManager builds the primary indexes over g under cfg and publishes
+// epoch 1. The graph must not be mutated by the caller afterwards.
+func NewManager(g *storage.Graph, cfg index.Config, o Options) (*Manager, error) {
+	s, err := index.NewStore(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{opts: o}
+	m.mu.Lock()
+	m.publishBaseLocked(s, g, index.NewDelta())
+	m.mu.Unlock()
+	return m, nil
+}
+
+// Acquire pins and returns the current snapshot. The read path is two
+// atomic operations; there is no lock for a writer to hold.
+func (m *Manager) Acquire() *Snapshot {
+	s := m.cur.Load()
+	s.pins.Add(1)
+	return s
+}
+
+// Current returns the current snapshot without pinning it — for metadata
+// peeks (epoch, pending counts) only, never for reading data through.
+func (m *Manager) Current() *Snapshot { return m.cur.Load() }
+
+// publishLocked swaps ns in as the current snapshot. Callers hold mu and
+// have set ns.baseGen.
+func (m *Manager) publishLocked(ns *Snapshot) {
+	m.epoch++
+	ns.epoch = m.epoch
+	ns.mgr = m
+	old := m.cur.Swap(ns)
+	if old != nil {
+		old.superseded.Store(true)
+		if old.pins.Load() == 0 {
+			old.retire()
+		}
+	}
+}
+
+// publishBaseLocked publishes a snapshot with a brand-new frozen base
+// (initial build, merge, reconfigure), bumping the base generation.
+func (m *Manager) publishBaseLocked(st *index.Store, g *storage.Graph, d *index.Delta) {
+	m.baseGen++
+	m.publishLocked(&Snapshot{baseGen: m.baseGen, store: st, graph: g, delta: d})
+}
+
+// Stats is a point-in-time observation of the snapshot chain.
+type Stats struct {
+	// Epoch is the current snapshot's publication number.
+	Epoch uint64
+	// Pins is the current snapshot's reader count (transient).
+	Pins int64
+	// PendingOps is the current delta's buffered insert+delete count.
+	PendingOps int
+	// RetiredEpochs counts superseded snapshots whose last reader has
+	// unpinned (or that had no readers when superseded).
+	RetiredEpochs int64
+	// Merges counts delta folds published since the manager was built.
+	Merges int64
+	// LastMergeError is the most recent background fold failure ("" when
+	// the last fold succeeded). A persistent error here means the delta
+	// cannot currently be folded and pending ops will keep accumulating.
+	LastMergeError string
+}
+
+// Stats reports chain observability counters.
+func (m *Manager) Stats() Stats {
+	s := m.cur.Load()
+	st := Stats{
+		Epoch:         s.epoch,
+		Pins:          s.pins.Load(),
+		PendingOps:    s.delta.Pending(),
+		RetiredEpochs: m.retired.Load(),
+		Merges:        m.merges.Load(),
+	}
+	if e := m.mergeErr.Load(); e != nil {
+		st.LastMergeError = *e
+	}
+	return st
+}
+
+// Batch stages a group of writes against a private copy-on-write clone of
+// the current snapshot and publishes them atomically on Commit (grouped
+// commit: one snapshot swap per batch, however many ops it carries).
+// A Batch holds the manager's writer mutex from Begin until Commit or
+// Abort, so batches from different goroutines serialize; readers are
+// unaffected throughout. Batches may only add entities, set properties on
+// entities they added, and delete edges — mutating pre-existing entities'
+// properties would race pinned readers.
+type Batch struct {
+	m    *Manager
+	base *Snapshot
+	g    *storage.Graph
+	db   *index.DeltaBuilder
+	done bool
+	// stageErr poisons the batch: a failed staging op can leave the graph
+	// clone half-staged (e.g. an edge appended but its property set
+	// rejected, so it never reached the delta builder), and publishing
+	// that state would let scan-anchored plans see entities index-anchored
+	// plans do not. Commit refuses once set, even if the caller swallowed
+	// the op's error.
+	stageErr error
+}
+
+// Begin starts a batch, taking the writer mutex until Commit or Abort.
+func (m *Manager) Begin() *Batch {
+	m.mu.Lock()
+	s := m.cur.Load()
+	g := s.graph.Clone()
+	return &Batch{
+		m:    m,
+		base: s,
+		g:    g,
+		db:   index.NewDeltaBuilder(s.delta, s.store.Primary(), g),
+	}
+}
+
+// AddVertex appends a vertex with properties to the staged state. A
+// property error poisons the batch (see Commit).
+func (b *Batch) AddVertex(label string, props map[string]storage.Value) (storage.VertexID, error) {
+	v := b.g.AddVertex(label)
+	for k, val := range props {
+		if err := b.g.SetVertexProp(v, k, val); err != nil {
+			return v, b.poison(err)
+		}
+	}
+	return v, nil
+}
+
+// AddEdge appends an edge with properties to the staged state and buffers
+// it in the delta overlay (properties are set before buffering, since
+// partition codes may derive from them). A property error poisons the
+// batch: the appended edge never reaches the overlay, so publishing would
+// desynchronize scans from index fetches (see Commit).
+func (b *Batch) AddEdge(src, dst storage.VertexID, label string, props map[string]storage.Value) (storage.EdgeID, error) {
+	e, err := b.g.AddEdge(src, dst, label)
+	if err != nil {
+		return 0, err // nothing staged; the batch stays usable
+	}
+	for k, val := range props {
+		if err := b.g.SetEdgeProp(e, k, val); err != nil {
+			return e, b.poison(err)
+		}
+	}
+	b.db.Insert(e)
+	return e, nil
+}
+
+// poison records the first staging failure and returns it.
+func (b *Batch) poison(err error) error {
+	if b.stageErr == nil {
+		b.stageErr = err
+	}
+	return err
+}
+
+// DeleteEdge stages an edge deletion.
+func (b *Batch) DeleteEdge(e storage.EdgeID) error {
+	if int(e) >= b.g.NumEdges() {
+		return fmt.Errorf("snap: edge %d out of range", e)
+	}
+	b.db.Delete(e)
+	return nil
+}
+
+// Graph exposes the staged graph clone for property reads during staging.
+// Callers must not mutate it directly.
+func (b *Batch) Graph() *storage.Graph { return b.g }
+
+// Abort discards the staged state and releases the writer mutex.
+func (b *Batch) Abort() {
+	if b.done {
+		return
+	}
+	b.done = true
+	b.m.mu.Unlock()
+}
+
+// Commit publishes the staged state as the next snapshot epoch and
+// releases the writer mutex. When the staged state cannot be expressed as
+// an overlay — an edge carries a categorical or sort value unknown to the
+// frozen base, or the batch interned a label the base catalog has never
+// seen (the planner resolves label names against the base, so a buffered
+// commit would leave such entities invisible) — the whole pending state,
+// this batch plus any earlier unmerged delta, is folded into a fresh base
+// instead, still without blocking readers. Crossing the merge threshold
+// schedules a fold (background by default, inline under Options.SyncMerge).
+func (b *Batch) Commit() error {
+	if b.done {
+		return fmt.Errorf("snap: batch already finished")
+	}
+	b.done = true
+	m := b.m
+	if b.stageErr != nil {
+		m.mu.Unlock()
+		return fmt.Errorf("snap: batch not committed, a staged op failed: %w", b.stageErr)
+	}
+	baseCat := b.base.store.Graph().Catalog()
+	grewCatalog := b.g.Catalog().NumVertexLabels() > baseCat.NumVertexLabels() ||
+		b.g.Catalog().NumEdgeLabels() > baseCat.NumEdgeLabels()
+	if b.db.Impossible() || grewCatalog {
+		d := b.db.Freeze()
+		b.g.ApplyTombstones(d.DeletedEdges())
+		st, err := b.base.store.CloneRebuilt(b.g, b.base.store.Primary().Config())
+		if err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		m.publishBaseLocked(st, b.g, index.NewDelta())
+		m.merges.Add(1)
+		m.mu.Unlock()
+		return nil
+	}
+	d := b.db.Freeze()
+	m.publishLocked(&Snapshot{baseGen: b.base.baseGen, store: b.base.store, graph: b.g, delta: d})
+	m.mu.Unlock()
+	if d.Pending() >= m.opts.threshold() {
+		m.scheduleMerge()
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+package snap
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/exec"
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func testGraph(nv, ne int, seed int64) *storage.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := storage.NewGraph()
+	g.AddVertices(nv, "A")
+	labels := []string{"X", "Y"}
+	for i := 0; i < ne; i++ {
+		if _, err := g.AddEdge(storage.VertexID(rng.Intn(nv)), storage.VertexID(rng.Intn(nv)), labels[rng.Intn(2)]); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// edgeCountPlan counts every (vertex, out-edge) pair = the number of live
+// edges, through the full fetch path (scan + primary EXTEND with delta
+// splice).
+func edgeCountPlan() *exec.Plan {
+	return &exec.Plan{
+		NumV: 2, NumE: 1,
+		Ops: []exec.Op{
+			&exec.ScanVertexOp{Slot: 0},
+			&exec.ExtendIntersectOp{TargetSlot: 1, Lists: []exec.ListRef{
+				{Kind: exec.ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+		},
+	}
+}
+
+func countEdges(s *Snapshot) int64 {
+	rt := exec.NewRuntimeOver(s.Store(), s.Graph(), s.Delta())
+	return edgeCountPlan().Count(rt)
+}
+
+func newTestManager(t *testing.T, g *storage.Graph, o Options) *Manager {
+	t.Helper()
+	m, err := NewManager(g, index.DefaultConfig(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCommitVisibility(t *testing.T) {
+	g := testGraph(32, 100, 1)
+	m := newTestManager(t, g, Options{})
+
+	s0 := m.Acquire()
+	if got := countEdges(s0); got != 100 {
+		t.Fatalf("initial count %d want 100", got)
+	}
+
+	b := m.Begin()
+	for i := 0; i < 10; i++ {
+		if _, err := b.AddEdge(storage.VertexID(i), storage.VertexID(i+1), "X", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned snapshot still answers from its epoch.
+	if got := countEdges(s0); got != 100 {
+		t.Fatalf("pinned snapshot count changed to %d", got)
+	}
+	s0.Release()
+
+	s1 := m.Acquire()
+	defer s1.Release()
+	if got := countEdges(s1); got != 110 {
+		t.Fatalf("post-commit count %d want 110", got)
+	}
+	if s1.Delta().Pending() != 10 {
+		t.Fatalf("pending %d want 10", s1.Delta().Pending())
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	g := testGraph(16, 50, 2)
+	m := newTestManager(t, g, Options{})
+	b := m.Begin()
+	if _, err := b.AddEdge(0, 1, "X", nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Abort()
+	s := m.Acquire()
+	defer s.Release()
+	if got := countEdges(s); got != 50 {
+		t.Fatalf("count after abort %d want 50", got)
+	}
+}
+
+func TestMergeFoldsDeltaAndPreservesCounts(t *testing.T) {
+	g := testGraph(64, 300, 3)
+	m := newTestManager(t, g, Options{})
+
+	b := m.Begin()
+	for i := 0; i < 40; i++ {
+		if _, err := b.AddEdge(storage.VertexID(i%64), storage.VertexID((i*7+1)%64), "Y", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 10; e++ {
+		if err := b.DeleteEdge(storage.EdgeID(e * 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	sPre := m.Acquire()
+	pre := countEdges(sPre)
+	if pre != 300+40-10 {
+		t.Fatalf("pre-merge count %d want 330", pre)
+	}
+
+	if err := m.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned pre-merge snapshot is bit-identical after the fold.
+	if got := countEdges(sPre); got != pre {
+		t.Fatalf("pinned snapshot changed across merge: %d want %d", got, pre)
+	}
+	sPre.Release()
+
+	sPost := m.Acquire()
+	defer sPost.Release()
+	if !sPost.Delta().Empty() {
+		t.Fatal("delta not folded")
+	}
+	if got := countEdges(sPost); got != pre {
+		t.Fatalf("post-merge count %d want %d", got, pre)
+	}
+	if st := m.Stats(); st.Merges == 0 {
+		t.Fatal("merge not counted")
+	}
+}
+
+func TestEpochRetirement(t *testing.T) {
+	g := testGraph(16, 40, 4)
+	m := newTestManager(t, g, Options{})
+	s0 := m.Acquire()
+
+	b := m.Begin()
+	if _, err := b.AddEdge(0, 1, "X", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.Stats().RetiredEpochs; got != 0 {
+		t.Fatalf("epoch retired while still pinned (retired=%d)", got)
+	}
+	s0.Release()
+	if got := m.Stats().RetiredEpochs; got != 1 {
+		t.Fatalf("retired %d want 1 after last unpin", got)
+	}
+
+	// An unpinned snapshot retires at publication time.
+	b = m.Begin()
+	if _, err := b.AddEdge(1, 2, "X", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().RetiredEpochs; got != 2 {
+		t.Fatalf("retired %d want 2", got)
+	}
+}
+
+func TestImpossibleCommitFoldsToFreshBase(t *testing.T) {
+	g := testGraph(16, 40, 5)
+	m := newTestManager(t, g, Options{})
+
+	b := m.Begin()
+	if _, err := b.AddEdge(2, 3, "NeverSeenLabel", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Acquire()
+	defer s.Release()
+	if !s.Delta().Empty() {
+		t.Fatal("impossible commit must publish a fresh base with an empty delta")
+	}
+	if got := countEdges(s); got != 41 {
+		t.Fatalf("count %d want 41", got)
+	}
+}
+
+func TestMergeRebasesConcurrentCommits(t *testing.T) {
+	// Exercise the rebase path deterministically: start with a dirty
+	// snapshot, run Merge in a goroutine while committing more batches;
+	// whatever interleaving happens, the final state must be exact.
+	g := testGraph(64, 200, 6)
+	m := newTestManager(t, g, Options{})
+	b := m.Begin()
+	for i := 0; i < 50; i++ {
+		if _, err := b.AddEdge(storage.VertexID(i%64), storage.VertexID((i+9)%64), "X", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := m.Merge(); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			b := m.Begin()
+			if _, err := b.AddEdge(storage.VertexID(i%64), storage.VertexID((i+17)%64), "Y", nil); err != nil {
+				t.Error(err)
+				b.Abort()
+				return
+			}
+			if err := b.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := m.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Acquire()
+	defer s.Release()
+	if got := countEdges(s); got != 200+50+30 {
+		t.Fatalf("final count %d want 280", got)
+	}
+	if !s.Delta().Empty() {
+		t.Fatal("final merge left a delta")
+	}
+}
+
+// TestConcurrentReadersWriterMerger is the snapshot-isolation stress test:
+// 8 reader goroutines continuously pin snapshots and require two counts of
+// the same pinned snapshot to be bit-identical, while 1 writer commits
+// insert/delete batches and the background merger repeatedly folds (tiny
+// threshold). Run under -race this also proves the read path shares
+// nothing mutable with commits or folds.
+func TestConcurrentReadersWriterMerger(t *testing.T) {
+	const (
+		nv      = 96
+		ne      = 400
+		readers = 8
+		batches = 40
+		perB    = 16
+	)
+	g := testGraph(nv, ne, 7)
+	m := newTestManager(t, g, Options{MergeThreshold: 32})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for !stop.Load() {
+				s := m.Acquire()
+				n1 := countEdges(s)
+				n2 := countEdges(s)
+				if n1 != n2 {
+					t.Errorf("reader %d: pinned snapshot count drifted: %d vs %d", r, n1, n2)
+					s.Release()
+					return
+				}
+				s.Release()
+			}
+		}(r)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	inserted, deleted := 0, 0
+	for i := 0; i < batches; i++ {
+		b := m.Begin()
+		for j := 0; j < perB; j++ {
+			if _, err := b.AddEdge(storage.VertexID(rng.Intn(nv)), storage.VertexID(rng.Intn(nv)), "X", nil); err != nil {
+				t.Fatal(err)
+			}
+			inserted++
+		}
+		if i%3 == 0 {
+			// Delete a base edge that is never re-deleted (unique per i).
+			if err := b.DeleteEdge(storage.EdgeID(i)); err != nil {
+				t.Fatal(err)
+			}
+			deleted++
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if err := m.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Acquire()
+	defer s.Release()
+	want := int64(ne + inserted - deleted)
+	if got := countEdges(s); got != want {
+		t.Fatalf("final count %d want %d", got, want)
+	}
+	st := m.Stats()
+	if st.PendingOps != 0 {
+		t.Fatalf("pending %d after final merge", st.PendingOps)
+	}
+	t.Logf("epochs=%d retired=%d merges=%d", st.Epoch, st.RetiredEpochs, st.Merges)
+}
+
+func TestDDLUnderSnapshots(t *testing.T) {
+	g := testGraph(32, 120, 8)
+	m := newTestManager(t, g, Options{})
+
+	// Dirty the delta, then create a view: the fold must run first so the
+	// view covers the delta edges.
+	b := m.Begin()
+	for i := 0; i < 5; i++ {
+		if _, err := b.AddEdge(storage.VertexID(i), storage.VertexID(i+1), "X", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	pinned := m.Acquire()
+	before := countEdges(pinned)
+
+	def := index.VPDef{
+		View: index.View1Hop{Name: "V1"},
+		Dirs: []index.Direction{index.FW},
+		Cfg:  index.DefaultConfig(),
+	}
+	if err := m.CreateVertexPartitioned(def); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateVertexPartitioned(def); err == nil {
+		t.Fatal("duplicate view name must fail")
+	}
+	s := m.Acquire()
+	if len(s.Store().VertexIndexes()) != 1 {
+		t.Fatalf("view not registered")
+	}
+	if !s.Delta().Empty() {
+		t.Fatal("DDL must fold the delta before building the view")
+	}
+	if got := countEdges(s); got != 125 {
+		t.Fatalf("count %d want 125", got)
+	}
+	s.Release()
+
+	if got := countEdges(pinned); got != before {
+		t.Fatalf("pinned snapshot disturbed by DDL: %d want %d", got, before)
+	}
+	pinned.Release()
+
+	if !m.DropIndex("V1") {
+		t.Fatal("drop failed")
+	}
+	if m.DropIndex("V1") {
+		t.Fatal("double drop succeeded")
+	}
+
+	if err := m.Reconfigure(index.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := m.Acquire()
+	defer s2.Release()
+	if got := countEdges(s2); got != 125 {
+		t.Fatalf("count after reconfigure %d want 125", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	g := testGraph(8, 10, 9)
+	m := newTestManager(t, g, Options{})
+	st := m.Stats()
+	if st.Epoch == 0 {
+		t.Fatal("epoch must start at 1")
+	}
+	_ = fmt.Sprintf("%+v", st)
+}

@@ -17,6 +17,13 @@ func NewCatalog() *Catalog {
 	return c
 }
 
+// Clone returns a copy-on-write duplicate for the snapshot write path:
+// interning a new label mutates the dictionaries, so a batch clone gets
+// private ones (label sets are small, so the copy is cheap).
+func (c *Catalog) Clone() *Catalog {
+	return &Catalog{vertexLabels: c.vertexLabels.Clone(), edgeLabels: c.edgeLabels.Clone()}
+}
+
 // VertexLabel interns a vertex label name.
 func (c *Catalog) VertexLabel(name string) LabelID {
 	return LabelID(c.vertexLabels.Code(name))

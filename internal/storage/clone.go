@@ -1,0 +1,73 @@
+package storage
+
+// Snapshot-writer support: Clone produces a copy-on-write view of a graph
+// that a single serialized writer can extend while any number of readers
+// keep using the parent. The discipline the snapshot subsystem
+// (internal/snap) follows is:
+//
+//   - exactly one clone is mutated at a time, always taken from the most
+//     recently published graph, so sibling clones never append into the
+//     same backing array slot;
+//   - mutations are appends (AddVertex/AddVertices/AddEdge) and property
+//     sets on entities created after the clone — never on entities the
+//     parent already exposes;
+//   - edge deletion goes through ApplyTombstones (which copies the bitmap),
+//     never DeleteEdge, whose in-place bit writes would race readers.
+//
+// Under that discipline every write lands either in clone-private memory
+// (copied maps, the tombstone bitmap, cloned columns' NULL bitsets) or in
+// shared backing arrays strictly past the parent's visible length, which
+// the parent's readers never index. Aborting a batch simply drops the
+// clone: slots past the parent's lengths may have been scribbled on, but
+// the next clone of the same parent re-appends from the parent's lengths.
+
+// Clone returns a copy-on-write duplicate of the graph for a snapshot
+// writer (see the package discipline above). The clone is fully readable
+// immediately; the parent must never be mutated again.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		catalog:       g.catalog.Clone(),
+		vertexLabels:  g.vertexLabels,
+		labelVertices: append([][]VertexID(nil), g.labelVertices...),
+		src:           g.src,
+		dst:           g.dst,
+		edgeLabels:    g.edgeLabels,
+		deleted:       g.deleted,
+		numDeleted:    g.numDeleted,
+		vertexProps:   make(map[string]*Column, len(g.vertexProps)),
+		edgeProps:     make(map[string]*Column, len(g.edgeProps)),
+		cowVCols:      make(map[string]struct{}, len(g.vertexProps)),
+		cowECols:      make(map[string]struct{}, len(g.edgeProps)),
+		catCache:      make(map[string]*Categorical),
+	}
+	for k, c := range g.vertexProps {
+		ng.vertexProps[k] = c
+		ng.cowVCols[k] = struct{}{}
+	}
+	for k, c := range g.edgeProps {
+		ng.edgeProps[k] = c
+		ng.cowECols[k] = struct{}{}
+	}
+	return ng
+}
+
+// ApplyTombstones marks the given edges deleted on a private copy of the
+// tombstone bitmap, so readers of the graph this one was cloned from are
+// unaffected. Unknown or already-deleted edges are ignored. This is the
+// only legal way to delete edges from a clone; it is used when folding a
+// snapshot delta's delete set into a fresh base.
+func (g *Graph) ApplyTombstones(dead []EdgeID) {
+	if len(dead) == 0 {
+		return
+	}
+	nb := make(bitset, len(g.deleted))
+	copy(nb, g.deleted)
+	g.deleted = nb
+	g.deleted.grow(len(g.src))
+	for _, e := range dead {
+		if int(e) < len(g.src) && !g.deleted.has(int(e)) {
+			g.deleted.put(int(e))
+			g.numDeleted++
+		}
+	}
+}

@@ -16,6 +16,11 @@ type Column struct {
 	dict   *Dict
 	set    bitset
 	n      int
+
+	// dictShared marks a string column cloned for write whose dictionary is
+	// still shared with the clone parent; interning a new string must copy
+	// the dictionary first (lookups of existing strings stay shared).
+	dictShared bool
 }
 
 // NewColumn returns a column for n entities, all NULL.
@@ -80,10 +85,39 @@ func (c *Column) Set(i int, v Value) error {
 		if v.Kind != KindString {
 			return fmt.Errorf("storage: column %q holds %v, got %v", c.Key, c.Kind, v.Kind)
 		}
+		if c.dictShared {
+			if code, ok := c.dict.Lookup(v.S); ok {
+				c.codes[i] = code
+				break
+			}
+			// A new string must be interned, which mutates the dictionary:
+			// detach a private copy first (the parent's readers keep using
+			// the shared one).
+			c.dict = c.dict.Clone()
+			c.dictShared = false
+			c.codes[i] = c.dict.Code(v.S)
+			break
+		}
 		c.codes[i] = c.dict.Code(v.S)
 	}
 	c.set.put(i)
 	return nil
+}
+
+// cloneForWrite returns a copy-on-write duplicate of the column for the
+// snapshot write path: the payload arrays are shared (a serialized writer
+// only appends past the parent's length, which the parent's readers never
+// index), while the NULL bitset is copied outright — its words straddle
+// entity boundaries, so even an append-only write could touch a word a
+// concurrent reader of the parent is loading. String dictionaries stay
+// shared until a new string must be interned (see Set).
+func (c *Column) cloneForWrite() *Column {
+	nc := *c
+	nc.set = append(bitset(nil), c.set...)
+	if c.Kind == KindString {
+		nc.dictShared = true
+	}
+	return &nc
 }
 
 // Get returns the value at index i (NULL if unset).
@@ -119,7 +153,7 @@ func (c *Column) SortOrdinal(i int) uint64 {
 	case KindInt, KindBool:
 		return uint64(c.ints[i]) ^ (1 << 63) // order-preserving for signed ints
 	case KindFloat:
-		return floatOrdinal(c.floats[i])
+		return FloatOrdinal(c.floats[i])
 	case KindString:
 		return uint64(c.dict.Rank(c.codes[i]))
 	}
@@ -160,14 +194,6 @@ func (c *Column) MemoryBytes() int64 {
 		}
 	}
 	return b
-}
-
-func floatOrdinal(f float64) uint64 {
-	bits := floatBits(f)
-	if bits&(1<<63) != 0 {
-		return ^bits
-	}
-	return bits | (1 << 63)
 }
 
 // bitset is a simple fixed-size bitmap.

@@ -40,6 +40,22 @@ func (d *Dict) Code(s string) uint32 {
 	return c
 }
 
+// Clone returns a copy-on-write duplicate for the snapshot write path: the
+// code map is copied (inserts mutate it in place), the string array is
+// shared (a serialized writer only appends past the parent's length), and
+// any materialized rank table carries over. The parent must never be
+// mutated again through the clone.
+func (d *Dict) Clone() *Dict {
+	nd := &Dict{codes: make(map[string]uint32, len(d.codes)), strs: d.strs}
+	for k, v := range d.codes {
+		nd.codes[k] = v
+	}
+	if r := d.ranks.Load(); r != nil {
+		nd.ranks.Store(r)
+	}
+	return nd
+}
+
 // Lookup returns the code for s if it has been interned.
 func (d *Dict) Lookup(s string) (uint32, bool) {
 	c, ok := d.codes[s]

@@ -3,3 +3,14 @@ package storage
 import "math"
 
 func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// FloatOrdinal maps a float to the order-preserving unsigned ordinal space
+// float columns sort in (Column.SortOrdinal); exposed so constants can be
+// located inside float-sorted lists.
+func FloatOrdinal(f float64) uint64 {
+	bits := floatBits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | (1 << 63)
+}

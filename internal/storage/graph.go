@@ -28,6 +28,13 @@ type Graph struct {
 	vertexProps map[string]*Column
 	edgeProps   map[string]*Column
 
+	// cowVCols/cowECols name the property columns still shared with the
+	// parent of a Clone; they are copied before their first mutation so the
+	// parent's readers never observe a write (see Clone in clone.go). Both
+	// are nil for graphs that are not clones.
+	cowVCols map[string]struct{}
+	cowECols map[string]struct{}
+
 	// categorical encodings are cached per (entity, property) pair; they are
 	// invalidated on mutation of the underlying column.
 	catCache map[string]*Categorical
@@ -139,7 +146,7 @@ func (g *Graph) Dst(e EdgeID) VertexID { return g.dst[e] }
 // SetVertexProp sets a property on a vertex, creating the column on first
 // use with the kind of v.
 func (g *Graph) SetVertexProp(id VertexID, key string, v Value) error {
-	col, err := g.ensureColumn(g.vertexProps, key, v, g.NumVertices())
+	col, err := g.ensureColumn(g.vertexProps, g.cowVCols, key, v, g.NumVertices())
 	if err != nil {
 		return err
 	}
@@ -149,7 +156,7 @@ func (g *Graph) SetVertexProp(id VertexID, key string, v Value) error {
 
 // SetEdgeProp sets a property on an edge, creating the column on first use.
 func (g *Graph) SetEdgeProp(id EdgeID, key string, v Value) error {
-	col, err := g.ensureColumn(g.edgeProps, key, v, g.NumEdges())
+	col, err := g.ensureColumn(g.edgeProps, g.cowECols, key, v, g.NumEdges())
 	if err != nil {
 		return err
 	}
@@ -158,8 +165,15 @@ func (g *Graph) SetEdgeProp(id EdgeID, key string, v Value) error {
 	return col.Set(int(id), v)
 }
 
-func (g *Graph) ensureColumn(m map[string]*Column, key string, v Value, n int) (*Column, error) {
+func (g *Graph) ensureColumn(m map[string]*Column, cow map[string]struct{}, key string, v Value, n int) (*Column, error) {
 	if col, ok := m[key]; ok {
+		if _, shared := cow[key]; shared {
+			// First write to a column inherited from a Clone parent: detach
+			// a private copy so the parent's readers never see the write.
+			col = col.cloneForWrite()
+			m[key] = col
+			delete(cow, key)
+		}
 		return col, nil
 	}
 	if v.IsNull() {

@@ -66,12 +66,12 @@ func TestFloatOrdinalMonotone(t *testing.T) {
 			return true
 		}
 		if a < b {
-			return floatOrdinal(a) < floatOrdinal(b)
+			return FloatOrdinal(a) < FloatOrdinal(b)
 		}
 		if a > b {
-			return floatOrdinal(a) > floatOrdinal(b)
+			return FloatOrdinal(a) > FloatOrdinal(b)
 		}
-		return floatOrdinal(a) == floatOrdinal(b)
+		return FloatOrdinal(a) == FloatOrdinal(b)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
