@@ -24,6 +24,12 @@
 //	db.AddEdge(alice, acct, "Owns", nil)
 //	n, _ := db.Count("MATCH (c:Customer)-[:Owns]->(a:Account) WHERE a.city = 'SF'")
 //
+// New databases are in-memory and volatile. Open turns a directory into a
+// durable database instead: every commit is appended to a write-ahead log
+// and fsync'd before it becomes visible, background folds checkpoint the
+// frozen base and truncate the log, and reopening the directory recovers
+// the exact state of the last durable commit (see Open and DB.Close).
+//
 // # Parallelism and thread safety
 //
 // Queries run with morsel-driven intra-query parallelism: the plan's root
@@ -67,6 +73,7 @@ import (
 	"github.com/aplusdb/aplus/internal/query"
 	"github.com/aplusdb/aplus/internal/snap"
 	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/wal"
 )
 
 // VertexID identifies a vertex.
@@ -155,6 +162,14 @@ type DB struct {
 	cbGoroutines    sync.Map // goroutine id -> *atomic.Int64 nesting count
 	activeBatches   atomic.Int64
 	batchGoroutines sync.Map // goroutine id -> *atomic.Int64 nesting count
+
+	// eng is the durability engine for databases created with Open (nil
+	// for in-memory databases); replayedOps counts the WAL operations Open
+	// replayed during recovery, and closed gates every entry point after
+	// Close.
+	eng         *wal.Engine
+	replayedOps int64
+	closed      atomic.Bool
 }
 
 // New returns an empty database with the default index configuration
@@ -364,7 +379,7 @@ func (db *DB) Flush() error {
 }
 
 // Exec runs an index DDL command: RECONFIGURE PRIMARY INDEXES …,
-// CREATE 1-HOP VIEW …, or CREATE 2-HOP VIEW ….
+// CREATE 1-HOP VIEW …, CREATE 2-HOP VIEW …, or DROP VIEW ….
 func (db *DB) Exec(ddl string) error {
 	if err := db.writeGuard(); err != nil {
 		return err
@@ -384,6 +399,15 @@ func (db *DB) Exec(ddl string) error {
 		return mgr.CreateVertexPartitioned(d.Def)
 	case query.Create2Hop:
 		return mgr.CreateEdgePartitioned(d.Def)
+	case query.DropView:
+		ok, err := mgr.DropIndex(d.Name)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("aplus: no secondary index named %q", d.Name)
+		}
+		return nil
 	default:
 		return fmt.Errorf("aplus: unsupported DDL")
 	}
@@ -391,14 +415,17 @@ func (db *DB) Exec(ddl string) error {
 
 // DropIndex removes a secondary index by view name. Like every write it is
 // rejected from inside a Query callback; since the signature has no error,
-// that case also reports false — indistinguishable from a missing index,
-// so don't drop indexes from callbacks.
+// that case also reports false — indistinguishable from a missing index.
+// On durable databases a WAL-append failure likewise reports false (the
+// drop was not published); use Exec("DROP VIEW <name>") where every
+// failure mode surfaces as an error.
 func (db *DB) DropIndex(name string) bool {
 	if err := db.writeGuard(); err != nil {
 		return false
 	}
 	if mgr := db.mgr.Load(); mgr != nil {
-		return mgr.DropIndex(name)
+		ok, _ := mgr.DropIndex(name)
+		return ok
 	}
 	return false
 }
@@ -512,6 +539,9 @@ func (db *DB) Explain(cypher string) (string, error) {
 
 // pin builds the indexes if needed and pins the current snapshot.
 func (db *DB) pin() (*snap.Snapshot, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
 	mgr, err := db.ensureManager()
 	if err != nil {
 		return nil, err
@@ -539,8 +569,11 @@ func (db *DB) planSnap(s *snap.Snapshot, cypher string) (*exec.Plan, *exec.Runti
 	return plan, exec.NewRuntimeOver(s.Store(), s.Graph(), s.Delta()), nil
 }
 
-// VertexProp reads a vertex property (nil when absent).
+// VertexProp reads a vertex property (nil when absent, or after Close).
 func (db *DB) VertexProp(v VertexID, key string) any {
+	if db.closed.Load() {
+		return nil
+	}
 	if mgr := db.mgr.Load(); mgr != nil {
 		s := mgr.Acquire()
 		defer s.Release()
@@ -551,8 +584,11 @@ func (db *DB) VertexProp(v VertexID, key string) any {
 	return fromValue(db.g.VertexProp(v, key))
 }
 
-// EdgeProp reads an edge property (nil when absent).
+// EdgeProp reads an edge property (nil when absent, or after Close).
 func (db *DB) EdgeProp(e EdgeID, key string) any {
+	if db.closed.Load() {
+		return nil
+	}
 	if mgr := db.mgr.Load(); mgr != nil {
 		s := mgr.Acquire()
 		defer s.Release()
@@ -586,6 +622,27 @@ type Stats struct {
 	// cannot currently be folded into block-packed form and PendingWrites
 	// will keep climbing; Flush returns the same error synchronously.
 	LastMergeError string
+
+	// Durability counters; all zero for in-memory databases (New).
+
+	// WALBytes is the current size of the write-ahead log. It grows with
+	// every commit and shrinks when a checkpoint truncates the covered
+	// prefix.
+	WALBytes int64
+	// CheckpointEpoch is the epoch of the newest checkpoint on disk (0
+	// before the first fold checkpoints).
+	CheckpointEpoch uint64
+	// CheckpointBytes is the newest checkpoint's file size.
+	CheckpointBytes int64
+	// ReplayedOps is the number of WAL operations Open replayed during
+	// recovery — 0 after a clean shutdown whose whole state was
+	// checkpointed, positive when a WAL tail had to be re-committed.
+	ReplayedOps int64
+	// LastCheckpointError is the most recent checkpoint failure ("" when
+	// the last attempt succeeded); a persistent value means the WAL cannot
+	// be truncated and keeps growing, the durable counterpart of
+	// LastMergeError.
+	LastCheckpointError string
 }
 
 // Stats reports sizes; index fields are zero before the first query or DDL.
@@ -610,7 +667,7 @@ func (db *DB) Stats() Stats {
 	g := s.Graph()
 	is := s.Store().StatsLocked()
 	ms := mgr.Stats()
-	return Stats{
+	st := Stats{
 		NumVertices:                g.NumVertices(),
 		NumEdges:                   g.NumLiveEdges() - s.Delta().Deletes(),
 		GraphBytes:                 g.MemoryBytes(),
@@ -623,13 +680,26 @@ func (db *DB) Stats() Stats {
 		RetiredEpochs:              ms.RetiredEpochs,
 		LastMergeError:             ms.LastMergeError,
 	}
+	if db.eng != nil {
+		es := db.eng.Stats()
+		st.WALBytes = es.WALBytes
+		st.CheckpointEpoch = es.CheckpointEpoch
+		st.CheckpointBytes = es.CheckpointBytes
+		st.ReplayedOps = db.replayedOps
+		st.LastCheckpointError = es.LastCheckpointError
+	}
+	return st
 }
 
-// writeGuard rejects writes issued from inside a Query or Batch callback.
-// It is free when neither is in flight; otherwise it identifies the
-// calling goroutine (one small runtime.Stack read) and checks it against
-// the goroutines currently marked as running callbacks.
+// writeGuard rejects writes issued after Close or from inside a Query or
+// Batch callback. It is nearly free when neither applies; the callback
+// check identifies the calling goroutine (one small runtime.Stack read)
+// and tests it against the goroutines currently marked as running
+// callbacks.
 func (db *DB) writeGuard() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	inQuery := db.activeQueries.Load() > 0
 	inBatch := db.activeBatches.Load() > 0
 	if !inQuery && !inBatch {

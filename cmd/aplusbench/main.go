@@ -7,10 +7,19 @@
 //	aplusbench -exp all
 //	aplusbench -exp table5 -baseline old.json [-tolerance 0.10]
 //	aplusbench -mixed [-mixed-writers 2] [-mixed-readers 8] [-mixed-batch 64] [-mixed-reads 200] [-mixed-ratio 0.2]
+//	aplusbench -durable /tmp/db
 //
 // Experiments: table1, table2, table3, table4, table5, maintenance,
-// parallel, mixed, all ("all" excludes mixed, whose rows are
-// scheduling-dependent and therefore unsuitable for -baseline gating).
+// parallel, mixed, durability, all ("all" excludes mixed and durability,
+// whose rows are scheduling-dependent and therefore unsuitable for
+// -baseline gating).
+//
+// -durable <dir> (or -exp durability) runs the storage-engine experiment:
+// grouped-batch write throughput with every commit fsync'd to the
+// write-ahead log vs the in-memory path (bar: within 2x), a mid-workload
+// checkpoint, and a close/reopen cycle reporting reopen time, WAL records
+// and operations replayed, and checkpoint/WAL sizes. The directory must be
+// empty or nonexistent; "-durable tmp" uses a throwaway temp dir.
 //
 // -mixed (or -exp mixed) runs the snapshot-isolation mixed workload:
 // reader goroutines counting over pinned snapshots while writer goroutines
@@ -53,6 +62,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "slowdown fraction tolerated before -baseline reports a regression; negative = runtime advisory-only (counts/i-cost still gate)")
 	icostTolerance := flag.Float64("icost-tolerance", 0.10, "i-cost growth fraction tolerated before -baseline reports a regression")
 	mixed := flag.Bool("mixed", false, "run the mixed read/write workload (shorthand for -exp mixed)")
+	durable := flag.String("durable", "", "run the durable storage-engine experiment in this directory (shorthand for -exp durability; \"tmp\" = throwaway temp dir)")
 	mixedReaders := flag.Int("mixed-readers", 8, "mixed: reader goroutines")
 	mixedWriters := flag.Int("mixed-writers", 1, "mixed: writer goroutines committing batches")
 	mixedBatch := flag.Int("mixed-batch", 64, "mixed: ops per committed batch")
@@ -61,6 +71,9 @@ func main() {
 	flag.Parse()
 	if *mixed {
 		*exp = "mixed"
+	}
+	if *durable != "" {
+		*exp = "durability"
 	}
 
 	var baseRows []harness.Row
@@ -73,10 +86,15 @@ func main() {
 		}
 	}
 
+	durableDir := *durable
+	if durableDir == "tmp" {
+		durableDir = "" // harness.Durability picks a throwaway temp dir
+	}
 	o := harness.Options{
 		Out: os.Stdout, Scale: *scale, Verify: *verify, Workers: *workers,
 		MixedReaders: *mixedReaders, MixedWriters: *mixedWriters,
 		MixedBatch: *mixedBatch, MixedReads: *mixedReads, MixedWriteRatio: *mixedRatio,
+		DurableDir: durableDir,
 	}
 	run := map[string]func(harness.Options) []harness.Row{
 		"table1":      harness.Table1,
@@ -87,6 +105,7 @@ func main() {
 		"maintenance": harness.Maintenance,
 		"parallel":    harness.ParallelScaling,
 		"mixed":       harness.Mixed,
+		"durability":  harness.Durability,
 	}
 	var rows []harness.Row
 	if *exp == "all" {

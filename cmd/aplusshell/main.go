@@ -1,14 +1,20 @@
 // Command aplusshell is a small interactive shell over an aplus database.
 //
-// It starts with a synthetic dataset (configurable with flags) and accepts:
+// By default it starts with a synthetic in-memory dataset (configurable
+// with flags). With -db <dir> it opens a durable database instead: every
+// write is crash-safe before the prompt returns, and the same directory
+// reopens to the same state in the next session. It accepts:
 //
 //	MATCH ...                     run a query, print the match count
 //	RECONFIGURE PRIMARY INDEXES   index DDL
-//	CREATE 1-HOP VIEW ... / CREATE 2-HOP VIEW ...
+//	CREATE 1-HOP VIEW ... / CREATE 2-HOP VIEW ... / DROP VIEW name
 //	:explain MATCH ...            show the physical plan
 //	:rows N MATCH ...             print the first N matches
 //	:advise MATCH ... [; MATCH ...]   recommend indexes for a workload
-//	:stats                        database and index sizes
+//	:add vertex LABEL [k=v ...]   append a vertex (durable sessions)
+//	:add edge SRC DST LABEL [k=v ...]   append an edge
+//	:flush                        fold pending writes (and checkpoint -db)
+//	:stats                        database, index, and durability sizes
 //	:quit
 package main
 
@@ -27,18 +33,33 @@ func main() {
 	preset := flag.String("preset", "berkstan", "dataset preset: orkut|livejournal|wikitopcats|berkstan")
 	scale := flag.Float64("scale", 1.0, "dataset scale")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	dbDir := flag.String("db", "", "open (creating if needed) a durable database in this directory instead of a synthetic in-memory dataset")
 	flag.Parse()
 
-	db, err := aplus.Generate(aplus.DatasetConfig{
-		Preset: *preset, Scale: *scale, Seed: *seed, Financial: true, Time: true,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var db *aplus.DB
+	var err error
+	if *dbDir != "" {
+		db, err = aplus.Open(*dbDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		st := db.Stats()
+		fmt.Printf("aplus shell — durable db %s (%d vertices, %d edges; replayed %d WAL ops, checkpoint epoch %d). Type :quit to exit.\n",
+			*dbDir, st.NumVertices, st.NumEdges, st.ReplayedOps, st.CheckpointEpoch)
+	} else {
+		db, err = aplus.Generate(aplus.DatasetConfig{
+			Preset: *preset, Scale: *scale, Seed: *seed, Financial: true, Time: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st := db.Stats()
+		fmt.Printf("aplus shell — %s (%d vertices, %d edges). Type :quit to exit.\n",
+			*preset, st.NumVertices, st.NumEdges)
 	}
-	st := db.Stats()
-	fmt.Printf("aplus shell — %s (%d vertices, %d edges). Type :quit to exit.\n",
-		*preset, st.NumVertices, st.NumEdges)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -73,7 +94,23 @@ func eval(db *aplus.DB, line string) error {
 		fmt.Printf("vertices=%d edges=%d graph=%dB primary(levels=%dB idlists=%dB) secondary=%dB\n",
 			st.NumVertices, st.NumEdges, st.GraphBytes,
 			st.PrimaryLevelBytes, st.PrimaryIDListBytes, st.SecondaryIndexBytes)
+		if st.WALBytes > 0 || st.CheckpointEpoch > 0 {
+			fmt.Printf("durable: wal=%dB checkpoint(epoch=%d %dB) replayed=%d pending=%d",
+				st.WALBytes, st.CheckpointEpoch, st.CheckpointBytes, st.ReplayedOps, st.PendingWrites)
+			if st.LastCheckpointError != "" {
+				fmt.Printf(" checkpoint-error=%q", st.LastCheckpointError)
+			}
+			fmt.Println()
+		}
 		return nil
+	case lower == ":flush":
+		if err := db.Flush(); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	case strings.HasPrefix(lower, ":add "):
+		return evalAdd(db, strings.TrimSpace(line[len(":add "):]))
 	case strings.HasPrefix(lower, ":explain "):
 		plan, err := db.Explain(line[len(":explain "):])
 		if err != nil {
@@ -123,13 +160,77 @@ func eval(db *aplus.DB, line string) error {
 		}
 		fmt.Printf("%d matches (i-cost %d)\n", n, m.ICost)
 		return nil
-	case strings.HasPrefix(lower, "reconfigure ") || strings.HasPrefix(lower, "create "):
+	case strings.HasPrefix(lower, "reconfigure ") || strings.HasPrefix(lower, "create ") || strings.HasPrefix(lower, "drop "):
 		if err := db.Exec(line); err != nil {
 			return err
 		}
 		fmt.Println("ok")
 		return nil
 	default:
-		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :stats, :quit)")
+		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :add, :flush, :stats, :quit)")
+	}
+}
+
+// evalAdd handles ":add vertex LABEL [k=v ...]" and ":add edge SRC DST
+// LABEL [k=v ...]". Values parse as int when possible, string otherwise.
+func evalAdd(db *aplus.DB, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return fmt.Errorf("usage: :add vertex LABEL [k=v ...] | :add edge SRC DST LABEL [k=v ...]")
+	}
+	parseProps := func(kvs []string) (aplus.Props, error) {
+		if len(kvs) == 0 {
+			return nil, nil
+		}
+		props := aplus.Props{}
+		for _, kv := range kvs {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("property %q is not k=v", kv)
+			}
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				props[k] = n
+			} else {
+				props[k] = v
+			}
+		}
+		return props, nil
+	}
+	switch strings.ToLower(fields[0]) {
+	case "vertex":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: :add vertex LABEL [k=v ...]")
+		}
+		props, err := parseProps(fields[2:])
+		if err != nil {
+			return err
+		}
+		v, err := db.AddVertex(fields[1], props)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vertex %d\n", v)
+		return nil
+	case "edge":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: :add edge SRC DST LABEL [k=v ...]")
+		}
+		src, err1 := strconv.ParseUint(fields[1], 10, 32)
+		dst, err2 := strconv.ParseUint(fields[2], 10, 32)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("SRC and DST must be vertex ids")
+		}
+		props, err := parseProps(fields[4:])
+		if err != nil {
+			return err
+		}
+		e, err := db.AddEdge(aplus.VertexID(src), aplus.VertexID(dst), fields[3], props)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("edge %d\n", e)
+		return nil
+	default:
+		return fmt.Errorf("usage: :add vertex ... | :add edge ...")
 	}
 }

@@ -5,6 +5,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	aplus "github.com/aplusdb/aplus"
 )
@@ -118,4 +119,48 @@ func main() {
 	st := db.Stats()
 	fmt.Printf("\n%d vertices, %d edges; primary index: %d B levels + %d B ID lists\n",
 		st.NumVertices, st.NumEdges, st.PrimaryLevelBytes, st.PrimaryIDListBytes)
+
+	// Durable databases: Open a directory instead of New, and every commit
+	// is crash-safe (written and fsync'd to the write-ahead log) before it
+	// becomes visible; reopening the directory recovers the exact state of
+	// the last durable commit — checkpoint plus WAL-tail replay.
+	dir, err := os.MkdirTemp("", "aplus-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ddb, err := aplus.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = ddb.Batch(func(b *aplus.Batch) error {
+		x, err := b.AddVertex("Account", aplus.Props{"city": "SF"})
+		if err != nil {
+			return err
+		}
+		y, err := b.AddVertex("Account", aplus.Props{"city": "BOS"})
+		if err != nil {
+			return err
+		}
+		_, err = b.AddEdge(x, y, "W", aplus.Props{"amt": 40, "currency": "EUR"})
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ddb.Close(); err != nil {
+		log.Fatal(err)
+	}
+	reopened, err := aplus.Open(dir) // recovery: checkpoint + WAL replay
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	n, err = reopened.Count("MATCH (a:Account)-[:W]->(b:Account)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst := reopened.Stats()
+	fmt.Printf("\ndurable reopen: %d wire transfer(s) survived restart (replayed %d WAL ops)\n",
+		n, dst.ReplayedOps)
 }

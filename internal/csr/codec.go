@@ -1,0 +1,59 @@
+package csr
+
+// Checkpoint serialization of the nested-CSR structure. The bucket strides
+// are derived from the per-level cardinalities, so only the cardinalities,
+// the prefix-sum offsets, and the two payload arrays are written.
+
+import (
+	"fmt"
+
+	"github.com/aplusdb/aplus/internal/enc"
+)
+
+// Encode appends a complete image of the CSR.
+func (c *CSR) Encode(w *enc.Writer) {
+	w.Uvarint(uint64(c.numOwners))
+	w.Uvarint(uint64(len(c.cards)))
+	for _, card := range c.cards {
+		w.Uvarint(uint64(card))
+	}
+	w.U32s(c.offsets)
+	w.U32s(c.nbr)
+	w.U64s(c.eid)
+}
+
+// DecodeCSR reconstructs a CSR from an Encode image.
+func DecodeCSR(r *enc.Reader) (*CSR, error) {
+	c := &CSR{numOwners: int(r.Uvarint())}
+	nLevels := r.Len(1)
+	c.cards = make([]int, nLevels)
+	for i := range c.cards {
+		c.cards[i] = int(r.Uvarint())
+		if c.cards[i] <= 0 {
+			return nil, fmt.Errorf("csr: decoded level %d has cardinality %d", i, c.cards[i])
+		}
+	}
+	c.strides, c.stride = computeStrides(c.cards)
+	c.offsets = r.U32s()
+	c.nbr = r.U32s()
+	c.eid = r.U64s()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	nBuckets := uint64(c.numOwners) * uint64(c.stride)
+	if uint64(len(c.offsets)) != nBuckets+1 {
+		return nil, fmt.Errorf("csr: decoded offsets length %d, want %d", len(c.offsets), nBuckets+1)
+	}
+	if len(c.nbr) != len(c.eid) {
+		return nil, fmt.Errorf("csr: decoded payload lengths differ (%d nbrs, %d eids)", len(c.nbr), len(c.eid))
+	}
+	if n := c.offsets[nBuckets]; int(n) != len(c.nbr) {
+		return nil, fmt.Errorf("csr: decoded offsets cover %d entries, payload has %d", n, len(c.nbr))
+	}
+	for i := 1; i < len(c.offsets); i++ {
+		if c.offsets[i] < c.offsets[i-1] {
+			return nil, fmt.Errorf("csr: decoded offsets not monotone at bucket %d", i)
+		}
+	}
+	return c, nil
+}

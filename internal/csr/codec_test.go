@@ -1,0 +1,84 @@
+package csr
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/enc"
+)
+
+func TestCSRCodecRoundTrip(t *testing.T) {
+	b := NewBuilder(5, []int{3, 2})
+	add := func(owner, nbr uint32, eid uint64, c0, c1 uint16) {
+		b.Add(Entry{Owner: owner, Nbr: nbr, EID: eid}, []uint16{c0, c1})
+	}
+	add(0, 1, 0, 0, 0)
+	add(0, 2, 1, 1, 1)
+	add(1, 0, 2, 2, 0)
+	add(3, 4, 3, 0, 1)
+	add(3, 2, 4, 0, 1)
+	c := b.Build()
+
+	w := enc.NewWriter()
+	c.Encode(w)
+	c2, err := DecodeCSR(enc.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumOwners() != c.NumOwners() || c2.Len() != c.Len() || c2.NumLevels() != c.NumLevels() {
+		t.Fatal("shape mismatch")
+	}
+	for owner := uint32(0); owner < 5; owner++ {
+		for c0 := uint16(0); c0 < 3; c0++ {
+			for c1 := uint16(0); c1 < 2; c1++ {
+				alo, ahi := c.BucketRange(owner, []uint16{c0, c1})
+				blo, bhi := c2.BucketRange(owner, []uint16{c0, c1})
+				if alo != blo || ahi != bhi {
+					t.Fatalf("owner %d bucket (%d,%d): [%d,%d) vs [%d,%d)", owner, c0, c1, alo, ahi, blo, bhi)
+				}
+			}
+		}
+	}
+	for i := range c.Nbrs() {
+		if c.Nbrs()[i] != c2.Nbrs()[i] || c.EIDs()[i] != c2.EIDs()[i] {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+}
+
+func TestCSRCodecEmpty(t *testing.T) {
+	c := NewBuilder(0, nil).Build()
+	w := enc.NewWriter()
+	c.Encode(w)
+	c2, err := DecodeCSR(enc.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 0 || c2.NumOwners() != 0 {
+		t.Fatal("empty CSR roundtrip")
+	}
+}
+
+func TestCSRCodecCorruption(t *testing.T) {
+	b := NewBuilder(2, []int{2})
+	b.Add(Entry{Owner: 0, Nbr: 1, EID: 0}, []uint16{1})
+	c := b.Build()
+	w := enc.NewWriter()
+	c.Encode(w)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeCSR(enc.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Non-monotone offsets are rejected.
+	w2 := enc.NewWriter()
+	w2.Uvarint(uint64(c.numOwners))
+	w2.Uvarint(1)
+	w2.Uvarint(2)
+	w2.U32s([]uint32{0, 1, 0, 1, 1}) // dips at bucket 2
+	w2.U32s(c.nbr)
+	w2.U64s(c.eid)
+	if _, err := DecodeCSR(enc.NewReader(w2.Bytes())); err == nil {
+		t.Fatal("non-monotone offsets accepted")
+	}
+}

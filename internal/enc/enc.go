@@ -1,0 +1,320 @@
+// Package enc is the byte-level codec shared by the durability subsystem:
+// write-ahead-log record payloads and checkpoint images of the storage and
+// index layers are all encoded with the same little-endian primitives.
+//
+// The format is deliberately simple — unsigned varints for counts and small
+// scalars, fixed-width little-endian words for bulk arrays — so that decode
+// cost is dominated by the single copy out of the file buffer. Framing,
+// checksums, and versioning live one layer up (internal/wal); this package
+// only turns typed values into bytes and back.
+//
+// A Reader is fail-soft: the first malformed read latches an error, every
+// subsequent read returns zero values, and the caller checks Err once at the
+// end instead of after every field.
+package enc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer accumulates an encoded byte stream.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the encoded stream. The slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a signed varint (zigzag encoded).
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 appends a fixed-width little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends a fixed-width little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// F64 appends a float64 by its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// U16s appends a length-prefixed []uint16 as fixed-width words.
+func (w *Writer) U16s(vs []uint16) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+	}
+}
+
+// U32s appends a length-prefixed []uint32 as fixed-width words.
+func (w *Writer) U32s(vs []uint32) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+	}
+}
+
+// U64s appends a length-prefixed []uint64 as fixed-width words.
+func (w *Writer) U64s(vs []uint64) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+	}
+}
+
+// I64s appends a length-prefixed []int64 as fixed-width words.
+func (w *Writer) I64s(vs []int64) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
+	}
+}
+
+// F64s appends a length-prefixed []float64 as IEEE-754 words.
+func (w *Writer) F64s(vs []float64) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+	}
+}
+
+// Reader decodes a byte stream produced by Writer. The first malformed read
+// latches an error; all later reads return zero values.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader returns a reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Rest returns the number of unread bytes.
+func (r *Reader) Rest() int { return len(r.buf) - r.pos }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("enc: truncated or malformed input reading %s at offset %d", what, r.pos)
+	}
+}
+
+// take returns the next n bytes, or nil after latching an error.
+func (r *Reader) take(n int, what string) []byte {
+	if r.err != nil || n < 0 || r.pos+n > len(r.buf) {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Len reads a count and validates it against the remaining input, assuming
+// each element costs at least minBytes bytes — a cheap guard against
+// corrupt counts provoking huge allocations.
+func (r *Reader) Len(minBytes int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes > 0 && n > uint64(r.Rest()/minBytes) {
+		r.fail("length")
+		return 0
+	}
+	return int(n)
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1, "u8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a fixed-width uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4, "u32")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a fixed-width uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8, "u64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len(1)
+	b := r.take(n, "string")
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// U16s reads a length-prefixed []uint16 (nil when empty).
+func (r *Reader) U16s() []uint16 {
+	n := r.Len(2)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	b := r.take(2*n, "u16s")
+	if b == nil {
+		return nil
+	}
+	vs := make([]uint16, n)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
+	return vs
+}
+
+// U32s reads a length-prefixed []uint32 (nil when empty).
+func (r *Reader) U32s() []uint32 {
+	n := r.Len(4)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	b := r.take(4*n, "u32s")
+	if b == nil {
+		return nil
+	}
+	vs := make([]uint32, n)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return vs
+}
+
+// U64s reads a length-prefixed []uint64 (nil when empty).
+func (r *Reader) U64s() []uint64 {
+	n := r.Len(8)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	b := r.take(8*n, "u64s")
+	if b == nil {
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return vs
+}
+
+// I64s reads a length-prefixed []int64 (nil when empty).
+func (r *Reader) I64s() []int64 {
+	n := r.Len(8)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	b := r.take(8*n, "i64s")
+	if b == nil {
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vs
+}
+
+// F64s reads a length-prefixed []float64 (nil when empty).
+func (r *Reader) F64s() []float64 {
+	n := r.Len(8)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	b := r.take(8*n, "f64s")
+	if b == nil {
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vs
+}

@@ -1,0 +1,126 @@
+package enc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Uvarint(0)
+	w.Uvarint(1<<63 + 7)
+	w.Varint(-12345)
+	w.U8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xDEADBEEF)
+	w.U64(1<<62 + 3)
+	w.F64(math.Pi)
+	w.String("")
+	w.String("héllo")
+	w.U16s([]uint16{1, 0xFFFF})
+	w.U32s(nil)
+	w.U32s([]uint32{42})
+	w.U64s([]uint64{9, 1 << 60})
+	w.I64s([]int64{-1, 7})
+	w.F64s([]float64{-0.5, math.Inf(1)})
+
+	r := NewReader(w.Bytes())
+	check := func(name string, got, want any) {
+		t.Helper()
+		if r.Err() != nil {
+			t.Fatalf("%s: unexpected error %v", name, r.Err())
+		}
+		if gotS, ok := got.([]uint32); ok {
+			wantS := want.([]uint32)
+			if len(gotS) != len(wantS) {
+				t.Fatalf("%s: got %v want %v", name, got, want)
+			}
+			for i := range gotS {
+				if gotS[i] != wantS[i] {
+					t.Fatalf("%s: got %v want %v", name, got, want)
+				}
+			}
+			return
+		}
+	}
+	if v := r.Uvarint(); v != 0 {
+		t.Fatalf("uvarint: %d", v)
+	}
+	if v := r.Uvarint(); v != 1<<63+7 {
+		t.Fatalf("uvarint: %d", v)
+	}
+	if v := r.Varint(); v != -12345 {
+		t.Fatalf("varint: %d", v)
+	}
+	if v := r.U8(); v != 0xAB {
+		t.Fatalf("u8: %x", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool roundtrip")
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Fatalf("u32: %x", v)
+	}
+	if v := r.U64(); v != 1<<62+3 {
+		t.Fatalf("u64: %d", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Fatalf("f64: %v", v)
+	}
+	if v := r.String(); v != "" {
+		t.Fatalf("string: %q", v)
+	}
+	if v := r.String(); v != "héllo" {
+		t.Fatalf("string: %q", v)
+	}
+	if v := r.U16s(); len(v) != 2 || v[0] != 1 || v[1] != 0xFFFF {
+		t.Fatalf("u16s: %v", v)
+	}
+	if v := r.U32s(); v != nil {
+		t.Fatalf("empty u32s: %v", v)
+	}
+	check("u32s", r.U32s(), []uint32{42})
+	if v := r.U64s(); len(v) != 2 || v[1] != 1<<60 {
+		t.Fatalf("u64s: %v", v)
+	}
+	if v := r.I64s(); len(v) != 2 || v[0] != -1 || v[1] != 7 {
+		t.Fatalf("i64s: %v", v)
+	}
+	if v := r.F64s(); len(v) != 2 || v[0] != -0.5 || !math.IsInf(v[1], 1) {
+		t.Fatalf("f64s: %v", v)
+	}
+	if r.Err() != nil {
+		t.Fatalf("err: %v", r.Err())
+	}
+	if r.Rest() != 0 {
+		t.Fatalf("rest: %d", r.Rest())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	w := NewWriter()
+	w.U64s([]uint64{1, 2, 3})
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		_ = r.U64s()
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d/%d not detected", cut, len(full))
+		}
+		// Latched error: every later read stays zero and err is stable.
+		if v := r.U32(); v != 0 {
+			t.Fatalf("read after error returned %d", v)
+		}
+	}
+}
+
+func TestReaderBogusLength(t *testing.T) {
+	// A corrupt huge count must fail cleanly rather than allocate.
+	w := NewWriter()
+	w.Uvarint(1 << 40)
+	r := NewReader(w.Bytes())
+	if v := r.U64s(); v != nil || r.Err() == nil {
+		t.Fatalf("bogus length accepted: %v, err %v", v, r.Err())
+	}
+}

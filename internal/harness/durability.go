@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/snap"
+	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/wal"
+)
+
+// Durability measures the write-ahead-log engine against the in-memory
+// write path and reports the recovery profile:
+//
+//   - grouped-batch write throughput, in-memory vs durable (each batch
+//     fsync'd before it becomes visible) — the acceptance bar is the
+//     durable path staying within 2x;
+//   - a checkpoint forced mid-workload, leaving the remaining batches in
+//     the WAL tail;
+//   - a full close/reopen cycle: reopen wall time, records and operations
+//     replayed from the WAL, and checkpoint/WAL sizes on disk.
+//
+// The workload populates the database exclusively through batches, the way
+// durable databases are loaded. Rows are scheduling-dependent and excluded
+// from "-exp all" (like mixed), so they never gate -baseline runs.
+func Durability(o Options) []Row {
+	w := o.out()
+	dir := o.DurableDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "aplusbench-durable-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	nBatches := int(40 * o.scale())
+	if nBatches < 8 {
+		nBatches = 8
+	}
+	batchOps := 1024
+	header(w, fmt.Sprintf("Durability: %d batches x %d ops, dir %s", nBatches, batchOps, dir))
+
+	// In-memory reference: the same workload against a plain manager.
+	memManager, err := snap.NewManager(storage.NewGraph(), index.DefaultConfig(), snap.Options{})
+	if err != nil {
+		panic(err)
+	}
+	memOps, memSecs := runDurabilityWorkload(memManager, nBatches, batchOps, nil)
+	memManager.Close()
+	fmt.Fprintf(w, "%-10s %10d write ops in %8.3fs -> %10.0f ops/s\n",
+		"memory", memOps, memSecs, float64(memOps)/memSecs)
+
+	// Durable run: same workload, every batch fsync'd before visibility; a
+	// checkpoint is forced at the halfway mark so the close leaves a WAL
+	// tail for reopen to replay.
+	eng, rec, err := wal.Open(dir, true)
+	if err != nil {
+		panic(err)
+	}
+	if rec.Store != nil || len(rec.Tail) > 0 {
+		panic(fmt.Sprintf("durability experiment needs an empty directory, %s has state", dir))
+	}
+	sopts := snap.Options{
+		WALAppend:      eng.Append,
+		MergeThreshold: 1 << 30,
+		AfterFold:      func(s *snap.Snapshot) { _ = eng.CheckpointSnapshot(s) },
+	}
+	m, err := snap.NewManager(storage.NewGraph(), index.DefaultConfig(), sopts)
+	if err != nil {
+		panic(err)
+	}
+	eng.SetReady()
+	durOps, durSecs := runDurabilityWorkload(m, nBatches, batchOps, func(done int) {
+		if done == nBatches/2 {
+			if err := m.Merge(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	liveBefore := countDurabilityEdges(m)
+	m.Close()
+	if err := eng.Close(); err != nil {
+		panic(err)
+	}
+	es := eng.Stats()
+	overhead := durSecs / memSecs * float64(memOps) / float64(durOps)
+	fmt.Fprintf(w, "%-10s %10d write ops in %8.3fs -> %10.0f ops/s (%.2fx vs memory; bar 2x)\n",
+		"durable", durOps, durSecs, float64(durOps)/durSecs, overhead)
+	fmt.Fprintf(w, "%-10s checkpoint epoch=%d seq=%d %8.2f KB; wal %8.2f KB\n",
+		"disk", es.CheckpointEpoch, es.CheckpointSeq,
+		float64(es.CheckpointBytes)/1024, float64(es.WALBytes)/1024)
+
+	// Reopen: load the checkpoint, replay the tail, verify the edge count.
+	reopenStart := time.Now()
+	eng2, rec2, err := wal.Open(dir, true)
+	if err != nil {
+		panic(err)
+	}
+	var m2 *snap.Manager
+	sopts2 := snap.Options{WALAppend: eng2.Append, StartSeq: rec2.Seq, StartEpoch: rec2.Epoch, MergeThreshold: 1 << 30}
+	if rec2.Store == nil {
+		panic("durability experiment: no checkpoint on reopen")
+	}
+	m2 = snap.NewManagerFromStore(rec2.Store, rec2.Graph, sopts2)
+	replayedOps, err := wal.Replay(m2, rec2.Tail)
+	if err != nil {
+		panic(err)
+	}
+	reopenSecs := time.Since(reopenStart).Seconds()
+	if live := countDurabilityEdges(m2); live != liveBefore {
+		panic(fmt.Sprintf("durability experiment: reopen restored %d live edges, want %d", live, liveBefore))
+	}
+	m2.Close()
+	eng2.Close()
+	fmt.Fprintf(w, "%-10s %8.3fs: %d records / %d ops replayed; state verified (%d live edges)\n",
+		"reopen", reopenSecs, len(rec2.Tail), replayedOps, liveBefore)
+
+	return []Row{
+		{Table: "durability", Dataset: "synthetic", Config: "memory", Query: "writes", Seconds: memSecs, Count: memOps},
+		{Table: "durability", Dataset: "synthetic", Config: "durable", Query: "writes", Seconds: durSecs, Count: durOps},
+		{Table: "durability", Dataset: "synthetic", Config: "reopen", Query: "recovery", Seconds: reopenSecs, Count: replayedOps},
+	}
+}
+
+// runDurabilityWorkload commits nBatches grouped batches (vertices then
+// chained edges with properties) and returns (ops, seconds). afterBatch,
+// when non-nil, runs between batches with the number completed so far.
+func runDurabilityWorkload(m *snap.Manager, nBatches, batchOps int, afterBatch func(done int)) (int64, float64) {
+	rng := rand.New(rand.NewSource(1))
+	var vertices []storage.VertexID
+	var ops int64
+	start := time.Now()
+	for bi := 0; bi < nBatches; bi++ {
+		b := m.Begin()
+		for i := 0; i < batchOps; i++ {
+			if len(vertices) < 2 || rng.Intn(8) == 0 {
+				v, err := b.AddVertex("Account", map[string]storage.Value{
+					"city": storage.Str([]string{"SF", "BOS", "LA"}[rng.Intn(3)]),
+				})
+				if err != nil {
+					panic(err)
+				}
+				vertices = append(vertices, v)
+			} else {
+				src := vertices[rng.Intn(len(vertices))]
+				dst := vertices[rng.Intn(len(vertices))]
+				if _, err := b.AddEdge(src, dst, "W", map[string]storage.Value{
+					"amt": storage.Int(int64(rng.Intn(1000))),
+				}); err != nil {
+					panic(err)
+				}
+			}
+			ops++
+		}
+		if err := b.Commit(); err != nil {
+			panic(err)
+		}
+		if afterBatch != nil {
+			afterBatch(bi + 1)
+		}
+	}
+	return ops, time.Since(start).Seconds()
+}
+
+func countDurabilityEdges(m *snap.Manager) int {
+	s := m.Acquire()
+	defer s.Release()
+	return s.Graph().NumLiveEdges() - s.Delta().Deletes()
+}

@@ -42,6 +42,10 @@ type Options struct {
 	MixedBatch      int     // ops per committed batch (default 64)
 	MixedReads      int     // queries per reader per phase (default 200)
 	MixedWriteRatio float64 // fraction of batch ops that are deletes (default 0.2)
+
+	// DurableDir is the database directory for the Durability experiment;
+	// it must be empty or nonexistent. "" uses a throwaway temp dir.
+	DurableDir string
 }
 
 func (o Options) scale() float64 {

@@ -1,0 +1,184 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/enc"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// buildCodecStore assembles a store with a multi-level primary, a
+// vertex-partitioned view, and an edge-partitioned view over a small
+// money-transfer graph.
+func buildCodecStore(t *testing.T) *Store {
+	t.Helper()
+	g := storage.NewGraph()
+	n := 8
+	for i := 0; i < n; i++ {
+		g.AddVertex("Account")
+	}
+	add := func(s, d int, label, cur string, amt int64) {
+		e, err := g.AddEdge(storage.VertexID(s), storage.VertexID(d), label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.SetEdgeProp(e, "currency", storage.Str(cur)); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.SetEdgeProp(e, "amt", storage.Int(amt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 1, "W", "EUR", 100)
+	add(1, 2, "W", "USD", 20)
+	add(2, 3, "DD", "EUR", 35)
+	add(3, 0, "W", "EUR", 60)
+	add(0, 2, "DD", "GBP", 11)
+	add(2, 0, "W", "USD", 70)
+	add(4, 5, "W", "EUR", 5)
+	add(5, 6, "DD", "USD", 45)
+	_ = g.DeleteEdge(5)
+
+	cfg := Config{
+		Partitions: []PartitionKey{{Var: pred.VarAdj, Prop: pred.PropLabel}, {Var: pred.VarAdj, Prop: "currency"}},
+		Sorts:      []SortKey{{Var: pred.VarAdj, Prop: "amt"}},
+	}
+	s, err := NewStore(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateVertexPartitioned(VPDef{
+		View: View1Hop{Name: "BigEUR", Pred: pred.Predicate{}.
+			And(pred.ConstTerm(pred.VarAdj, "currency", pred.EQ, storage.Str("EUR"))).
+			And(pred.ConstTerm(pred.VarAdj, "amt", pred.GE, storage.Int(30)))},
+		Dirs: []Direction{FW, BW},
+		Cfg:  Config{Partitions: []PartitionKey{{Var: pred.VarAdj, Prop: pred.PropLabel}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateEdgePartitioned(EPDef{
+		View: View2Hop{Name: "Flow", Dir: DestinationFW, Pred: pred.Predicate{}.
+			And(pred.VarTermShift(pred.VarBound, "amt", pred.LT, pred.VarAdj, "amt", 50))},
+		Cfg: Config{Partitions: []PartitionKey{{Var: pred.VarAdj, Prop: pred.PropLabel}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreCodecRoundTrip(t *testing.T) {
+	s := buildCodecStore(t)
+
+	w := enc.NewWriter()
+	storage.EncodeGraph(w, s.Graph())
+	EncodeStore(w, s)
+
+	r := enc.NewReader(w.Bytes())
+	g2, err := storage.DecodeGraph(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := DecodeStore(r, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary CSR payloads are bit-identical.
+	if s2.primary.edgeBound != s.primary.edgeBound {
+		t.Fatalf("edge bound %d vs %d", s2.primary.edgeBound, s.primary.edgeBound)
+	}
+	for dirI, dir := range []Direction{FW, BW} {
+		a, b := s.primary.dirCSR(dir), s2.primary.dirCSR(dir)
+		if a.Len() != b.Len() || a.NumOwners() != b.NumOwners() {
+			t.Fatalf("dir %d shape mismatch", dirI)
+		}
+		for i := range a.Nbrs() {
+			if a.Nbrs()[i] != b.Nbrs()[i] || a.EIDs()[i] != b.EIDs()[i] {
+				t.Fatalf("dir %d entry %d mismatch", dirI, i)
+			}
+		}
+	}
+
+	// Per-owner lists (including bucket-restricted ones) agree.
+	codes, ok := s2.primary.ResolveCodes([]storage.Value{storage.Str("W"), storage.Str("EUR")})
+	if !ok {
+		t.Fatal("resolve codes")
+	}
+	for v := 0; v < s.Graph().NumVertices(); v++ {
+		for _, dir := range []Direction{FW, BW} {
+			la := s.primary.List(dir, storage.VertexID(v), codes)
+			lb := s2.primary.List(dir, storage.VertexID(v), codes)
+			if la.Len() != lb.Len() {
+				t.Fatalf("owner %d dir %v list length %d vs %d", v, dir, la.Len(), lb.Len())
+			}
+			for i := 0; i < la.Len(); i++ {
+				na, ea := la.Get(i)
+				nb, eb := lb.Get(i)
+				if na != nb || ea != eb {
+					t.Fatalf("owner %d dir %v entry %d mismatch", v, dir, i)
+				}
+			}
+		}
+	}
+
+	// Secondary descriptors and rebuilt contents survive.
+	if len(s2.vps) != 1 || len(s2.eps) != 1 {
+		t.Fatalf("secondaries: %d vps, %d eps", len(s2.vps), len(s2.eps))
+	}
+	if s2.vps[0].Name() != "BigEUR" || s2.eps[0].Name() != "Flow" {
+		t.Fatal("secondary names")
+	}
+	if got, want := s2.vps[0].Def().View.Pred.String(), s.vps[0].Def().View.Pred.String(); got != want {
+		t.Fatalf("vp predicate %q vs %q", got, want)
+	}
+	if got, want := s2.eps[0].Def().View.Pred.String(), s.eps[0].Def().View.Pred.String(); got != want {
+		t.Fatalf("ep predicate %q vs %q", got, want)
+	}
+	if s2.vps[0].NumIndexedEdges() != s.vps[0].NumIndexedEdges() {
+		t.Fatalf("vp entries %d vs %d", s2.vps[0].NumIndexedEdges(), s.vps[0].NumIndexedEdges())
+	}
+	if s2.eps[0].NumIndexedEdges() != s.eps[0].NumIndexedEdges() {
+		t.Fatalf("ep entries %d vs %d", s2.eps[0].NumIndexedEdges(), s.eps[0].NumIndexedEdges())
+	}
+}
+
+func TestStoreCodecCorruption(t *testing.T) {
+	s := buildCodecStore(t)
+	w := enc.NewWriter()
+	storage.EncodeGraph(w, s.Graph())
+	mark := w.Len()
+	EncodeStore(w, s)
+	full := w.Bytes()
+
+	// Truncations inside the store image must fail decode, never panic.
+	for _, cut := range []int{mark, mark + 1, mark + (len(full)-mark)/2, len(full) - 1} {
+		r := enc.NewReader(full[:cut])
+		g2, err := storage.DecodeGraph(r)
+		if err != nil {
+			t.Fatalf("graph section should be intact at cut %d: %v", cut, err)
+		}
+		if _, err := DecodeStore(r, g2); err == nil {
+			t.Fatalf("store truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestConfigCodecRoundTrip(t *testing.T) {
+	cfgs := []Config{
+		{},
+		DefaultConfig(),
+		{
+			Partitions: []PartitionKey{{Var: pred.VarAdj, Prop: pred.PropLabel}, {Var: pred.VarNbr, Prop: "city"}},
+			Sorts:      []SortKey{{Var: pred.VarNbr, Prop: "age"}, {Var: pred.VarAdj, Prop: "amt"}},
+		},
+	}
+	for _, cfg := range cfgs {
+		w := enc.NewWriter()
+		EncodeConfig(w, cfg)
+		got := DecodeConfig(enc.NewReader(w.Bytes()))
+		if got.String() != cfg.String() {
+			t.Fatalf("config %q vs %q", got, cfg)
+		}
+	}
+}

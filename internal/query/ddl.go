@@ -26,9 +26,15 @@ type Create2Hop struct {
 	Def index.EPDef
 }
 
+// DropView drops a secondary index by its view name.
+type DropView struct {
+	Name string
+}
+
 func (Reconfigure) isDDL() {}
 func (Create1Hop) isDDL()  {}
 func (Create2Hop) isDDL()  {}
+func (DropView) isDDL()    {}
 
 // ParseDDL parses one of the three index DDL commands:
 //
@@ -44,6 +50,8 @@ func (Create2Hop) isDDL()  {}
 //	    MATCH vs-[eb]->vd-[eadj]->vnbr
 //	    WHERE eb.date < eadj.date, eadj.amt < eb.amt
 //	    INDEX AS PARTITION BY eadj.label SORT BY vnbr.city
+//
+//	DROP VIEW MoneyFlow
 func ParseDDL(src string) (DDL, error) {
 	l, err := newLexer(src)
 	if err != nil {
@@ -54,9 +62,25 @@ func ParseDDL(src string) (DDL, error) {
 		return parseReconfigure(l)
 	case l.acceptKeyword("CREATE"):
 		return parseCreateView(l)
+	case l.acceptKeyword("DROP"):
+		return parseDropView(l)
 	default:
-		return nil, fmt.Errorf("query: expected RECONFIGURE or CREATE, got %q", l.peek().text)
+		return nil, fmt.Errorf("query: expected RECONFIGURE, CREATE, or DROP, got %q", l.peek().text)
 	}
+}
+
+func parseDropView(l *lexer) (DDL, error) {
+	if err := l.expectKeyword("VIEW"); err != nil {
+		return nil, err
+	}
+	if l.peek().kind != tokIdent {
+		return nil, fmt.Errorf("query: expected view name")
+	}
+	name := l.next().text
+	if t := l.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input %q", t.text)
+	}
+	return DropView{Name: name}, nil
 }
 
 func parseReconfigure(l *lexer) (DDL, error) {

@@ -140,7 +140,9 @@ func TestParse2HopWithoutIndexAs(t *testing.T) {
 func TestParseDDLErrors(t *testing.T) {
 	bad := []string{
 		"",
-		"DROP VIEW x",
+		"DROP x",
+		"DROP VIEW",
+		"DROP VIEW x y",
 		"RECONFIGURE SECONDARY INDEXES",
 		"CREATE 3-HOP VIEW x MATCH vs-[eb]->vd",
 		"CREATE 1-HOP VIEW x MATCH a-[e]->b", // wrong reserved names
@@ -153,6 +155,17 @@ func TestParseDDLErrors(t *testing.T) {
 		if _, err := ParseDDL(src); err == nil {
 			t.Errorf("ParseDDL(%q) should fail", src)
 		}
+	}
+}
+
+func TestParseDropView(t *testing.T) {
+	d, err := ParseDDL("DROP VIEW MoneyFlow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, ok := d.(DropView)
+	if !ok || dv.Name != "MoneyFlow" {
+		t.Fatalf("got %#v", d)
 	}
 }
 

@@ -1,0 +1,98 @@
+package snap
+
+import (
+	"sort"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// This file defines the durability interface between the snapshot layer and
+// a write-ahead log (internal/wal). The snapshot layer does not know how
+// records are framed or where they live; it only guarantees ordering and
+// the durability point: when Options.WALAppend is set, every publication
+// that carries logged work (a batch's ops, or a DDL descriptor) hands its
+// Record to the hook under the writer mutex BEFORE the in-memory atomic
+// swap, and aborts the publication if the hook fails. A commit is therefore
+// visible if and only if the hook accepted its record first.
+//
+// Records are numbered by a sequence counter that counts logged records
+// only (merges and folds publish new epochs but no records). Every
+// published Snapshot carries the sequence number of the last record it
+// includes, which is what checkpoints store and WAL truncation cuts at.
+
+// OpKind discriminates logged batch operations.
+type OpKind uint8
+
+const (
+	// OpAddVertex is a vertex append with properties.
+	OpAddVertex OpKind = iota + 1
+	// OpAddEdge is an edge append with properties.
+	OpAddEdge
+	// OpDeleteEdge is an edge tombstone.
+	OpDeleteEdge
+)
+
+// PropKV is one property assignment, by name — records are self-describing
+// and never reference catalog or column ids.
+type PropKV struct {
+	Key string
+	Val storage.Value
+}
+
+// LoggedOp is one batch operation as it entered the commit, carrying enough
+// to replay it exactly: label and property names (not ids) plus the entity
+// ids the original run assigned, which replay validates against.
+type LoggedOp struct {
+	Kind  OpKind
+	Label string
+	// V is the assigned vertex id (OpAddVertex).
+	V storage.VertexID
+	// Src, Dst are the edge endpoints and E the assigned or targeted edge
+	// id (OpAddEdge, OpDeleteEdge).
+	Src, Dst storage.VertexID
+	E        storage.EdgeID
+	Props    []PropKV
+}
+
+// Record is one WAL record: exactly one of Ops (a batch commit), Reconfig,
+// CreateVP, CreateEP, or Drop (DDL) is populated. Seq numbers records
+// densely from 1 in commit order.
+type Record struct {
+	Seq      uint64
+	Ops      []LoggedOp
+	Reconfig *index.Config
+	CreateVP *index.VPDef
+	CreateEP *index.EPDef
+	Drop     string
+}
+
+// sortedProps flattens a property map into key-sorted pairs so record
+// encoding is deterministic.
+func sortedProps(props map[string]storage.Value) []PropKV {
+	if len(props) == 0 {
+		return nil
+	}
+	kvs := make([]PropKV, 0, len(props))
+	for k, v := range props {
+		kvs = append(kvs, PropKV{Key: k, Val: v})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	return kvs
+}
+
+// logLocked assigns the next sequence number to rec and hands it to the
+// WAL hook; the counter only advances if the hook accepts. Callers hold
+// m.mu and must abort their publication on error. With no hook configured
+// this is a no-op (in-memory databases pay nothing).
+func (m *Manager) logLocked(rec Record) error {
+	if m.opts.WALAppend == nil {
+		return nil
+	}
+	rec.Seq = m.seq + 1
+	if err := m.opts.WALAppend(rec); err != nil {
+		return err
+	}
+	m.seq++
+	return nil
+}

@@ -19,7 +19,19 @@ func (m *Manager) scheduleMerge() {
 	if !m.merging.CompareAndSwap(false, true) {
 		return
 	}
+	// Register with the close WaitGroup under closeMu so Close either sees
+	// this fold (and waits for it) or has already marked the manager closed
+	// (and this fold never starts).
+	m.closeMu.Lock()
+	if m.closed {
+		m.closeMu.Unlock()
+		m.merging.Store(false)
+		return
+	}
+	m.mergeWG.Add(1)
+	m.closeMu.Unlock()
 	go func() {
+		defer m.mergeWG.Done()
 		for {
 			if err := m.Merge(); err != nil {
 				// Merge recorded the failure for Stats; stop rather than
@@ -53,7 +65,20 @@ func (m *Manager) scheduleMerge() {
 // fallback where a rebase is impossible. Concurrent merges serialize. The
 // outcome is mirrored into Stats().LastMergeError: set on failure, cleared
 // on success, whether the caller is the background scheduler or Flush.
-func (m *Manager) Merge() (err error) {
+// After a successful fold the Options.AfterFold hook (checkpointing) runs
+// with no manager locks held, receiving the delta-free snapshot the fold
+// finished on — not a re-acquired current one, which a concurrent commit
+// could have already dirtied (that would starve checkpoints under
+// sustained writes).
+func (m *Manager) Merge() error {
+	last, err := m.merge()
+	if err == nil && last != nil && m.opts.AfterFold != nil {
+		m.opts.AfterFold(last)
+	}
+	return err
+}
+
+func (m *Manager) merge() (last *Snapshot, err error) {
 	m.mergeMu.Lock()
 	defer m.mergeMu.Unlock()
 	defer func() {
@@ -68,7 +93,7 @@ func (m *Manager) Merge() (err error) {
 	for {
 		s := m.cur.Load()
 		if s.delta.Empty() {
-			return nil
+			return s, nil
 		}
 		if attempts >= 2 {
 			// Writers keep outrunning the fold (or keep introducing values
@@ -78,24 +103,25 @@ func (m *Manager) Merge() (err error) {
 			s = m.cur.Load()
 			if s.delta.Empty() {
 				m.mu.Unlock()
-				return nil
+				return s, nil
 			}
 			st, g2, err := foldSnapshot(s)
 			if err != nil {
 				m.mu.Unlock()
-				return err
+				return nil, err
 			}
 			m.publishBaseLocked(st, g2, index.NewDelta())
+			folded := m.cur.Load()
 			m.merges.Add(1)
 			m.mu.Unlock()
-			return nil
+			return folded, nil
 		}
 		attempts++
 
 		// Heavy build, no locks held: commits continue publishing.
 		st, g2, err := foldSnapshot(s)
 		if err != nil {
-			return err
+			return nil, err
 		}
 
 		m.mu.Lock()
@@ -155,6 +181,9 @@ func (m *Manager) Reconfigure(cfg index.Config) error {
 	if err != nil {
 		return err
 	}
+	if err := m.logLocked(Record{Reconfig: &cfg}); err != nil {
+		return err
+	}
 	m.publishBaseLocked(st, g2, index.NewDelta())
 	return nil
 }
@@ -175,6 +204,9 @@ func (m *Manager) CreateVertexPartitioned(def index.VPDef) error {
 	if err != nil {
 		return err
 	}
+	if err := m.logLocked(Record{CreateVP: &def}); err != nil {
+		return err
+	}
 	m.publishLocked(&Snapshot{baseGen: s.baseGen, store: s.store.WithVertexPartitioned(vp), graph: s.graph, delta: s.delta})
 	return nil
 }
@@ -191,6 +223,9 @@ func (m *Manager) CreateEdgePartitioned(def index.EPDef) error {
 	}
 	ep, err := index.BuildEdgePartitioned(s.store.Primary(), def)
 	if err != nil {
+		return err
+	}
+	if err := m.logLocked(Record{CreateEP: &def}); err != nil {
 		return err
 	}
 	m.publishLocked(&Snapshot{baseGen: s.baseGen, store: s.store.WithEdgePartitioned(ep), graph: s.graph, delta: s.delta})
@@ -219,11 +254,12 @@ func (m *Manager) foldForDDLLocked(name string) (*Snapshot, error) {
 }
 
 // DropIndex publishes a snapshot lacking the named secondary index,
-// reporting whether it existed. Like the other DDL publications it
-// excludes in-flight merges (mergeMu): a fold that started from a pre-drop
-// snapshot rebuilds every secondary of that snapshot, and publishing its
-// rebase after the drop would silently resurrect the index.
-func (m *Manager) DropIndex(name string) bool {
+// reporting whether it existed (false with a nil error when it did not).
+// Like the other DDL publications it excludes in-flight merges (mergeMu):
+// a fold that started from a pre-drop snapshot rebuilds every secondary of
+// that snapshot, and publishing its rebase after the drop would silently
+// resurrect the index.
+func (m *Manager) DropIndex(name string) (bool, error) {
 	m.mergeMu.Lock()
 	defer m.mergeMu.Unlock()
 	m.mu.Lock()
@@ -231,8 +267,11 @@ func (m *Manager) DropIndex(name string) bool {
 	s := m.cur.Load()
 	ns, ok := s.store.WithoutIndex(name)
 	if !ok {
-		return false
+		return false, nil
+	}
+	if err := m.logLocked(Record{Drop: name}); err != nil {
+		return false, err
 	}
 	m.publishLocked(&Snapshot{baseGen: s.baseGen, store: ns, graph: s.graph, delta: s.delta})
-	return true
+	return true, nil
 }

@@ -37,6 +37,26 @@ type Options struct {
 	// instead of in the background (deterministic tests, benchmarks of the
 	// fold itself).
 	SyncMerge bool
+
+	// WALAppend, when set, makes the manager durable: it is invoked under
+	// the writer mutex immediately before every publication that carries
+	// logged work (batch ops or a DDL descriptor), and the publication is
+	// aborted when it returns an error — the durability point is "record
+	// accepted". The hook must be fast relative to the fold threshold but
+	// may block (it typically fsyncs).
+	WALAppend func(Record) error
+	// AfterFold, when set, is invoked after every successful Merge with
+	// the delta-free snapshot the fold observed or published, and no
+	// manager locks held — the checkpointing trigger. The snapshot may
+	// already be superseded by newer commits; it is immutable either way,
+	// so serializing it is always safe and always covers every record up
+	// to its Seq.
+	AfterFold func(*Snapshot)
+	// StartSeq and StartEpoch initialize the record-sequence and epoch
+	// counters, so a recovered manager continues the numbering of the
+	// checkpoint it was restored from.
+	StartSeq   uint64
+	StartEpoch uint64
 }
 
 func (o Options) threshold() int {
@@ -51,6 +71,10 @@ func (o Options) threshold() int {
 // any number of goroutines for as long as the snapshot is pinned.
 type Snapshot struct {
 	epoch uint64
+	// seq is the sequence number of the last WAL record this snapshot
+	// includes (0 when the manager is not durable). Folds and merges
+	// publish new epochs without advancing it; logged commits and DDL do.
+	seq uint64
 	// baseGen identifies the frozen base the delta is expressed against;
 	// merges and reconfigurations bump it, commits preserve it.
 	baseGen uint64
@@ -67,6 +91,11 @@ type Snapshot struct {
 // Epoch returns the snapshot's publication number (monotonically
 // increasing across commits, merges, and DDL).
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Seq returns the sequence number of the last WAL record included in this
+// snapshot (0 for non-durable managers). A checkpoint of this snapshot
+// covers exactly the records with Seq <= this value.
+func (s *Snapshot) Seq() uint64 { return s.seq }
 
 // Store returns the frozen base store. It must never be mutated.
 func (s *Snapshot) Store() *index.Store { return s.store }
@@ -104,14 +133,22 @@ type Manager struct {
 	// swap in their result. Readers never touch it.
 	mu  sync.Mutex
 	cur atomic.Pointer[Snapshot]
-	// epoch and baseGen are the publication counters, guarded by mu.
+	// epoch and baseGen are the publication counters, and seq the logged-
+	// record counter, all guarded by mu.
 	epoch   uint64
+	seq     uint64
 	baseGen uint64
 
 	// mergeMu serializes merges and DDL against each other (their builds
 	// run outside mu so commits keep flowing).
 	mergeMu sync.Mutex
 	merging atomic.Bool
+
+	// closeMu guards closed and the merge WaitGroup increment so Close can
+	// wait for the in-flight background fold without racing a new one.
+	closeMu sync.Mutex
+	closed  bool
+	mergeWG sync.WaitGroup
 
 	retired atomic.Int64
 	merges  atomic.Int64
@@ -128,11 +165,34 @@ func NewManager(g *storage.Graph, cfg index.Config, o Options) (*Manager, error)
 	if err != nil {
 		return nil, err
 	}
+	return NewManagerFromStore(s, g, o), nil
+}
+
+// NewManagerFromStore publishes the first snapshot over an already-built
+// frozen store (a decoded checkpoint image, typically) without rebuilding
+// anything. The epoch and record-sequence counters continue from
+// o.StartEpoch/o.StartSeq. Neither st nor g may be mutated by the caller
+// afterwards.
+func NewManagerFromStore(st *index.Store, g *storage.Graph, o Options) *Manager {
 	m := &Manager{opts: o}
+	m.epoch = o.StartEpoch
+	m.seq = o.StartSeq
 	m.mu.Lock()
-	m.publishBaseLocked(s, g, index.NewDelta())
+	m.publishBaseLocked(st, g, index.NewDelta())
 	m.mu.Unlock()
-	return m, nil
+	return m
+}
+
+// Close stops the background merger and waits for an in-flight fold to
+// finish. It does not flush pending deltas (they live in memory; durable
+// callers replay them from the WAL on the next open). The manager must not
+// be used for writes afterwards; reads of already-pinned snapshots remain
+// valid.
+func (m *Manager) Close() {
+	m.closeMu.Lock()
+	m.closed = true
+	m.closeMu.Unlock()
+	m.mergeWG.Wait()
 }
 
 // Acquire pins and returns the current snapshot. The read path is two
@@ -152,6 +212,10 @@ func (m *Manager) Current() *Snapshot { return m.cur.Load() }
 func (m *Manager) publishLocked(ns *Snapshot) {
 	m.epoch++
 	ns.epoch = m.epoch
+	// Every publication under mu includes all records logged so far:
+	// logged commits and DDL bump m.seq just before publishing, folds and
+	// merges republish existing state without logging.
+	ns.seq = m.seq
 	ns.mgr = m
 	old := m.cur.Swap(ns)
 	if old != nil {
@@ -218,6 +282,9 @@ type Batch struct {
 	g    *storage.Graph
 	db   *index.DeltaBuilder
 	done bool
+	// ops records every successfully staged operation for the write-ahead
+	// log, in staging order; only populated when the manager is durable.
+	ops []LoggedOp
 	// stageErr poisons the batch: a failed staging op can leave the graph
 	// clone half-staged (e.g. an edge appended but its property set
 	// rejected, so it never reached the delta builder), and publishing
@@ -249,6 +316,9 @@ func (b *Batch) AddVertex(label string, props map[string]storage.Value) (storage
 			return v, b.poison(err)
 		}
 	}
+	if b.m.opts.WALAppend != nil {
+		b.ops = append(b.ops, LoggedOp{Kind: OpAddVertex, Label: label, V: v, Props: sortedProps(props)})
+	}
 	return v, nil
 }
 
@@ -268,6 +338,9 @@ func (b *Batch) AddEdge(src, dst storage.VertexID, label string, props map[strin
 		}
 	}
 	b.db.Insert(e)
+	if b.m.opts.WALAppend != nil {
+		b.ops = append(b.ops, LoggedOp{Kind: OpAddEdge, Label: label, Src: src, Dst: dst, E: e, Props: sortedProps(props)})
+	}
 	return e, nil
 }
 
@@ -285,6 +358,9 @@ func (b *Batch) DeleteEdge(e storage.EdgeID) error {
 		return fmt.Errorf("snap: edge %d out of range", e)
 	}
 	b.db.Delete(e)
+	if b.m.opts.WALAppend != nil {
+		b.ops = append(b.ops, LoggedOp{Kind: OpDeleteEdge, E: e})
+	}
 	return nil
 }
 
@@ -320,6 +396,20 @@ func (b *Batch) Commit() error {
 		m.mu.Unlock()
 		return fmt.Errorf("snap: batch not committed, a staged op failed: %w", b.stageErr)
 	}
+	// logOps is the durability point: the batch's record must be on disk
+	// before the publication makes it visible. It runs after every
+	// fallible step — a logged-but-unpublished record would be replayed as
+	// a phantom commit on recovery — and a hook failure aborts the commit
+	// with the in-memory state untouched.
+	logOps := func() error {
+		if len(b.ops) == 0 {
+			return nil
+		}
+		if err := m.logLocked(Record{Ops: b.ops}); err != nil {
+			return fmt.Errorf("snap: batch not committed, WAL append failed: %w", err)
+		}
+		return nil
+	}
 	baseCat := b.base.store.Graph().Catalog()
 	grewCatalog := b.g.Catalog().NumVertexLabels() > baseCat.NumVertexLabels() ||
 		b.g.Catalog().NumEdgeLabels() > baseCat.NumEdgeLabels()
@@ -331,12 +421,20 @@ func (b *Batch) Commit() error {
 			m.mu.Unlock()
 			return err
 		}
+		if err := logOps(); err != nil {
+			m.mu.Unlock()
+			return err
+		}
 		m.publishBaseLocked(st, b.g, index.NewDelta())
 		m.merges.Add(1)
 		m.mu.Unlock()
 		return nil
 	}
 	d := b.db.Freeze()
+	if err := logOps(); err != nil {
+		m.mu.Unlock()
+		return err
+	}
 	m.publishLocked(&Snapshot{baseGen: b.base.baseGen, store: b.base.store, graph: b.g, delta: d})
 	m.mu.Unlock()
 	if d.Pending() >= m.opts.threshold() {

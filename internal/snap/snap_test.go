@@ -382,11 +382,11 @@ func TestDDLUnderSnapshots(t *testing.T) {
 	}
 	pinned.Release()
 
-	if !m.DropIndex("V1") {
-		t.Fatal("drop failed")
+	if ok, err := m.DropIndex("V1"); !ok || err != nil {
+		t.Fatalf("drop failed: %v %v", ok, err)
 	}
-	if m.DropIndex("V1") {
-		t.Fatal("double drop succeeded")
+	if ok, err := m.DropIndex("V1"); ok || err != nil {
+		t.Fatalf("double drop succeeded: %v %v", ok, err)
 	}
 
 	if err := m.Reconfigure(index.Config{}); err != nil {

@@ -1,0 +1,383 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/snap"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// WALFile is the name of the write-ahead log inside a database directory.
+const WALFile = "wal.log"
+
+// ErrClosed is returned by appends against a closed engine.
+var ErrClosed = errors.New("wal: engine is closed")
+
+// Engine owns one database directory: the write-ahead log and the
+// checkpoint files. It is safe for concurrent use; appends serialize on an
+// internal mutex (callers already serialize on the snapshot writer mutex),
+// and checkpoint writes run concurrently with appends, only excluding them
+// for the brief WAL-truncation rewrite.
+type Engine struct {
+	dir   string
+	fsync bool
+
+	// mu guards the log handle, lastDiskSeq, the retained-checkpoint
+	// bookkeeping, and closed.
+	mu          sync.Mutex
+	log         *log
+	lastDiskSeq uint64
+	closed      bool
+
+	// curCkpt / prevCkptSeq track the newest retained checkpoint and the
+	// sequence number of the second-newest (the WAL truncation cutoff: the
+	// log must keep covering the fallback checkpoint).
+	hasCkpt     bool
+	curCkpt     ckptInfo
+	prevCkptSeq uint64
+	hasPrevSeq  bool
+
+	// ckptMu serializes checkpoint writers against each other.
+	ckptMu sync.Mutex
+	// ready gates checkpointing until recovery replay has finished.
+	ready atomic.Bool
+
+	walBytes  atomic.Int64
+	ckptErr   atomic.Pointer[string]
+	ckptBytes atomic.Int64
+}
+
+// Recovered is the durable state found in a database directory at open: the
+// decoded checkpoint image (nil Store/Graph when the directory holds none)
+// and the WAL tail to replay on top of it, in commit order.
+type Recovered struct {
+	Graph *storage.Graph
+	Store *index.Store
+	// Seq and Epoch are the checkpoint's coverage counters (0 without one).
+	Seq, Epoch uint64
+	// Tail holds the records with Seq > checkpoint Seq. Replaying them
+	// through the ordinary commit path reproduces the pre-crash state.
+	Tail []snap.Record
+}
+
+// Open opens (creating if necessary) a database directory: it selects the
+// newest checkpoint that decodes cleanly — quarantining corrupt ones as
+// .corrupt and falling back to the previous — scans the WAL, discards a
+// torn tail, and returns the engine plus the recovered state. fsync
+// disables nothing but the per-operation fsync calls (tests and benchmarks
+// of the non-durability costs set it false).
+func Open(dir string, fsync bool) (*Engine, *Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	e := &Engine{dir: dir, fsync: fsync}
+	rec := &Recovered{}
+
+	ckpts, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ci := range ckpts {
+		g, st, seq, epoch, damaged, err := loadCheckpoint(filepath.Join(dir, ci.name))
+		if err != nil {
+			if !damaged {
+				// A read error, not bad content (permissions, I/O): the
+				// image may be perfectly fine, so propagate instead of
+				// quarantining a recoverable checkpoint forever.
+				return nil, nil, err
+			}
+			// Quarantine and fall back to the previous checkpoint; the WAL
+			// retains the records covering it (truncation always keeps the
+			// suffix past the second-newest checkpoint).
+			quarantine(dir, ci.name)
+			continue
+		}
+		ci.seq = seq
+		fi, statErr := os.Stat(filepath.Join(dir, ci.name))
+		if statErr == nil {
+			ci.bytes = fi.Size()
+		}
+		e.hasCkpt = true
+		e.curCkpt = ci
+		e.ckptBytes.Store(ci.bytes)
+		rec.Graph, rec.Store, rec.Seq, rec.Epoch = g, st, seq, epoch
+		break
+	}
+
+	walPath := filepath.Join(dir, WALFile)
+	buf, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	payloads, validSize := scanFrames(buf)
+	if int64(len(buf)) > validSize && hasLaterValidFrame(buf[validSize:]) {
+		// The scan stopped on a bad frame but complete valid frames follow:
+		// that is mid-log corruption of fsync-acknowledged records, not a
+		// torn final write. Fail loudly instead of truncating durable data.
+		return nil, nil, fmt.Errorf("wal: %s is corrupt at offset %d with durable records after it", walPath, validSize)
+	}
+	records := make([]snap.Record, 0, len(payloads))
+	for i, p := range payloads {
+		// A torn write can never produce a CRC-valid frame (scanFrames
+		// already discarded the torn tail), so a framed record that fails
+		// to decode is real corruption of an fsync-acknowledged commit —
+		// fail the open rather than silently dropping durable data,
+		// wherever in the log it sits.
+		r, err := decodeRecord(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: record %d of %s is corrupt: %w", i, walPath, err)
+		}
+		if len(records) > 0 && r.Seq != records[len(records)-1].Seq+1 {
+			return nil, nil, fmt.Errorf("wal: %s has a sequence gap (%d then %d)", walPath, records[len(records)-1].Seq, r.Seq)
+		}
+		records = append(records, r)
+	}
+	if len(records) > 0 && records[0].Seq > rec.Seq+1 {
+		return nil, nil, fmt.Errorf("wal: %s starts at record %d but the checkpoint covers only up to %d",
+			walPath, records[0].Seq, rec.Seq)
+	}
+	e.log, err = openLog(walPath, validSize, fsync)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(len(buf)) > validSize {
+		// Discard the torn tail on disk so the next append starts clean.
+		if err := e.log.f.Truncate(validSize); err != nil {
+			e.log.close()
+			return nil, nil, err
+		}
+	}
+	e.walBytes.Store(validSize)
+	e.lastDiskSeq = rec.Seq
+	for _, r := range records {
+		if r.Seq > rec.Seq {
+			rec.Tail = append(rec.Tail, r)
+		}
+		if r.Seq > e.lastDiskSeq {
+			e.lastDiskSeq = r.Seq
+		}
+	}
+	return e, rec, nil
+}
+
+// SetReady enables checkpointing; the opener calls it once recovery replay
+// has finished, so mid-replay folds do not checkpoint half-replayed state.
+func (e *Engine) SetReady() { e.ready.Store(true) }
+
+// Append makes one record durable. It is the snap.Options.WALAppend hook:
+// called under the snapshot writer mutex immediately before the publication
+// swap, so WAL order is commit order and a failed append aborts the commit.
+// Records already on disk (recovery replaying the tail re-commits them
+// through the same path) are recognized by their sequence number and
+// skipped, which makes replay idempotent by construction.
+func (e *Engine) Append(rec snap.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rec.Seq <= e.lastDiskSeq {
+		return nil
+	}
+	if e.closed {
+		return ErrClosed
+	}
+	if rec.Seq != e.lastDiskSeq+1 {
+		return fmt.Errorf("wal: append of record %d would leave a gap after %d", rec.Seq, e.lastDiskSeq)
+	}
+	if err := e.log.append(encodeRecord(rec)); err != nil {
+		return err
+	}
+	e.lastDiskSeq = rec.Seq
+	e.walBytes.Store(e.log.size)
+	return nil
+}
+
+// CheckpointSnapshot serializes a frozen snapshot to checkpoint-<epoch>,
+// retires checkpoints beyond the newest two, and truncates the WAL prefix
+// the retained pair no longer needs. Snapshots with a non-empty delta or
+// nothing new since the last checkpoint are skipped. Heavy work (encoding,
+// file write) runs without blocking appends; only the WAL rewrite briefly
+// excludes them. The outcome is mirrored into Stats().LastCheckpointError.
+func (e *Engine) CheckpointSnapshot(s *snap.Snapshot) error {
+	if !e.ready.Load() {
+		return nil
+	}
+	if !s.Delta().Empty() {
+		return nil
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	e.mu.Lock()
+	skip := e.closed || (e.hasCkpt && s.Seq() <= e.curCkpt.seq)
+	e.mu.Unlock()
+	if skip {
+		return nil
+	}
+	err := e.checkpoint(s)
+	if err != nil {
+		msg := err.Error()
+		e.ckptErr.Store(&msg)
+	} else {
+		e.ckptErr.Store(nil)
+	}
+	return err
+}
+
+func (e *Engine) checkpoint(s *snap.Snapshot) error {
+	data := encodeCheckpoint(s.Seq(), s.Epoch(), s.Graph(), s.Store())
+	name := ckptName(s.Epoch())
+	if err := writeFileAtomic(e.dir, name, data, e.fsync); err != nil {
+		return err
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	prev := e.curCkpt
+	hadPrev := e.hasCkpt
+	e.hasCkpt = true
+	e.curCkpt = ckptInfo{name: name, epoch: s.Epoch(), seq: s.Seq(), bytes: int64(len(data))}
+	e.ckptBytes.Store(int64(len(data)))
+	if hadPrev {
+		e.prevCkptSeq, e.hasPrevSeq = prev.seq, true
+	}
+	// The WAL must keep covering the fallback checkpoint: cut at the
+	// second-newest checkpoint's sequence number. Until a second
+	// checkpoint exists there is no fallback but the full log, so the
+	// first checkpoint truncates nothing — a corrupt sole checkpoint must
+	// still be recoverable by replaying the WAL from scratch.
+	var truncErr error
+	if e.hasPrevSeq {
+		truncErr = e.truncateWALLocked(e.prevCkptSeq)
+	}
+	e.mu.Unlock()
+
+	// Retire checkpoints beyond the newest two (best-effort; stray files
+	// are harmless and cleaned up next time).
+	if all, err := listCheckpoints(e.dir); err == nil {
+		keep := map[string]bool{e.curCkpt.name: true}
+		if hadPrev {
+			keep[prev.name] = true
+		}
+		removed := false
+		for _, ci := range all {
+			if !keep[ci.name] {
+				if os.Remove(filepath.Join(e.dir, ci.name)) == nil {
+					removed = true
+				}
+			}
+		}
+		if removed && e.fsync {
+			_ = syncDir(e.dir)
+		}
+	}
+	return truncErr
+}
+
+// truncateWALLocked rewrites the log keeping only records with sequence
+// numbers past cutoff. Callers hold e.mu, so no append can interleave.
+func (e *Engine) truncateWALLocked(cutoff uint64) error {
+	path := filepath.Join(e.dir, WALFile)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	payloads, _ := scanFrames(buf)
+	keep := make([][]byte, 0, len(payloads))
+	for _, p := range payloads {
+		seq, n := binary.Uvarint(p)
+		if n <= 0 {
+			return fmt.Errorf("wal: unreadable sequence number during truncation")
+		}
+		if seq > cutoff {
+			keep = append(keep, p)
+		}
+	}
+	if len(keep) == len(payloads) {
+		return nil // nothing to cut
+	}
+	w := make([]byte, 0, len(buf))
+	for _, p := range keep {
+		w = appendFrame(w, p)
+	}
+	prevSize := e.log.size
+	if err := e.log.close(); err != nil {
+		e.reopenLogLocked(prevSize)
+		return err
+	}
+	if err := writeFileAtomic(e.dir, WALFile, w, e.fsync); err != nil {
+		// The rename never happened: the original log is intact; reopen it
+		// so appends keep working and the truncation is retried at the
+		// next checkpoint.
+		e.reopenLogLocked(prevSize)
+		return err
+	}
+	e.walBytes.Store(int64(len(w)))
+	e.reopenLogLocked(int64(len(w)))
+	if e.log.f == nil {
+		return fmt.Errorf("wal: reopen after truncation failed")
+	}
+	return nil
+}
+
+// reopenLogLocked best-effort reopens the on-disk log for appending at
+// size after the handle was closed; on failure the closed handle stays in
+// place and appends keep failing (the on-disk state is still consistent).
+func (e *Engine) reopenLogLocked(size int64) {
+	if nl, err := openLog(filepath.Join(e.dir, WALFile), size, e.fsync); err == nil {
+		e.log = nl
+	}
+}
+
+// Stats is a point-in-time observation of the durability subsystem.
+type Stats struct {
+	// WALBytes is the current size of the write-ahead log.
+	WALBytes int64
+	// CheckpointEpoch and CheckpointSeq identify the newest checkpoint
+	// (0/0 before the first).
+	CheckpointEpoch uint64
+	CheckpointSeq   uint64
+	// CheckpointBytes is the newest checkpoint's file size.
+	CheckpointBytes int64
+	// LastCheckpointError is the most recent checkpoint failure ("" when
+	// the last attempt succeeded). A persistent value means the WAL cannot
+	// currently be truncated and will keep growing.
+	LastCheckpointError string
+}
+
+// Stats reports durability counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	st := Stats{
+		WALBytes:        e.walBytes.Load(),
+		CheckpointBytes: e.ckptBytes.Load(),
+	}
+	if e.hasCkpt {
+		st.CheckpointEpoch = e.curCkpt.epoch
+		st.CheckpointSeq = e.curCkpt.seq
+	}
+	e.mu.Unlock()
+	if msg := e.ckptErr.Load(); msg != nil {
+		st.LastCheckpointError = *msg
+	}
+	return st
+}
+
+// Close syncs and closes the log. Further appends fail with ErrClosed;
+// checkpoint attempts become no-ops.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.log.close()
+}

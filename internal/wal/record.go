@@ -1,0 +1,145 @@
+package wal
+
+// WAL record payload codec. A record is one snap.Record — a batch's op
+// list, or one DDL descriptor — encoded self-describingly: labels and
+// properties travel by name, never by catalog or column id, so a record
+// can be replayed into any state that structurally precedes it.
+
+import (
+	"fmt"
+
+	"github.com/aplusdb/aplus/internal/enc"
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/snap"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+const (
+	recBatch uint8 = iota + 1
+	recReconfig
+	recCreateVP
+	recCreateEP
+	recDrop
+)
+
+func encodeProps(w *enc.Writer, props []snap.PropKV) {
+	w.Uvarint(uint64(len(props)))
+	for _, kv := range props {
+		w.String(kv.Key)
+		storage.EncodeValue(w, kv.Val)
+	}
+}
+
+func decodeProps(r *enc.Reader) []snap.PropKV {
+	n := r.Len(2)
+	if n == 0 {
+		return nil
+	}
+	props := make([]snap.PropKV, 0, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		props = append(props, snap.PropKV{Key: k, Val: storage.DecodeValue(r)})
+	}
+	return props
+}
+
+// encodeRecord turns a record into a frame payload.
+func encodeRecord(rec snap.Record) []byte {
+	w := enc.NewWriter()
+	w.Uvarint(rec.Seq)
+	switch {
+	case rec.Reconfig != nil:
+		w.U8(recReconfig)
+		index.EncodeConfig(w, *rec.Reconfig)
+	case rec.CreateVP != nil:
+		w.U8(recCreateVP)
+		index.EncodeVPDef(w, *rec.CreateVP)
+	case rec.CreateEP != nil:
+		w.U8(recCreateEP)
+		index.EncodeEPDef(w, *rec.CreateEP)
+	case rec.Drop != "":
+		w.U8(recDrop)
+		w.String(rec.Drop)
+	default:
+		w.U8(recBatch)
+		w.Uvarint(uint64(len(rec.Ops)))
+		for _, op := range rec.Ops {
+			w.U8(uint8(op.Kind))
+			switch op.Kind {
+			case snap.OpAddVertex:
+				w.String(op.Label)
+				w.U32(uint32(op.V))
+				encodeProps(w, op.Props)
+			case snap.OpAddEdge:
+				w.String(op.Label)
+				w.U32(uint32(op.Src))
+				w.U32(uint32(op.Dst))
+				w.U64(uint64(op.E))
+				encodeProps(w, op.Props)
+			case snap.OpDeleteEdge:
+				w.U64(uint64(op.E))
+			}
+		}
+	}
+	return w.Bytes()
+}
+
+// decodeRecord parses a frame payload back into a record.
+func decodeRecord(payload []byte) (snap.Record, error) {
+	r := enc.NewReader(payload)
+	rec := snap.Record{Seq: r.Uvarint()}
+	switch kind := r.U8(); kind {
+	case recReconfig:
+		cfg := index.DecodeConfig(r)
+		rec.Reconfig = &cfg
+	case recCreateVP:
+		def := index.DecodeVPDef(r)
+		rec.CreateVP = &def
+	case recCreateEP:
+		def := index.DecodeEPDef(r)
+		rec.CreateEP = &def
+	case recDrop:
+		rec.Drop = r.String()
+		if r.Err() == nil && rec.Drop == "" {
+			return rec, fmt.Errorf("wal: drop record without an index name")
+		}
+	case recBatch:
+		n := r.Len(2)
+		rec.Ops = make([]snap.LoggedOp, 0, n)
+		for i := 0; i < n; i++ {
+			op := snap.LoggedOp{Kind: snap.OpKind(r.U8())}
+			switch op.Kind {
+			case snap.OpAddVertex:
+				op.Label = r.String()
+				op.V = storage.VertexID(r.U32())
+				op.Props = decodeProps(r)
+			case snap.OpAddEdge:
+				op.Label = r.String()
+				op.Src = storage.VertexID(r.U32())
+				op.Dst = storage.VertexID(r.U32())
+				op.E = storage.EdgeID(r.U64())
+				op.Props = decodeProps(r)
+			case snap.OpDeleteEdge:
+				op.E = storage.EdgeID(r.U64())
+			default:
+				if r.Err() != nil {
+					return rec, r.Err()
+				}
+				return rec, fmt.Errorf("wal: record %d has unknown op kind %d", rec.Seq, op.Kind)
+			}
+			rec.Ops = append(rec.Ops, op)
+		}
+	default:
+		if r.Err() != nil {
+			return rec, r.Err()
+		}
+		return rec, fmt.Errorf("wal: unknown record kind %d", kind)
+	}
+	if r.Err() != nil {
+		return rec, r.Err()
+	}
+	if r.Rest() != 0 {
+		return rec, fmt.Errorf("wal: record %d has %d trailing bytes", rec.Seq, r.Rest())
+	}
+	return rec, nil
+}

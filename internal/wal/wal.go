@@ -1,0 +1,210 @@
+// Package wal is the durability subsystem: a write-ahead log of commit
+// records, checkpoint images of frozen snapshots, and the recovery path
+// that stitches the two back into a running database.
+//
+// The contract mirrors the snapshot architecture it is built on
+// (internal/snap): every batch commit and DDL publication hands its record
+// to Engine.Append under the writer mutex *before* the in-memory atomic
+// swap — a commit is durable if and only if its length-prefixed,
+// CRC-framed record is fully on disk (fsync'd by default). When the
+// background merger folds the delta into a fresh base, the resulting
+// immutable snapshot is serialized to a checkpoint-<epoch> file and the
+// WAL prefix covered by the retained checkpoints is truncated. Recovery
+// loads the newest valid checkpoint (quarantining corrupt ones and falling
+// back to the previous), replays the WAL tail as ordinary commits, and
+// tolerates a torn final record by discarding it.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// castagnoli is the CRC-32C table used for record and checkpoint framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the per-record framing overhead: a 4-byte payload
+// length followed by a 4-byte CRC-32C of the payload.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds a single record's payload. It exists purely to
+// reject absurd length fields quickly; real batches are far smaller.
+const maxRecordSize = 1 << 30
+
+// appendFrame appends one framed record — the 8-byte header followed by
+// the payload — to dst. It is the single definition of the frame layout;
+// scanFrames is its inverse.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// log is an append-only file of framed records.
+type log struct {
+	f     *os.File
+	path  string
+	size  int64
+	fsync bool
+	// scratch is the reusable frame buffer, so each append is one write.
+	scratch []byte
+}
+
+// openLog opens (creating if needed) the log file for appending at size.
+// The caller has already scanned the file and truncated any torn tail.
+func openLog(path string, size int64, fsync bool) (*log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &log{f: f, path: path, size: size, fsync: fsync}, nil
+}
+
+// append frames payload and writes it, syncing when the log is in fsync
+// mode. On a short write the log attempts to truncate back to the last
+// record boundary so the file never carries a mid-file hole.
+func (l *log) append(payload []byte) error {
+	l.scratch = appendFrame(l.scratch[:0], payload)
+	if _, err := l.f.Write(l.scratch); err != nil {
+		l.rewind()
+		return err
+	}
+	if l.fsync {
+		if err := l.f.Sync(); err != nil {
+			l.rewind()
+			return err
+		}
+	}
+	l.size += int64(len(l.scratch))
+	return nil
+}
+
+// rewind restores the file offset (and length, best-effort) to the last
+// durable record boundary after a failed append.
+func (l *log) rewind() {
+	_ = l.f.Truncate(l.size)
+	_, _ = l.f.Seek(l.size, io.SeekStart)
+}
+
+func (l *log) sync() error {
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+func (l *log) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// scanFrames splits a log image into record payloads, stopping at the
+// first frame that is incomplete or fails its checksum. It returns the
+// payloads and the byte offset of the valid prefix; everything past it is
+// a torn or corrupt tail for the caller to discard. Payload slices alias
+// buf.
+func scanFrames(buf []byte) (payloads [][]byte, validSize int64) {
+	off := int64(0)
+	for {
+		rest := int64(len(buf)) - off
+		if rest < frameHeaderSize {
+			return payloads, off
+		}
+		n := int64(binary.LittleEndian.Uint32(buf[off : off+4]))
+		sum := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+		if n > maxRecordSize || n > rest-frameHeaderSize {
+			return payloads, off
+		}
+		payload := buf[off+frameHeaderSize : off+frameHeaderSize+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return payloads, off
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderSize + n
+	}
+}
+
+// hasLaterValidFrame reports whether buf contains a complete, CRC-valid
+// frame starting at any offset. It distinguishes a torn tail (the crashed
+// write's partial record, nothing valid after it) from mid-log corruption
+// (a damaged record with durable records still behind it): discarding the
+// former is the recovery contract, discarding the latter would silently
+// erase fsync-acknowledged commits.
+func hasLaterValidFrame(buf []byte) bool {
+	for i := 0; i+frameHeaderSize <= len(buf); i++ {
+		n := int64(binary.LittleEndian.Uint32(buf[i : i+4]))
+		if n > maxRecordSize || n > int64(len(buf)-i-frameHeaderSize) {
+			continue
+		}
+		sum := binary.LittleEndian.Uint32(buf[i+4 : i+8])
+		payload := buf[i+frameHeaderSize : i+frameHeaderSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) == sum {
+			return true
+		}
+	}
+	return false
+}
+
+// syncDir fsyncs a directory so renames and unlinks within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file with
+// fsync-then-rename, and syncs the directory, so a crash leaves either the
+// old file or the complete new one.
+func writeFileAtomic(dir, name string, data []byte, fsync bool) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if fsync {
+		if err := tmp.Sync(); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, dir+string(os.PathSeparator)+name); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if fsync {
+		return syncDir(dir)
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/snap"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	cfg := index.Config{
+		Partitions: []index.PartitionKey{{Var: pred.VarAdj, Prop: pred.PropLabel}},
+		Sorts:      []index.SortKey{{Var: pred.VarAdj, Prop: "amt"}},
+	}
+	vp := index.VPDef{
+		View: index.View1Hop{Name: "V", Pred: pred.Predicate{}.
+			And(pred.ConstTerm(pred.VarAdj, "currency", pred.EQ, storage.Str("EUR")))},
+		Dirs: []index.Direction{index.FW, index.BW},
+		Cfg:  index.DefaultConfig(),
+	}
+	ep := index.EPDef{
+		View: index.View2Hop{Name: "E", Dir: index.SourceBW, Pred: pred.Predicate{}.
+			And(pred.VarTermShift(pred.VarBound, "amt", pred.LT, pred.VarAdj, "amt", 3))},
+		Cfg: index.DefaultConfig(),
+	}
+	recs := []snap.Record{
+		{Seq: 1, Ops: []snap.LoggedOp{
+			{Kind: snap.OpAddVertex, Label: "Account", V: 7, Props: []snap.PropKV{
+				{Key: "city", Val: storage.Str("SF")},
+				{Key: "vip", Val: storage.Bool(true)},
+			}},
+			{Kind: snap.OpAddEdge, Label: "W", Src: 7, Dst: 3, E: 42, Props: []snap.PropKV{
+				{Key: "amt", Val: storage.Float(1.5)},
+			}},
+			{Kind: snap.OpDeleteEdge, E: 41},
+		}},
+		{Seq: 2, Ops: nil}, // empty batch record (vertex-only batches may log no edges but never this; still must roundtrip)
+		{Seq: 3, Reconfig: &cfg},
+		{Seq: 4, CreateVP: &vp},
+		{Seq: 5, CreateEP: &ep},
+		{Seq: 6, Drop: "V"},
+	}
+	for _, rec := range recs {
+		got, err := decodeRecord(encodeRecord(rec))
+		if err != nil {
+			t.Fatalf("record %d: %v", rec.Seq, err)
+		}
+		if got.Seq != rec.Seq || len(got.Ops) != len(rec.Ops) || got.Drop != rec.Drop ||
+			(got.Reconfig == nil) != (rec.Reconfig == nil) ||
+			(got.CreateVP == nil) != (rec.CreateVP == nil) ||
+			(got.CreateEP == nil) != (rec.CreateEP == nil) {
+			t.Fatalf("record %d shape mismatch: %+v", rec.Seq, got)
+		}
+		for i, op := range rec.Ops {
+			g := got.Ops[i]
+			if g.Kind != op.Kind || g.Label != op.Label || g.V != op.V ||
+				g.Src != op.Src || g.Dst != op.Dst || g.E != op.E || len(g.Props) != len(op.Props) {
+				t.Fatalf("record %d op %d mismatch: %+v vs %+v", rec.Seq, i, g, op)
+			}
+			for j, kv := range op.Props {
+				if g.Props[j].Key != kv.Key || g.Props[j].Val.Compare(kv.Val) != 0 {
+					t.Fatalf("record %d op %d prop %d mismatch", rec.Seq, i, j)
+				}
+			}
+		}
+		if rec.Reconfig != nil && got.Reconfig.String() != rec.Reconfig.String() {
+			t.Fatalf("reconfig mismatch: %v vs %v", got.Reconfig, rec.Reconfig)
+		}
+		if rec.CreateVP != nil && got.CreateVP.View.Pred.String() != rec.CreateVP.View.Pred.String() {
+			t.Fatal("vp predicate mismatch")
+		}
+		if rec.CreateEP != nil && got.CreateEP.View.Dir != rec.CreateEP.View.Dir {
+			t.Fatal("ep direction mismatch")
+		}
+	}
+}
+
+// appendRecords opens an engine in dir and appends n single-op batch
+// records with sequence numbers start+1..start+n.
+func appendRecords(t *testing.T, dir string, start uint64, n int) {
+	t.Helper()
+	e, _, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < n; i++ {
+		rec := snap.Record{Seq: start + uint64(i) + 1, Ops: []snap.LoggedOp{
+			{Kind: snap.OpAddVertex, Label: "V", V: storage.VertexID(i)},
+		}}
+		if err := e.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEngineAppendAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	appendRecords(t, dir, 0, 5)
+
+	e, rec, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if rec.Store != nil || rec.Seq != 0 {
+		t.Fatal("no checkpoint expected")
+	}
+	if len(rec.Tail) != 5 {
+		t.Fatalf("tail %d records, want 5", len(rec.Tail))
+	}
+	for i, r := range rec.Tail {
+		if r.Seq != uint64(i)+1 {
+			t.Fatalf("tail record %d has seq %d", i, r.Seq)
+		}
+	}
+	// Idempotent replay: re-appending on-disk records is a no-op.
+	before := e.Stats().WALBytes
+	if err := e.Append(rec.Tail[2]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().WALBytes != before {
+		t.Fatal("replayed append grew the log")
+	}
+	// A gap is rejected.
+	if err := e.Append(snap.Record{Seq: 9}); err == nil {
+		t.Fatal("gap accepted")
+	}
+}
+
+func TestEngineTornTailSweep(t *testing.T) {
+	dir := t.TempDir()
+	appendRecords(t, dir, 0, 3)
+	walPath := filepath.Join(dir, WALFile)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, _ := scanFrames(full)
+	if len(payloads) != 3 {
+		t.Fatalf("expected 3 records, got %d", len(payloads))
+	}
+	rec2End := int64(len(full)) - frameHeaderSize - int64(len(payloads[2]))
+
+	// Truncate at every byte offset inside the final record: recovery must
+	// keep exactly the first two records and discard the torn tail.
+	for cut := rec2End; cut < int64(len(full)); cut++ {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, WALFile), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, rec, err := Open(sub, true)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(rec.Tail) != 2 {
+			t.Fatalf("cut %d: tail %d records, want 2", cut, len(rec.Tail))
+		}
+		// The torn bytes are gone from disk and appends continue at seq 3.
+		if got := e.Stats().WALBytes; got != rec2End {
+			t.Fatalf("cut %d: wal bytes %d, want %d", cut, got, rec2End)
+		}
+		if err := e.Append(snap.Record{Seq: 3, Ops: []snap.LoggedOp{{Kind: snap.OpDeleteEdge, E: 1}}}); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		e.Close()
+	}
+
+	// Flipping a byte inside an interior record is mid-log corruption of an
+	// fsync-acknowledged commit with durable records after it: Open must
+	// fail loudly instead of silently truncating the valid suffix away.
+	bad := append([]byte(nil), full...)
+	bad[frameHeaderSize+1] ^= 0xFF
+	sub := t.TempDir()
+	if err := os.WriteFile(filepath.Join(sub, WALFile), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(sub, true); err == nil {
+		t.Fatal("mid-log corruption with durable records after it must fail the open")
+	}
+	// Corrupting the *final* record with no valid frames after it is
+	// indistinguishable from a torn write and is discarded.
+	bad = append([]byte(nil), full...)
+	bad[len(bad)-1] ^= 0xFF
+	sub2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(sub2, WALFile), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, rec, err := Open(sub2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if len(rec.Tail) != 2 {
+		t.Fatalf("corrupt final record: tail %d, want 2", len(rec.Tail))
+	}
+}
+
+// buildDurableManager wires a snapshot manager to an engine over an empty
+// graph, the way aplus.Open does.
+func buildDurableManager(t *testing.T, dir string, threshold int) (*snap.Manager, *Engine) {
+	t.Helper()
+	e, rec, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *snap.Manager
+	opts := snap.Options{
+		MergeThreshold: threshold,
+		SyncMerge:      true,
+		WALAppend:      e.Append,
+		StartSeq:       rec.Seq,
+		StartEpoch:     rec.Epoch,
+		AfterFold:      func(s *snap.Snapshot) { _ = e.CheckpointSnapshot(s) },
+	}
+	if rec.Store != nil {
+		m = snap.NewManagerFromStore(rec.Store, rec.Graph, opts)
+	} else {
+		var err error
+		m, err = snap.NewManager(storage.NewGraph(), index.DefaultConfig(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replay the tail through the ordinary commit path.
+	for _, r := range rec.Tail {
+		switch {
+		case r.Reconfig != nil:
+			if err := m.Reconfigure(*r.Reconfig); err != nil {
+				t.Fatal(err)
+			}
+		case r.CreateVP != nil:
+			if err := m.CreateVertexPartitioned(*r.CreateVP); err != nil {
+				t.Fatal(err)
+			}
+		case r.CreateEP != nil:
+			if err := m.CreateEdgePartitioned(*r.CreateEP); err != nil {
+				t.Fatal(err)
+			}
+		case r.Drop != "":
+			if _, err := m.DropIndex(r.Drop); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			b := m.Begin()
+			for _, op := range r.Ops {
+				switch op.Kind {
+				case snap.OpAddVertex:
+					if _, err := b.AddVertex(op.Label, propsMap(op.Props)); err != nil {
+						t.Fatal(err)
+					}
+				case snap.OpAddEdge:
+					if _, err := b.AddEdge(op.Src, op.Dst, op.Label, propsMap(op.Props)); err != nil {
+						t.Fatal(err)
+					}
+				case snap.OpDeleteEdge:
+					if err := b.DeleteEdge(op.E); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := b.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	e.SetReady()
+	return m, e
+}
+
+func propsMap(props []snap.PropKV) map[string]storage.Value {
+	if len(props) == 0 {
+		return nil
+	}
+	m := make(map[string]storage.Value, len(props))
+	for _, kv := range props {
+		m[kv.Key] = kv.Val
+	}
+	return m
+}
+
+// commitEdges commits one batch adding n vertices chained by edges.
+func commitEdges(t *testing.T, m *snap.Manager, n int) {
+	t.Helper()
+	b := m.Begin()
+	var prev storage.VertexID
+	for i := 0; i < n; i++ {
+		v, err := b.AddVertex("A", map[string]storage.Value{"i": storage.Int(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if _, err := b.AddEdge(prev, v, "L", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = v
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countLiveEdges(m *snap.Manager) int {
+	s := m.Acquire()
+	defer s.Release()
+	return s.Graph().NumLiveEdges() - s.Delta().Deletes()
+}
+
+func TestEngineCheckpointTruncateAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	m, e := buildDurableManager(t, dir, 8)
+	// Three batches of 9 edges: each crosses the threshold, so each commit
+	// sync-merges and checkpoints.
+	for i := 0; i < 3; i++ {
+		commitEdges(t, m, 10)
+	}
+	st := e.Stats()
+	if st.CheckpointEpoch == 0 || st.CheckpointSeq == 0 {
+		t.Fatalf("no checkpoint written: %+v", st)
+	}
+	if st.LastCheckpointError != "" {
+		t.Fatalf("checkpoint error: %s", st.LastCheckpointError)
+	}
+	ckpts, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) != 2 {
+		t.Fatalf("retained %d checkpoints, want 2", len(ckpts))
+	}
+	wantEdges := countLiveEdges(m)
+	m.Close()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean reopen restores the same edge count.
+	m2, e2 := buildDurableManager(t, dir, 8)
+	if got := countLiveEdges(m2); got != wantEdges {
+		t.Fatalf("reopen: %d edges, want %d", got, wantEdges)
+	}
+	m2.Close()
+	e2.Close()
+
+	// Corrupt the newest checkpoint: open must quarantine it, fall back to
+	// the previous one, and replay the WAL suffix to the same state.
+	ckpts, _ = listCheckpoints(dir)
+	newest := filepath.Join(dir, ckpts[0].name)
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m3, e3 := buildDurableManager(t, dir, 8)
+	if got := countLiveEdges(m3); got != wantEdges {
+		t.Fatalf("fallback reopen: %d edges, want %d", got, wantEdges)
+	}
+	if _, err := os.Stat(newest + ".corrupt"); err != nil {
+		t.Fatalf("corrupt checkpoint not quarantined: %v", err)
+	}
+	m3.Close()
+	e3.Close()
+
+	// Both checkpoints corrupt: recovery falls back to a full WAL replay
+	// only if the log still covers everything — here it does not (it was
+	// truncated), so Open must fail loudly instead of silently losing data.
+	ckpts, _ = listCheckpoints(dir)
+	for _, ci := range ckpts {
+		p := filepath.Join(dir, ci.name)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/3] ^= 0xFF
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := Open(dir, true); err == nil {
+		t.Fatal("open with no usable checkpoint and a truncated WAL must fail")
+	}
+}
+
+func TestEngineDDLRecordsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	m, e := buildDurableManager(t, dir, 1<<30)
+	commitEdges(t, m, 6)
+	if err := m.CreateVertexPartitioned(index.VPDef{
+		View: index.View1Hop{Name: "AllFW"},
+		Dirs: []index.Direction{index.FW},
+		Cfg:  index.DefaultConfig(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := m.DropIndex("AllFW"); !ok || err != nil {
+		t.Fatalf("drop: %v %v", ok, err)
+	}
+	if err := m.CreateVertexPartitioned(index.VPDef{
+		View: index.View1Hop{Name: "Kept"},
+		Dirs: []index.Direction{index.BW},
+		Cfg:  index.DefaultConfig(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	e.Close()
+
+	m2, e2 := buildDurableManager(t, dir, 1<<30)
+	defer e2.Close()
+	defer m2.Close()
+	s := m2.Acquire()
+	defer s.Release()
+	if s.Store().HasIndex("AllFW") {
+		t.Fatal("dropped index resurrected")
+	}
+	if !s.Store().HasIndex("Kept") {
+		t.Fatal("created index lost")
+	}
+}

@@ -1,0 +1,111 @@
+package aplus
+
+// Durable databases. Open turns a directory into a crash-safe database:
+// every committed batch is appended to a write-ahead log before its
+// snapshot is published (a commit is durable if and only if its record is
+// fully on disk), background folds additionally serialize the frozen base
+// to checkpoint files and truncate the covered WAL prefix, and Open
+// recovers by loading the newest valid checkpoint and replaying the WAL
+// tail through the ordinary commit path — so the recovered state is
+// bit-identical to the last durable commit by construction, with a torn
+// final record discarded and corrupt checkpoints quarantined.
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/snap"
+	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/wal"
+)
+
+// ErrClosed is returned by every read and write entry point after Close.
+var ErrClosed = errors.New("aplus: database is closed")
+
+// OpenOptions tune a durable database at open time.
+type OpenOptions struct {
+	// MergeThreshold is the number of pending delta ops after which a
+	// commit schedules a background fold — which, for durable databases,
+	// is also the checkpoint cadence (0 = the engine default). Unlike the
+	// in-memory DB field, it must be fixed at Open, since the durable
+	// engine exists from the first write.
+	MergeThreshold int
+	// NoFsync disables the per-commit and per-checkpoint fsync calls.
+	// Writes still reach the OS page cache, so a process crash loses
+	// nothing, but a machine crash may. For tests and benchmarks of the
+	// non-sync costs.
+	NoFsync bool
+}
+
+// Open opens (creating if necessary) a durable database in dir with
+// default options. See OpenOptions.Open.
+func Open(dir string) (*DB, error) { return OpenOptions{}.Open(dir) }
+
+// Open opens (creating if necessary) a durable database in dir: it loads
+// the newest valid checkpoint — quarantining corrupt ones and falling back
+// to the previous — replays the write-ahead-log tail as ordinary commits,
+// discards a torn final record, and returns a DB whose every subsequent
+// commit is durable before it becomes visible. Close releases the
+// directory; the same directory must not be opened by two live DBs at
+// once.
+func (o OpenOptions) Open(dir string) (*DB, error) {
+	eng, rec, err := wal.Open(dir, !o.NoFsync)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{eng: eng, MergeThreshold: o.MergeThreshold}
+	var m *snap.Manager
+	sopts := snap.Options{
+		MergeThreshold: o.MergeThreshold,
+		WALAppend:      eng.Append,
+		StartSeq:       rec.Seq,
+		StartEpoch:     rec.Epoch,
+		// Checkpointing: after every successful fold, serialize the fold's
+		// delta-free snapshot and truncate the WAL behind it. The engine
+		// skips the call until SetReady (no checkpoints of half-replayed
+		// state) and records failures for Stats().LastCheckpointError.
+		AfterFold: func(s *snap.Snapshot) { _ = eng.CheckpointSnapshot(s) },
+	}
+	if rec.Store != nil {
+		db.g = rec.Graph
+		m = snap.NewManagerFromStore(rec.Store, rec.Graph, sopts)
+	} else {
+		db.g = storage.NewGraph()
+		m, err = snap.NewManager(db.g, index.DefaultConfig(), sopts)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	db.mgr.Store(m)
+	// Replay the WAL tail through the ordinary commit path; the engine
+	// skips re-appending records it already holds, and every replayed op's
+	// assigned entity id is validated against the recorded one.
+	replayed, err := wal.Replay(m, rec.Tail)
+	db.replayedOps = replayed
+	if err != nil {
+		m.Close()
+		eng.Close()
+		return nil, fmt.Errorf("aplus: recovery of %s failed: %w", dir, err)
+	}
+	eng.SetReady()
+	return db, nil
+}
+
+// Close flushes nothing (every visible commit is already durable), stops
+// the background merger, syncs and closes the write-ahead log, and makes
+// every subsequent read or write fail with ErrClosed. It is idempotent.
+// For in-memory databases it stops the merger and marks the DB closed.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	if mgr := db.mgr.Load(); mgr != nil {
+		mgr.Close()
+	}
+	if db.eng != nil {
+		return db.eng.Close()
+	}
+	return nil
+}

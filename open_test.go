@@ -1,0 +1,472 @@
+package aplus
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// durableQueries is the reference query set for recovery-parity checks.
+var durableQueries = []string{
+	"MATCH (a:Account)-[:W]->(b:Account)",
+	"MATCH (a:Account)-[:W]->(b:Account)-[:W]->(c:Account)",
+	"MATCH (a:Account)-[e:W]->(b:Account) WHERE e.amt > 40",
+	"MATCH (a:Account)-[:W]->(b), (a)-[:DD]->(b)",
+}
+
+// profile captures CountProfiled results for the reference set.
+func profile(t *testing.T, db *DB) [][2]int64 {
+	t.Helper()
+	out := make([][2]int64, len(durableQueries))
+	for i, q := range durableQueries {
+		n, m, err := db.CountProfiled(q)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		out[i] = [2]int64{n, m.ICost}
+	}
+	return out
+}
+
+func expectProfile(t *testing.T, db *DB, want [][2]int64, what string) {
+	t.Helper()
+	got := profile(t, db)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: query %q: (count,icost) = %v, want %v", what, durableQueries[i], got[i], want[i])
+		}
+	}
+}
+
+// commitRandomBatch commits one batch of b ops: ~80% edges between existing
+// vertices, ~10% new vertices, ~10% deletes of a random live edge.
+func commitRandomBatch(t *testing.T, db *DB, rng *rand.Rand, vertices *[]VertexID, edges *[]EdgeID, nOps int) {
+	t.Helper()
+	err := db.Batch(func(b *Batch) error {
+		for i := 0; i < nOps; i++ {
+			switch r := rng.Intn(10); {
+			case r == 0 || len(*vertices) < 2:
+				v, err := b.AddVertex("Account", Props{"city": []string{"SF", "BOS", "LA"}[rng.Intn(3)]})
+				if err != nil {
+					return err
+				}
+				*vertices = append(*vertices, v)
+			case r == 1 && len(*edges) > 0:
+				if err := b.DeleteEdge((*edges)[rng.Intn(len(*edges))]); err != nil {
+					return err
+				}
+			default:
+				src := (*vertices)[rng.Intn(len(*vertices))]
+				dst := (*vertices)[rng.Intn(len(*vertices))]
+				label := "W"
+				if rng.Intn(4) == 0 {
+					label = "DD"
+				}
+				e, err := b.AddEdge(src, dst, label, Props{"amt": rng.Intn(100)})
+				if err != nil {
+					return err
+				}
+				*edges = append(*edges, e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenWriteReopenVerify(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var vs []VertexID
+	var es []EdgeID
+	for i := 0; i < 6; i++ {
+		commitRandomBatch(t, db, rng, &vs, &es, 25)
+	}
+	a, err := db.AddVertex("Account", Props{"city": "SF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddEdge(a, vs[0], "W", Props{"amt": 55}); err != nil {
+		t.Fatal(err)
+	}
+	want := profile(t, db)
+	wantCity := db.VertexProp(a, "city")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expectProfile(t, db2, want, "reopen")
+	if got := db2.VertexProp(a, "city"); got != wantCity {
+		t.Fatalf("vertex prop after reopen: %v want %v", got, wantCity)
+	}
+	st := db2.Stats()
+	if st.ReplayedOps == 0 {
+		t.Fatal("expected WAL replay on reopen (no checkpoint was forced)")
+	}
+	// The durable database keeps accepting writes after recovery.
+	if _, err := db2.AddEdge(a, vs[1], "DD", Props{"amt": 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableFlushCheckpointsAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	var vs []VertexID
+	var es []EdgeID
+	for i := 0; i < 4; i++ {
+		commitRandomBatch(t, db, rng, &vs, &es, 30)
+	}
+	grown := db.Stats().WALBytes
+	if grown == 0 {
+		t.Fatal("WAL did not grow")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.CheckpointEpoch == 0 {
+		t.Fatalf("flush did not checkpoint: %+v", st)
+	}
+	if st.LastCheckpointError != "" {
+		t.Fatalf("checkpoint error: %s", st.LastCheckpointError)
+	}
+	// The first-ever checkpoint keeps the whole WAL (it is its own only
+	// fallback); a second fold truncates the prefix the older checkpoint
+	// covers.
+	firstEpoch := st.CheckpointEpoch
+	commitRandomBatch(t, db, rng, &vs, &es, 30)
+	grown = db.Stats().WALBytes
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = db.Stats()
+	if st.CheckpointEpoch <= firstEpoch {
+		t.Fatalf("second flush did not checkpoint: %+v", st)
+	}
+	if st.WALBytes >= grown {
+		t.Fatalf("WAL not truncated: %d -> %d", grown, st.WALBytes)
+	}
+	want := profile(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean shutdown with a full checkpoint: reopen replays nothing.
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Stats().ReplayedOps; got != 0 {
+		t.Fatalf("replayed %d ops after checkpointed shutdown", got)
+	}
+	expectProfile(t, db2, want, "checkpointed reopen")
+}
+
+// TestDurableTornWriteSweep is the recovery-parity acceptance test: a
+// randomized workload is committed, the WAL is truncated at every byte
+// offset of the final record, and each truncated image must open to a
+// state whose CountProfiled results (count AND i-cost) are bit-identical
+// to the blessed values of the last fully durable commit — the final batch
+// when its record survived whole, the penultimate state otherwise.
+func TestDurableTornWriteSweep(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var vs []VertexID
+	var es []EdgeID
+	for i := 0; i < 5; i++ {
+		commitRandomBatch(t, db, rng, &vs, &es, 20)
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	sizeBefore := fileSize(t, walPath)
+	wantPrev := profile(t, db)
+	// The final, possibly-torn batch: small, with a delete and an edge.
+	err = db.Batch(func(b *Batch) error {
+		if err := b.DeleteEdge(es[3]); err != nil {
+			return err
+		}
+		_, err := b.AddEdge(vs[0], vs[1], "W", Props{"amt": 77})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeAfter := fileSize(t, walPath)
+	wantLast := profile(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != sizeAfter || sizeAfter <= sizeBefore {
+		t.Fatalf("unexpected WAL sizes: %d -> %d (file %d)", sizeBefore, sizeAfter, len(full))
+	}
+
+	for cut := sizeBefore; cut <= sizeAfter; cut++ {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, "wal.log"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db2, err := Open(sub)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := wantPrev
+		what := "torn tail discarded"
+		if cut == sizeAfter {
+			want = wantLast
+			what = "complete record kept"
+		}
+		expectProfile(t, db2, want, what)
+		// Recovered databases accept further writes.
+		if _, err := db2.AddVertex("Account", nil); err != nil {
+			t.Fatalf("cut %d: write after recovery: %v", cut, err)
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+	}
+}
+
+// TestKillBetweenCommitAndCheckpoint images the database directory at a
+// moment when durable commits sit in the WAL past the newest checkpoint —
+// the classic crash window — and verifies the image opens to the blessed
+// state by replaying exactly those commits.
+func TestKillBetweenCommitAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var vs []VertexID
+	var es []EdgeID
+	for i := 0; i < 4; i++ {
+		commitRandomBatch(t, db, rng, &vs, &es, 25)
+	}
+	if err := db.Flush(); err != nil { // fold + checkpoint
+		t.Fatal(err)
+	}
+	if db.Stats().CheckpointEpoch == 0 {
+		t.Fatal("no checkpoint after flush")
+	}
+	// Two commits after the checkpoint: durable in the WAL only.
+	commitRandomBatch(t, db, rng, &vs, &es, 15)
+	commitRandomBatch(t, db, rng, &vs, &es, 15)
+	want := profile(t, db)
+
+	// "Kill": image every file as it is on disk, while the DB is open.
+	image := t.TempDir()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(image, ent.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db2, err := Open(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expectProfile(t, db2, want, "post-kill image")
+	if got := db2.Stats().ReplayedOps; got != 30 {
+		t.Fatalf("replayed %d ops, want the 30 committed past the checkpoint", got)
+	}
+	db.Close()
+}
+
+func TestDurableDDLSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var vs []VertexID
+	var es []EdgeID
+	commitRandomBatch(t, db, rng, &vs, &es, 40)
+	ddl := "CREATE 1-HOP VIEW BigW MATCH vs-[eadj]->vd WHERE eadj.amt > 50 INDEX AS FW PARTITION BY eadj.label"
+	if err := db.Exec(ddl); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := profile(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expectProfile(t, db2, want, "reopen with view")
+	// The view survived: creating it again must collide.
+	if err := db2.Exec(ddl); err == nil {
+		t.Fatal("view did not survive reopen")
+	}
+	if err := db2.Exec("DROP VIEW BigW"); err != nil {
+		t.Fatalf("drop after reopen failed: %v", err)
+	}
+	if err := db2.Exec("DROP VIEW BigW"); err == nil {
+		t.Fatal("double drop must error")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.AddVertex("V", Props{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("second close must be a no-op")
+	}
+	if _, err := db.Count("MATCH (a:V)"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("count after close: %v", err)
+	}
+	if err := db.Query("MATCH (a:V)", func(Row) bool { return true }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after close: %v", err)
+	}
+	if _, err := db.AddVertex("V", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := db.Batch(func(*Batch) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batch after close: %v", err)
+	}
+	if err := db.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush after close: %v", err)
+	}
+	if err := db.Exec("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("exec after close: %v", err)
+	}
+	if got := db.VertexProp(v, "x"); got != nil {
+		t.Fatalf("vertex prop after close: %v", got)
+	}
+
+	// In-memory databases close too.
+	mem := New()
+	if _, err := mem.AddVertex("V", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Count("MATCH (a:V)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Count("MATCH (a:V)"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("in-memory count after close: %v", err)
+	}
+}
+
+// TestDurableConcurrentReadersDuringCheckpoints stresses readers pinning
+// snapshots while a writer commits durable batches and the background
+// merger folds and checkpoints — run under -race in CI.
+func TestDurableConcurrentReadersDuringCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenOptions{MergeThreshold: 64, NoFsync: true}.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var vs []VertexID
+	var es []EdgeID
+	commitRandomBatch(t, db, rng, &vs, &es, 50)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, _, err := db.CountProfiled(durableQueries[0]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 30; i++ {
+		commitRandomBatch(t, db, rng, &vs, &es, 40)
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// A background fold may still be in flight; force one synchronously so
+	// the checkpoint assertion does not race it.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().CheckpointEpoch == 0 {
+		t.Fatal("no checkpoint happened under load")
+	}
+	want := profile(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expectProfile(t, db2, want, "reopen after stress")
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
