@@ -66,6 +66,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/aplusdb/aplus/internal/exec"
 	"github.com/aplusdb/aplus/internal/index"
@@ -354,15 +355,18 @@ func writeOne[T any](db *DB, staged func(*snap.Batch) (T, error), loadPhase func
 	return loadPhase()
 }
 
-// commitOne runs a single staged op as its own batch.
+// commitOne runs a single staged op through the manager's group-commit
+// path: concurrent singleton writes coalesce into one batch publication —
+// one graph clone, one WAL record, one fsync — while a lone write behaves
+// exactly as a batch of one.
 func commitOne[T any](mgr *snap.Manager, stage func(*snap.Batch) (T, error)) (T, error) {
-	sb := mgr.Begin()
-	defer sb.Abort() // no-op after Commit; releases the mutex on panic
-	id, err := stage(sb)
-	if err != nil {
-		return id, err
-	}
-	return id, sb.Commit()
+	var id T
+	err := mgr.CommitSingle(func(sb *snap.Batch) error {
+		var serr error
+		id, serr = stage(sb)
+		return serr
+	})
+	return id, err
 }
 
 // Flush folds all pending delta ops into a fresh block-packed base,
@@ -623,6 +627,22 @@ type Stats struct {
 	// will keep climbing; Flush returns the same error synchronously.
 	LastMergeError string
 
+	// FoldsTotal counts published delta folds (incremental or full);
+	// IncrementalFolds counts the subset that patched only the owners the
+	// delta touched (O(delta)) instead of rebuilding every index (O(E)).
+	FoldsTotal       int64
+	IncrementalFolds int64
+	// LastFoldDuration is the most recent fold's build time and
+	// LastFoldDirtyOwners the number of dirty (direction, owner) lists it
+	// carried — together the observable cost of the write path's merges.
+	LastFoldDuration    time.Duration
+	LastFoldDirtyOwners int
+	// GroupCommits counts publications that coalesced 2+ concurrent
+	// singleton writes into one batch (one WAL record, one fsync);
+	// GroupedWrites is the number of writes they carried.
+	GroupCommits  int64
+	GroupedWrites int64
+
 	// Durability counters; all zero for in-memory databases (New).
 
 	// WALBytes is the current size of the write-ahead log. It grows with
@@ -679,6 +699,12 @@ func (db *DB) Stats() Stats {
 		PendingWrites:              s.Delta().Pending(),
 		RetiredEpochs:              ms.RetiredEpochs,
 		LastMergeError:             ms.LastMergeError,
+		FoldsTotal:                 ms.FoldsTotal,
+		IncrementalFolds:           ms.IncrementalFolds,
+		LastFoldDuration:           ms.LastFoldDuration,
+		LastFoldDirtyOwners:        ms.LastFoldDirtyOwners,
+		GroupCommits:               ms.GroupCommits,
+		GroupedWrites:              ms.GroupedOps,
 	}
 	if db.eng != nil {
 		es := db.eng.Stats()

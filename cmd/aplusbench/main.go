@@ -7,12 +7,20 @@
 //	aplusbench -exp all
 //	aplusbench -exp table5 -baseline old.json [-tolerance 0.10]
 //	aplusbench -mixed [-mixed-writers 2] [-mixed-readers 8] [-mixed-batch 64] [-mixed-reads 200] [-mixed-ratio 0.2]
+//	aplusbench -merge
 //	aplusbench -durable /tmp/db
 //
 // Experiments: table1, table2, table3, table4, table5, maintenance,
-// parallel, mixed, durability, all ("all" excludes mixed and durability,
-// whose rows are scheduling-dependent and therefore unsuitable for
-// -baseline gating).
+// parallel, mixed, merge, durability, all ("all" excludes mixed, merge,
+// and durability, whose rows are scheduling- or hardware-dependent and
+// therefore unsuitable for -baseline gating).
+//
+// -merge (or -exp merge) measures delta-fold cost on the largest bench
+// graph: deltas of increasing size are folded twice, once through the
+// O(delta) incremental patch (dirty owners re-packed, clean owners' blocks
+// copied wholesale) and once through the O(E) full rebuild, with the two
+// successor stores verified bit-identical (checkpoint encodings, counts,
+// i-cost) before the latencies are reported.
 //
 // -durable <dir> (or -exp durability) runs the storage-engine experiment:
 // grouped-batch write throughput with every commit fsync'd to the
@@ -53,7 +61,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|parallel|mixed|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|parallel|mixed|merge|durability|all")
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
 	verify := flag.Bool("verify", true, "cross-check counts across configurations")
 	workers := flag.Int("workers", 0, "query worker-pool size (0 = serial, N = morsel-driven with N workers)")
@@ -62,6 +70,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "slowdown fraction tolerated before -baseline reports a regression; negative = runtime advisory-only (counts/i-cost still gate)")
 	icostTolerance := flag.Float64("icost-tolerance", 0.10, "i-cost growth fraction tolerated before -baseline reports a regression")
 	mixed := flag.Bool("mixed", false, "run the mixed read/write workload (shorthand for -exp mixed)")
+	mergeExp := flag.Bool("merge", false, "run the fold-cost experiment: incremental vs full delta folds across delta sizes (shorthand for -exp merge)")
 	durable := flag.String("durable", "", "run the durable storage-engine experiment in this directory (shorthand for -exp durability; \"tmp\" = throwaway temp dir)")
 	mixedReaders := flag.Int("mixed-readers", 8, "mixed: reader goroutines")
 	mixedWriters := flag.Int("mixed-writers", 1, "mixed: writer goroutines committing batches")
@@ -71,6 +80,9 @@ func main() {
 	flag.Parse()
 	if *mixed {
 		*exp = "mixed"
+	}
+	if *mergeExp {
+		*exp = "merge"
 	}
 	if *durable != "" {
 		*exp = "durability"
@@ -105,6 +117,7 @@ func main() {
 		"maintenance": harness.Maintenance,
 		"parallel":    harness.ParallelScaling,
 		"mixed":       harness.Mixed,
+		"merge":       harness.MergeBench,
 		"durability":  harness.Durability,
 	}
 	var rows []harness.Row

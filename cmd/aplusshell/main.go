@@ -94,6 +94,14 @@ func eval(db *aplus.DB, line string) error {
 		fmt.Printf("vertices=%d edges=%d graph=%dB primary(levels=%dB idlists=%dB) secondary=%dB\n",
 			st.NumVertices, st.NumEdges, st.GraphBytes,
 			st.PrimaryLevelBytes, st.PrimaryIDListBytes, st.SecondaryIndexBytes)
+		if st.FoldsTotal > 0 || st.GroupCommits > 0 {
+			fmt.Printf("folds: total=%d incremental=%d last(duration=%v dirty-owners=%d)",
+				st.FoldsTotal, st.IncrementalFolds, st.LastFoldDuration, st.LastFoldDirtyOwners)
+			if st.GroupCommits > 0 {
+				fmt.Printf(" group-commits=%d(x%d ops)", st.GroupCommits, st.GroupedWrites)
+			}
+			fmt.Println()
+		}
 		if st.WALBytes > 0 || st.CheckpointEpoch > 0 {
 			fmt.Printf("durable: wal=%dB checkpoint(epoch=%d %dB) replayed=%d pending=%d",
 				st.WALBytes, st.CheckpointEpoch, st.CheckpointBytes, st.ReplayedOps, st.PendingWrites)

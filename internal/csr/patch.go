@@ -1,0 +1,325 @@
+package csr
+
+// Incremental-fold surgery (Section IV-C): instead of rebuilding a CSR from
+// every entry — an O(E) sort — a successor is assembled from an immutable
+// base by copying clean owners' bucket boundaries and packed ID ranges
+// wholesale and re-packing only the owners an update delta touched. The two
+// patchers in this file are the storage-level primitives; internal/index
+// decides which owners are dirty and supplies their merged content.
+
+// Patcher builds a successor CSR from an immutable base. Owners must be
+// covered exactly once, in increasing order, by CopyRange (clean owners,
+// taken from the base byte-for-byte) and BeginOwner/Append (dirty owners,
+// re-packed from their merged entry lists); Build seals the result. The
+// successor has the same partitioning levels as the base and may cover more
+// owners (vertices added since the base was built).
+type Patcher struct {
+	base      *CSR
+	numOwners int
+
+	offsets []uint32
+	nbr     []uint32
+	eid     []uint64
+	pos     uint32
+
+	// Per-dirty-owner packing state: the bucket-offset base of the owner
+	// being rebuilt and the last bucket an entry landed in.
+	curBase    uint64
+	lastBucket uint32
+	open       bool
+}
+
+// NewPatcher starts a successor over base covering numOwners owners
+// (>= base.NumOwners()). totalEntries is the exact entry count of the
+// successor (base entries minus deletes plus inserts), used to size the
+// payload arrays once.
+func NewPatcher(base *CSR, numOwners, totalEntries int) *Patcher {
+	if numOwners < base.numOwners {
+		panic("csr: patched CSR cannot cover fewer owners than its base")
+	}
+	if totalEntries < 0 {
+		totalEntries = 0
+	}
+	return &Patcher{
+		base:      base,
+		numOwners: numOwners,
+		offsets:   make([]uint32, uint64(numOwners)*uint64(base.stride)+1),
+		nbr:       make([]uint32, 0, totalEntries),
+		eid:       make([]uint64, 0, totalEntries),
+	}
+}
+
+// closeOwner finishes a dirty owner's bucket boundaries up to the stride.
+func (p *Patcher) closeOwner() {
+	if !p.open {
+		return
+	}
+	for b := p.lastBucket + 1; b < p.base.stride; b++ {
+		p.offsets[p.curBase+uint64(b)] = p.pos
+	}
+	p.open = false
+}
+
+// CopyRange copies owners [lo, hi) from the base wholesale: their bucket
+// sizes and packed (nbr, eid) ranges are reused unchanged, only shifted by
+// the net entry displacement accumulated so far. Owners at or past the
+// base's build width (vertices added later) have empty base content.
+func (p *Patcher) CopyRange(lo, hi uint32) {
+	if lo >= hi {
+		return
+	}
+	p.closeOwner()
+	stride := uint64(p.base.stride)
+	bHi := hi
+	if bHi > uint32(p.base.numOwners) {
+		bHi = uint32(p.base.numOwners)
+	}
+	if lo < bHi {
+		oldLo := p.base.offsets[uint64(lo)*stride]
+		oldHi := p.base.offsets[uint64(bHi)*stride]
+		gLo, gHi := uint64(lo)*stride, uint64(bHi)*stride
+		if p.pos == oldLo {
+			copy(p.offsets[gLo:gHi], p.base.offsets[gLo:gHi])
+		} else {
+			shift := int64(p.pos) - int64(oldLo)
+			for g := gLo; g < gHi; g++ {
+				p.offsets[g] = uint32(int64(p.base.offsets[g]) + shift)
+			}
+		}
+		p.nbr = append(p.nbr, p.base.nbr[oldLo:oldHi]...)
+		p.eid = append(p.eid, p.base.eid[oldLo:oldHi]...)
+		p.pos += oldHi - oldLo
+	} else {
+		bHi = lo
+	}
+	for g := uint64(bHi) * stride; g < uint64(hi)*stride; g++ {
+		p.offsets[g] = p.pos
+	}
+}
+
+// BeginOwner starts re-packing one dirty owner; its merged entries follow
+// via Append, in full index order.
+func (p *Patcher) BeginOwner(owner uint32) {
+	p.closeOwner()
+	p.curBase = uint64(owner) * uint64(p.base.stride)
+	p.lastBucket = 0
+	p.offsets[p.curBase] = p.pos
+	p.open = true
+}
+
+// Append adds one entry to the owner opened by BeginOwner. codes are the
+// entry's partition-level bucket codes (one per level, in range); entries
+// must arrive in nondecreasing bucket order.
+func (p *Patcher) Append(codes []uint16, nbr uint32, eid uint64) {
+	var bucket uint32
+	for i, c := range codes {
+		bucket += uint32(c) * p.base.strides[i]
+	}
+	for b := p.lastBucket + 1; b <= bucket; b++ {
+		p.offsets[p.curBase+uint64(b)] = p.pos
+	}
+	p.lastBucket = bucket
+	p.nbr = append(p.nbr, nbr)
+	p.eid = append(p.eid, eid)
+	p.pos++
+}
+
+// Build seals and returns the successor CSR. Its offsets and payload arrays
+// are element-for-element what a full Build over the merged entry set would
+// produce, so checkpoint encodings of patched and rebuilt CSRs are
+// bit-identical.
+func (p *Patcher) Build() *CSR {
+	p.closeOwner()
+	p.offsets[uint64(p.numOwners)*uint64(p.base.stride)] = p.pos
+	return &CSR{
+		numOwners: p.numOwners,
+		cards:     p.base.cards,
+		strides:   p.base.strides,
+		stride:    p.base.stride,
+		offsets:   p.offsets,
+		nbr:       p.nbr,
+		eid:       p.eid,
+	}
+}
+
+// ownerRepl is the rebuilt content of one dirty owner of an OffsetPatcher:
+// offsets into the owner's new primary range plus each entry's composite
+// bucket, in index order.
+type ownerRepl struct {
+	offs    []uint32
+	buckets []uint32
+}
+
+// OffsetPatcher builds a successor OffsetLists from an immutable base,
+// re-packing only the owner groups an update delta touched and copying
+// every clean group's byte range wholesale. Because offsets are relative to
+// their owner's primary range and widths are fixed per group of 64 owners,
+// a group with no dirty owner is reusable byte-for-byte; a dirty group is
+// re-encoded at its (possibly changed) width from the base's still-valid
+// entries plus the replacements.
+type OffsetPatcher struct {
+	base      *OffsetLists
+	numOwners int
+	repl      map[uint32]ownerRepl
+}
+
+// NewOffsetPatcher starts a successor over base covering numOwners owners
+// (>= base.NumOwners()).
+func NewOffsetPatcher(base *OffsetLists, numOwners int) *OffsetPatcher {
+	if numOwners < base.numOwners {
+		panic("csr: patched offset lists cannot cover fewer owners than their base")
+	}
+	return &OffsetPatcher{base: base, numOwners: numOwners, repl: make(map[uint32]ownerRepl)}
+}
+
+// BucketOf composes partition-level codes into this index's bucket index.
+func (o *OffsetLists) BucketOf(codes []uint16) uint32 {
+	var bucket uint32
+	for i, c := range codes {
+		bucket += uint32(c) * o.strides[i]
+	}
+	return bucket
+}
+
+// ReplaceOwner supplies the rebuilt entries of one dirty owner in index
+// order (bucket, then the view's sort order, then offset): offs are
+// positions within the owner's NEW primary list, buckets the composite
+// bucket of each entry (see BucketOf). Every owner whose primary list or
+// view membership changed must be replaced — with nil slices when its new
+// list is empty.
+func (p *OffsetPatcher) ReplaceOwner(owner uint32, offs, buckets []uint32) {
+	if len(offs) != len(buckets) {
+		panic("csr: ReplaceOwner offs/buckets length mismatch")
+	}
+	p.repl[owner] = ownerRepl{offs: offs, buckets: buckets}
+}
+
+// replLen returns the successor entry count of one owner.
+func (p *OffsetPatcher) replLen(owner uint32) int {
+	if r, ok := p.repl[owner]; ok {
+		return len(r.offs)
+	}
+	if int(owner) < p.base.numOwners {
+		return p.base.OwnerList(owner).Len()
+	}
+	return 0
+}
+
+// Build assembles the successor. ownerListLen must return each owner's NEW
+// primary list length (the per-group width sizing basis, exactly as in
+// OffsetBuilder.Build); sharedWith, when non-nil, is the new primary CSR
+// whose partition-level offsets the successor shares (the base must then
+// share levels too). The result is element-for-element what a full
+// OffsetBuilder run over the merged entry set would produce.
+func (p *OffsetPatcher) Build(ownerListLen func(owner uint32) uint32, sharedWith *CSR) *OffsetLists {
+	base := p.base
+	o := &OffsetLists{
+		numOwners: p.numOwners,
+		cards:     base.cards,
+		strides:   base.strides,
+		stride:    base.stride,
+	}
+	nGroups := (p.numOwners + GroupSize - 1) / GroupSize
+	oldNGroups := (base.numOwners + GroupSize - 1) / GroupSize
+
+	dirtyGroup := make([]bool, nGroups)
+	for owner := range p.repl {
+		dirtyGroup[owner/GroupSize] = true
+	}
+
+	// Widths and layout. Clean groups keep their width (no owner's primary
+	// list changed); dirty groups re-derive it from the new lengths.
+	o.groupWidth = make([]uint8, nGroups)
+	o.groupByte = make([]uint64, nGroups+1)
+	o.groupEntry = make([]uint32, nGroups+1)
+	var bytePos uint64
+	var entryPos uint32
+	for g := 0; g < nGroups; g++ {
+		hi := (g + 1) * GroupSize
+		if hi > p.numOwners {
+			hi = p.numOwners
+		}
+		var width uint8
+		var cnt uint32
+		if !dirtyGroup[g] && g < oldNGroups {
+			width = base.groupWidth[g]
+			cnt = base.groupEntry[g+1] - base.groupEntry[g]
+		} else {
+			var maxLen uint32
+			for v := g * GroupSize; v < hi; v++ {
+				if l := ownerListLen(uint32(v)); l > maxLen {
+					maxLen = l
+				}
+				cnt += uint32(p.replLen(uint32(v)))
+			}
+			width = widthFor(maxLen)
+		}
+		o.groupWidth[g] = width
+		o.groupByte[g] = bytePos
+		o.groupEntry[g] = entryPos
+		bytePos += uint64(cnt) * uint64(width)
+		entryPos += cnt
+	}
+	o.groupByte[nGroups] = bytePos
+	o.groupEntry[nGroups] = entryPos
+	o.data = make([]byte, bytePos)
+
+	// Payload: clean groups copy wholesale, dirty groups re-encode.
+	for g := 0; g < nGroups; g++ {
+		if !dirtyGroup[g] && g < oldNGroups {
+			copy(o.data[o.groupByte[g]:o.groupByte[g+1]], base.data[base.groupByte[g]:base.groupByte[g+1]])
+			continue
+		}
+		hi := (g + 1) * GroupSize
+		if hi > p.numOwners {
+			hi = p.numOwners
+		}
+		ei := o.groupEntry[g]
+		for v := g * GroupSize; v < hi; v++ {
+			if r, ok := p.repl[uint32(v)]; ok {
+				for _, off := range r.offs {
+					o.put(ei, uint32(g), off)
+					ei++
+				}
+			} else if v < base.numOwners {
+				l := base.OwnerList(uint32(v))
+				for i, n := 0, l.Len(); i < n; i++ {
+					o.put(ei, uint32(g), l.At(i))
+					ei++
+				}
+			}
+		}
+	}
+
+	// Bucket boundaries: shared successors reuse the new primary's offsets;
+	// private ones recompute sizes (copied for clean owners, counted from
+	// replacements for dirty ones) and prefix-sum.
+	if sharedWith != nil {
+		if !base.sharedLevels {
+			panic("csr: patched offset lists cannot become level-sharing")
+		}
+		o.offsets = sharedWith.offsets
+		o.sharedLevels = true
+		return o
+	}
+	stride := uint64(o.stride)
+	nBuckets := uint64(p.numOwners) * stride
+	offs := make([]uint32, nBuckets+1)
+	for v := 0; v < p.numOwners; v++ {
+		gbase := uint64(v) * stride
+		if r, ok := p.repl[uint32(v)]; ok {
+			for _, b := range r.buckets {
+				offs[gbase+uint64(b)+1]++
+			}
+		} else if v < base.numOwners {
+			for b := uint64(0); b < stride; b++ {
+				offs[gbase+b+1] += base.offsets[gbase+b+1] - base.offsets[gbase+b]
+			}
+		}
+	}
+	for i := uint64(1); i <= nBuckets; i++ {
+		offs[i] += offs[i-1]
+	}
+	o.offsets = offs
+	return o
+}

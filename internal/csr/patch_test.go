@@ -1,0 +1,261 @@
+package csr
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randEntries builds a random entry set over numOwners owners with the given
+// level cardinalities, including parallel duplicates.
+func randEntries(rng *rand.Rand, numOwners, n int, cards []int) ([]Entry, [][]uint16) {
+	entries := make([]Entry, n)
+	codes := make([][]uint16, n)
+	for i := range entries {
+		cs := make([]uint16, len(cards))
+		for j, c := range cards {
+			cs[j] = uint16(rng.Intn(c))
+		}
+		entries[i] = Entry{
+			Owner: uint32(rng.Intn(numOwners)),
+			Nbr:   uint32(rng.Intn(numOwners)),
+			EID:   uint64(i),
+			Sort:  [MaxSortKeys]uint64{uint64(rng.Intn(4)), 0},
+		}
+		codes[i] = cs
+	}
+	return entries, codes
+}
+
+func buildCSR(numOwners int, cards []int, entries []Entry, codes [][]uint16) *CSR {
+	b := NewBuilder(numOwners, cards)
+	for i := range entries {
+		b.Add(entries[i], codes[i])
+	}
+	return b.Build()
+}
+
+// TestPatcherMatchesFullBuild drives the CSR patcher with random dirty-owner
+// sets — deletes, inserts, and new owners past the base — and requires the
+// patched CSR to equal a full Build over the merged entry set, field for
+// field (the bit-identical-checkpoint invariant).
+func TestPatcherMatchesFullBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		numOwners := 1 + rng.Intn(40)
+		cards := [][]int{nil, {3}, {2, 4}}[rng.Intn(3)]
+		baseEntries, baseCodes := randEntries(rng, numOwners, rng.Intn(300), cards)
+		base := buildCSR(numOwners, cards, baseEntries, baseCodes)
+
+		// Mutate: grow the owner space, delete some base entries, insert new
+		// ones into random owners.
+		newOwners := numOwners + rng.Intn(10)
+		dead := make(map[uint64]bool)
+		for i := 0; i < rng.Intn(20); i++ {
+			if len(baseEntries) > 0 {
+				dead[baseEntries[rng.Intn(len(baseEntries))].EID] = true
+			}
+		}
+		insEntries, insCodes := randEntries(rng, newOwners, rng.Intn(60), cards)
+		for i := range insEntries {
+			insEntries[i].EID += 1 << 20 // distinct from base EIDs
+		}
+
+		// Reference: full build over the merged set.
+		var refE []Entry
+		var refC [][]uint16
+		for i := range baseEntries {
+			if !dead[baseEntries[i].EID] {
+				refE = append(refE, baseEntries[i])
+				refC = append(refC, baseCodes[i])
+			}
+		}
+		refE = append(refE, insEntries...)
+		refC = append(refC, insCodes...)
+		want := buildCSR(newOwners, cards, refE, refC)
+
+		// Dirty owners: every owner that lost or gained an entry.
+		dirty := make(map[uint32]bool)
+		for i := range baseEntries {
+			if dead[baseEntries[i].EID] {
+				dirty[baseEntries[i].Owner] = true
+			}
+		}
+		for i := range insEntries {
+			dirty[insEntries[i].Owner] = true
+		}
+		var dirtyList []uint32
+		for o := range dirty {
+			dirtyList = append(dirtyList, o)
+		}
+		sort.Slice(dirtyList, func(i, j int) bool { return dirtyList[i] < dirtyList[j] })
+
+		// Patch: copy clean ranges, re-pack dirty owners from the reference
+		// set restricted to them (already in index order after a sort).
+		type packed struct {
+			e Entry
+			c []uint16
+		}
+		byOwner := make(map[uint32][]packed)
+		for i := range refE {
+			if dirty[refE[i].Owner] {
+				e := refE[i]
+				var bucket uint32
+				strides, _ := computeStrides(cards)
+				for j, cd := range refC[i] {
+					bucket += uint32(cd) * strides[j]
+				}
+				e.bucket = bucket
+				byOwner[e.Owner] = append(byOwner[e.Owner], packed{e: e, c: refC[i]})
+			}
+		}
+		for _, ps := range byOwner {
+			sort.Slice(ps, func(i, j int) bool { return entryLess(&ps[i].e, &ps[j].e) })
+		}
+		pt := NewPatcher(base, newOwners, want.Len())
+		prev := uint32(0)
+		for _, o := range dirtyList {
+			pt.CopyRange(prev, o)
+			pt.BeginOwner(o)
+			for _, p := range byOwner[o] {
+				pt.Append(p.c, p.e.Nbr, p.e.EID)
+			}
+			prev = o + 1
+		}
+		pt.CopyRange(prev, uint32(newOwners))
+		got := pt.Build()
+
+		if !reflect.DeepEqual(got.offsets, want.offsets) {
+			t.Fatalf("trial %d: offsets diverge\n got %v\nwant %v", trial, got.offsets, want.offsets)
+		}
+		if !reflect.DeepEqual(got.nbr, want.nbr) || !reflect.DeepEqual(got.eid, want.eid) {
+			t.Fatalf("trial %d: payload diverges", trial)
+		}
+	}
+}
+
+// TestOffsetPatcherMatchesFullBuild drives the offset-list patcher with
+// random dirty owners and requires group widths, byte layout, packed data,
+// and bucket boundaries to equal a full OffsetBuilder run.
+func TestOffsetPatcherMatchesFullBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		numOwners := 1 + rng.Intn(200) // several groups
+		cards := [][]int{nil, {3}}[rng.Intn(2)]
+		strides, _ := computeStrides(cards)
+
+		// Primary list lengths per owner, before and after: dirty owners may
+		// grow or shrink.
+		oldLen := make([]uint32, numOwners)
+		for i := range oldLen {
+			oldLen[i] = uint32(rng.Intn(300))
+		}
+		type secEnt struct {
+			owner, off, bucket uint32
+			sort0              uint64
+		}
+		// genFor draws n entries for one owner with distinct offsets (offsets
+		// are positions within the owner's primary list, unique by nature;
+		// duplicates would make the reference sort's tie order unstable).
+		genFor := func(owner uint32, listLen uint32, n int) []secEnt {
+			if int(listLen) < n {
+				n = int(listLen)
+			}
+			perm := rng.Perm(int(listLen))
+			ents := make([]secEnt, 0, n)
+			for k := 0; k < n; k++ {
+				var bucket uint32
+				for j, c := range cards {
+					bucket += uint32(rng.Intn(c)) * strides[j]
+				}
+				ents = append(ents, secEnt{owner: owner, off: uint32(perm[k]), bucket: bucket, sort0: uint64(rng.Intn(5))})
+			}
+			return ents
+		}
+		var oldEnts []secEnt
+		for o := 0; o < numOwners; o++ {
+			oldEnts = append(oldEnts, genFor(uint32(o), oldLen[o], int(oldLen[o])/3)...)
+		}
+		build := func(n int, ents []secEnt, lens []uint32) *OffsetLists {
+			b := NewOffsetBuilder(n, cards)
+			for _, e := range ents {
+				cs := codesOf(e.bucket, cards, strides)
+				b.Add(OffsetEntry{Owner: e.owner, Offset: e.off, Sort: [MaxSortKeys]uint64{e.sort0, 0}}, cs)
+			}
+			return b.Build(func(o uint32) uint32 { return lens[o] })
+		}
+		base := build(numOwners, oldEnts, oldLen)
+
+		// Dirty a few owners, grow the owner space.
+		newOwners := numOwners + rng.Intn(70)
+		newLen := make([]uint32, newOwners)
+		copy(newLen, oldLen)
+		dirty := make(map[uint32]bool)
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			o := uint32(rng.Intn(newOwners))
+			dirty[o] = true
+			newLen[o] = uint32(rng.Intn(70000)) // may change the group width
+		}
+		var newEnts []secEnt
+		for _, e := range oldEnts {
+			if !dirty[e.owner] {
+				newEnts = append(newEnts, e)
+			}
+		}
+		for o := range dirty {
+			newEnts = append(newEnts, genFor(o, newLen[o], int(newLen[o])/9000+rng.Intn(5))...)
+		}
+		want := build(newOwners, newEnts, newLen)
+
+		// Patch.
+		pt := NewOffsetPatcher(base, newOwners)
+		byOwner := make(map[uint32][]secEnt)
+		for _, e := range newEnts {
+			if dirty[e.owner] {
+				byOwner[e.owner] = append(byOwner[e.owner], e)
+			}
+		}
+		for o := range dirty {
+			es := byOwner[o]
+			sort.Slice(es, func(i, j int) bool {
+				a, b := es[i], es[j]
+				if a.bucket != b.bucket {
+					return a.bucket < b.bucket
+				}
+				if a.sort0 != b.sort0 {
+					return a.sort0 < b.sort0
+				}
+				return a.off < b.off
+			})
+			offs := make([]uint32, len(es))
+			buckets := make([]uint32, len(es))
+			for i, e := range es {
+				offs[i], buckets[i] = e.off, e.bucket
+			}
+			pt.ReplaceOwner(o, offs, buckets)
+		}
+		got := pt.Build(func(o uint32) uint32 { return newLen[o] }, nil)
+
+		if !reflect.DeepEqual(got.groupWidth, want.groupWidth) {
+			t.Fatalf("trial %d: widths diverge\n got %v\nwant %v", trial, got.groupWidth, want.groupWidth)
+		}
+		if !reflect.DeepEqual(got.groupByte, want.groupByte) || !reflect.DeepEqual(got.groupEntry, want.groupEntry) {
+			t.Fatalf("trial %d: group layout diverges", trial)
+		}
+		if !reflect.DeepEqual(got.data, want.data) {
+			t.Fatalf("trial %d: packed data diverges", trial)
+		}
+		if !reflect.DeepEqual(got.offsets, want.offsets) {
+			t.Fatalf("trial %d: bucket boundaries diverge", trial)
+		}
+	}
+}
+
+func codesOf(bucket uint32, cards []int, strides []uint32) []uint16 {
+	cs := make([]uint16, len(cards))
+	for i := range cards {
+		cs[i] = uint16(bucket / strides[i] % uint32(cards[i]))
+	}
+	return cs
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/aplusdb/aplus/internal/index"
@@ -18,6 +19,9 @@ import (
 //   - grouped-batch write throughput, in-memory vs durable (each batch
 //     fsync'd before it becomes visible) — the acceptance bar is the
 //     durable path staying within 2x;
+//   - concurrent singleton-commit throughput, where the group-commit path
+//     coalesces commits queued behind the writer mutex into one WAL record
+//     and one fsync (reported alongside the coalescing counters);
 //   - a checkpoint forced mid-workload, leaving the remaining batches in
 //     the WAL tail;
 //   - a full close/reopen cycle: reopen wall time, records and operations
@@ -49,7 +53,7 @@ func Durability(o Options) []Row {
 	if err != nil {
 		panic(err)
 	}
-	memOps, memSecs := runDurabilityWorkload(memManager, nBatches, batchOps, nil)
+	_, memOps, memSecs := runDurabilityWorkload(memManager, nBatches, batchOps, nil)
 	memManager.Close()
 	fmt.Fprintf(w, "%-10s %10d write ops in %8.3fs -> %10.0f ops/s\n",
 		"memory", memOps, memSecs, float64(memOps)/memSecs)
@@ -74,22 +78,59 @@ func Durability(o Options) []Row {
 		panic(err)
 	}
 	eng.SetReady()
-	durOps, durSecs := runDurabilityWorkload(m, nBatches, batchOps, func(done int) {
+	vertices, durOps, durSecs := runDurabilityWorkload(m, nBatches, batchOps, func(done int) {
 		if done == nBatches/2 {
 			if err := m.Merge(); err != nil {
 				panic(err)
 			}
 		}
 	})
+	overhead := durSecs / memSecs * float64(memOps) / float64(durOps)
+	fmt.Fprintf(w, "%-10s %10d write ops in %8.3fs -> %10.0f ops/s (%.2fx vs memory; bar 2x)\n",
+		"durable", durOps, durSecs, float64(durOps)/durSecs, overhead)
+
+	// Concurrent singleton commits: each op is its own commit (one WAL
+	// record, one fsync when not coalesced). The group-commit path merges
+	// commits that queue behind the writer mutex into one publication and
+	// one fsync, so concurrent singleton throughput reflects coalescing,
+	// not the raw fsync rate.
+	singletonWriters := 4
+	singletonOps := nBatches * batchOps / 16
+	perWriter := singletonOps / singletonWriters
+	var sg sync.WaitGroup
+	singletonStart := time.Now()
+	for wkr := 0; wkr < singletonWriters; wkr++ {
+		sg.Add(1)
+		go func(wkr int) {
+			defer sg.Done()
+			wrng := rand.New(rand.NewSource(int64(100 + wkr)))
+			for i := 0; i < perWriter; i++ {
+				src := vertices[wrng.Intn(len(vertices))]
+				dst := vertices[wrng.Intn(len(vertices))]
+				if err := m.CommitSingle(func(b *snap.Batch) error {
+					_, err := b.AddEdge(src, dst, "W", map[string]storage.Value{
+						"amt": storage.Int(int64(wrng.Intn(1000))),
+					})
+					return err
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}(wkr)
+	}
+	sg.Wait()
+	singletonSecs := time.Since(singletonStart).Seconds()
+	committed := int64(singletonWriters * perWriter)
+	ss := m.Stats()
+	fmt.Fprintf(w, "%-10s %10d singleton ops in %8.3fs -> %10.0f ops/s (%d group commits coalesced %d ops)\n",
+		"singleton", committed, singletonSecs, float64(committed)/singletonSecs, ss.GroupCommits, ss.GroupedOps)
+
 	liveBefore := countDurabilityEdges(m)
 	m.Close()
 	if err := eng.Close(); err != nil {
 		panic(err)
 	}
 	es := eng.Stats()
-	overhead := durSecs / memSecs * float64(memOps) / float64(durOps)
-	fmt.Fprintf(w, "%-10s %10d write ops in %8.3fs -> %10.0f ops/s (%.2fx vs memory; bar 2x)\n",
-		"durable", durOps, durSecs, float64(durOps)/durSecs, overhead)
 	fmt.Fprintf(w, "%-10s checkpoint epoch=%d seq=%d %8.2f KB; wal %8.2f KB\n",
 		"disk", es.CheckpointEpoch, es.CheckpointSeq,
 		float64(es.CheckpointBytes)/1024, float64(es.WALBytes)/1024)
@@ -122,14 +163,16 @@ func Durability(o Options) []Row {
 	return []Row{
 		{Table: "durability", Dataset: "synthetic", Config: "memory", Query: "writes", Seconds: memSecs, Count: memOps},
 		{Table: "durability", Dataset: "synthetic", Config: "durable", Query: "writes", Seconds: durSecs, Count: durOps},
+		{Table: "durability", Dataset: "synthetic", Config: "singleton", Query: "writes", Seconds: singletonSecs, Count: committed},
 		{Table: "durability", Dataset: "synthetic", Config: "reopen", Query: "recovery", Seconds: reopenSecs, Count: replayedOps},
 	}
 }
 
 // runDurabilityWorkload commits nBatches grouped batches (vertices then
-// chained edges with properties) and returns (ops, seconds). afterBatch,
-// when non-nil, runs between batches with the number completed so far.
-func runDurabilityWorkload(m *snap.Manager, nBatches, batchOps int, afterBatch func(done int)) (int64, float64) {
+// chained edges with properties) and returns (vertices, ops, seconds).
+// afterBatch, when non-nil, runs between batches with the number completed
+// so far.
+func runDurabilityWorkload(m *snap.Manager, nBatches, batchOps int, afterBatch func(done int)) ([]storage.VertexID, int64, float64) {
 	rng := rand.New(rand.NewSource(1))
 	var vertices []storage.VertexID
 	var ops int64
@@ -163,7 +206,7 @@ func runDurabilityWorkload(m *snap.Manager, nBatches, batchOps int, afterBatch f
 			afterBatch(bi + 1)
 		}
 	}
-	return ops, time.Since(start).Seconds()
+	return vertices, ops, time.Since(start).Seconds()
 }
 
 func countDurabilityEdges(m *snap.Manager) int {

@@ -1,0 +1,184 @@
+package snap
+
+import "fmt"
+
+// Group commit for singleton writes. A singleton commit (AddVertex /
+// AddEdge / DeleteEdge outside an explicit Batch) pays a full publication:
+// the writer mutex, one graph clone, one WAL record, and — on durable
+// managers — one fsync. Under concurrent singleton load those costs
+// serialize, so N goroutines pay N fsyncs back to back.
+//
+// CommitSingle coalesces them: requests enqueue on a small queue, the first
+// arrival becomes the leader, and while the leader holds the writer mutex
+// it drains everything that queued behind it into ONE batch — one clone,
+// one record, one fsync, one snapshot publication for the whole group. The
+// durability contract is unchanged: every coalesced op's record is on disk
+// before any of them becomes visible, and each caller returns only after
+// the publication that contains its op. With no concurrency the queue holds
+// exactly the caller's own request and the behavior (epochs, sequence
+// numbers, one op per record) is identical to a plain batch of one.
+//
+// Error isolation: staging errors are rare (validation); when any staged op
+// fails, the whole group batch is aborted and each request re-runs solo, so
+// an unaffected op still commits exactly as it would have without grouping.
+
+// commitReq is one queued singleton commit.
+type commitReq struct {
+	stage func(*Batch) error
+	err   error
+	// done reports completion when ch closes; a request woken with done
+	// still false has been promoted to leader and must drain the queue
+	// itself (its own request is still in it). promoted records that ch
+	// was already closed by the handoff, so the completion sweep must not
+	// close it again.
+	done     bool
+	promoted bool
+	ch       chan struct{}
+}
+
+// CommitSingle publishes one staged operation, coalescing with other
+// concurrent CommitSingle calls into a single batch commit when possible.
+// stage runs under the writer mutex (possibly on another goroutine's stack)
+// and must only stage ops on the batch it is handed; it may run twice when
+// a grouped neighbour's failure forces the solo fallback.
+func (m *Manager) CommitSingle(stage func(*Batch) error) error {
+	r := &commitReq{stage: stage, ch: make(chan struct{})}
+	m.gqMu.Lock()
+	m.gq = append(m.gq, r)
+	lead := !m.gqLeader
+	if lead {
+		m.gqLeader = true
+	}
+	m.gqMu.Unlock()
+	if !lead {
+		<-r.ch
+		if r.done {
+			return r.err
+		}
+		// Promoted: the previous leader finished while we were queued.
+	}
+	m.leadCommits(r)
+	return r.err
+}
+
+// leadCommits drains one queue generation as the group leader: it takes the
+// writer mutex via Begin, stages every queued request on one shared batch,
+// and commits them as one publication. own is the leader's own request
+// (always a member of the drained generation). On exit it either hands
+// leadership to the oldest still-queued request or clears the leader flag.
+//
+// A panicking stage never takes the group down silently: the panic is
+// recovered, the offending request reports a panic-derived error (a panic
+// cannot cross goroutines), the healthy requests re-run solo, and only
+// when the panicking stage was the leader's own is the panic re-raised —
+// on the one goroutine it belongs to, preserving ungrouped semantics.
+func (m *Manager) leadCommits(own *commitReq) {
+	b := m.Begin()
+	m.gqMu.Lock()
+	batch := m.gq
+	m.gq = nil
+	m.gqMu.Unlock()
+
+	settled := false
+	defer func() {
+		// Hand off or release leadership, then wake this generation. The
+		// promoted request re-enters leadCommits; everyone else is done.
+		// A request that was itself promoted into this leadership had its
+		// channel closed by the handoff already. If the leader is unwinding
+		// from a panic (settled still false), no publication happened:
+		// every request without a definitive outcome must report failure,
+		// not a nil error it would mistake for a durable commit.
+		m.gqMu.Lock()
+		if len(m.gq) > 0 {
+			next := m.gq[0]
+			next.promoted = true
+			close(next.ch)
+		} else {
+			m.gqLeader = false
+		}
+		m.gqMu.Unlock()
+		for _, r := range batch {
+			if !settled && r.err == nil {
+				r.err = errGroupAborted
+			}
+			r.done = true
+			if !r.promoted {
+				close(r.ch)
+			}
+		}
+	}()
+	defer b.Abort() // no-op after Commit; releases the mutex on panic
+
+	failed := false
+	var ownPanic any
+	for _, r := range batch {
+		err, p := safeStage(r.stage, b)
+		if p != nil && r == own {
+			ownPanic = p
+		}
+		if r.err = err; err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		if err := b.Commit(); err != nil {
+			// The publication failed as a whole (WAL append, fold error):
+			// every coalesced op shares its fate, exactly as if each had
+			// hit the same failure solo.
+			for _, r := range batch {
+				r.err = err
+			}
+			settled = true
+			return
+		}
+		if len(batch) > 1 {
+			m.groupCommits.Add(1)
+			m.groupedOps.Add(int64(len(batch)))
+		}
+		settled = true
+		return
+	}
+	// A staged op failed (or panicked). The shared batch may be poisoned
+	// (Commit would refuse) and half-staged, so re-run every request whose
+	// stage succeeded as its own batch of one: failures stay isolated to
+	// their op, successes still commit.
+	b.Abort()
+	for _, r := range batch {
+		if r.err != nil {
+			continue // its own stage already failed; keep that error
+		}
+		r.err = m.commitSolo(r.stage)
+	}
+	settled = true
+	if ownPanic != nil {
+		panic(ownPanic)
+	}
+}
+
+// errGroupAborted is reported to coalesced requests left without a
+// definitive outcome when their group leader unwound unexpectedly.
+var errGroupAborted = fmt.Errorf("snap: group commit aborted before this op was published")
+
+// commitSolo runs one staged op as its own batch (the ungrouped path). A
+// stage panic here aborts the batch and propagates to the caller, exactly
+// as a panic inside an ungrouped commit always did.
+func (m *Manager) commitSolo(stage func(*Batch) error) error {
+	b := m.Begin()
+	defer b.Abort()
+	if err := stage(b); err != nil {
+		return err
+	}
+	return b.Commit()
+}
+
+// safeStage runs one stage, converting a panic into (error, panic value) so
+// a buggy staged op cannot crash the leader servicing its neighbours.
+func safeStage(stage func(*Batch) error, b *Batch) (err error, p any) {
+	defer func() {
+		if r := recover(); r != nil {
+			p = r
+			err = fmt.Errorf("snap: staged op panicked: %v", r)
+		}
+	}()
+	return stage(b), nil
+}

@@ -1,0 +1,385 @@
+package snap
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// TestMergeUsesIncrementalFold pins the merger's path choice: a small delta
+// over a large-enough base folds incrementally (observable via Stats), the
+// folded state answers identically, and forcing the dirtiness fraction
+// negative falls back to full rebuilds.
+func TestMergeUsesIncrementalFold(t *testing.T) {
+	g := testGraph(256, 800, 5)
+	m := newTestManager(t, g, Options{IncrementalDirtyFraction: 1.0})
+
+	b := m.Begin()
+	for i := 0; i < 10; i++ {
+		if _, err := b.AddEdge(storage.VertexID(i), storage.VertexID(i+1), "X", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.DeleteEdge(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.FoldsTotal != 1 || st.IncrementalFolds != 1 {
+		t.Fatalf("folds=%d incremental=%d, want 1/1", st.FoldsTotal, st.IncrementalFolds)
+	}
+	if st.LastFoldDirtyOwners == 0 || st.LastFoldDuration <= 0 {
+		t.Fatalf("fold observability missing: dirty=%d dur=%v", st.LastFoldDirtyOwners, st.LastFoldDuration)
+	}
+	s := m.Acquire()
+	defer s.Release()
+	if !s.Delta().Empty() {
+		t.Fatal("delta not folded")
+	}
+	if got := countEdges(s); got != 809 {
+		t.Fatalf("post-fold count %d want 809", got)
+	}
+
+	// Disabled incremental path: the same shape folds fully.
+	m2 := newTestManager(t, testGraph(256, 800, 5), Options{IncrementalDirtyFraction: -1})
+	b2 := m2.Begin()
+	if _, err := b2.AddEdge(1, 2, "X", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m2.Stats(); st.FoldsTotal != 1 || st.IncrementalFolds != 0 {
+		t.Fatalf("disabled path: folds=%d incremental=%d, want 1/0", st.FoldsTotal, st.IncrementalFolds)
+	}
+}
+
+// TestIncrementalFoldParityUnderSecondaries folds randomized deltas through
+// the manager with secondaries registered, comparing counts between a
+// forced-incremental manager and a forced-full one at every step.
+func TestIncrementalFoldParityUnderSecondaries(t *testing.T) {
+	build := func(frac float64) *Manager {
+		m := newTestManager(t, testGraph(128, 600, 9), Options{IncrementalDirtyFraction: frac, SyncMerge: true, MergeThreshold: 25})
+		if err := m.CreateVertexPartitioned(index.VPDef{
+			View: index.View1Hop{Name: "all"},
+			Dirs: []index.Direction{index.FW, index.BW},
+			Cfg:  index.DefaultConfig(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mi, mf := build(1.0), build(-1)
+	apply := func(m *Manager, i int) {
+		b := m.Begin()
+		if i%5 == 4 {
+			if err := b.DeleteEdge(storage.EdgeID(i)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for k := 0; k < 7; k++ {
+				if _, err := b.AddEdge(storage.VertexID((i*13+k)%128), storage.VertexID((i*29+k*3)%128), "Y", nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		apply(mi, i)
+		apply(mf, i)
+		si, sf := mi.Acquire(), mf.Acquire()
+		ci, cf := countEdges(si), countEdges(sf)
+		si.Release()
+		sf.Release()
+		if ci != cf {
+			t.Fatalf("step %d: incremental manager counts %d, full manager %d", i, ci, cf)
+		}
+	}
+	if st := mi.Stats(); st.IncrementalFolds == 0 {
+		t.Fatal("forced-incremental manager never folded incrementally")
+	}
+	if st := mf.Stats(); st.IncrementalFolds != 0 {
+		t.Fatal("forced-full manager folded incrementally")
+	}
+}
+
+// TestReadersPinnedAcrossIncrementalFolds is the -race stress: readers pin
+// snapshots and count through the full fetch path while a writer commits
+// and the background merger folds incrementally; every pinned read must be
+// bit-identical no matter how many incremental folds and rebases land.
+func TestReadersPinnedAcrossIncrementalFolds(t *testing.T) {
+	g := testGraph(192, 700, 11)
+	m := newTestManager(t, g, Options{MergeThreshold: 20, IncrementalDirtyFraction: 1.0})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s := m.Acquire()
+				c1 := countEdges(s)
+				c2 := countEdges(s)
+				if c1 != c2 {
+					errCh <- fmt.Errorf("pinned snapshot count drifted: %d then %d", c1, c2)
+					s.Release()
+					return
+				}
+				s.Release()
+			}
+		}()
+	}
+	for i := 0; i < 150; i++ {
+		b := m.Begin()
+		for k := 0; k < 5; k++ {
+			if _, err := b.AddEdge(storage.VertexID((i*17+k)%192), storage.VertexID((i*31+k*7)%192), "X", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%4 == 1 {
+			if err := b.DeleteEdge(storage.EdgeID(i % 700)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	m.Close()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if st := m.Stats(); st.IncrementalFolds == 0 {
+		t.Fatalf("stress never took the incremental path (folds=%d)", st.FoldsTotal)
+	}
+}
+
+// TestCommitSingleGroups pins the group-commit satellite: singleton commits
+// issued while the writer mutex is busy coalesce into one publication, all
+// become visible, and the stats record the coalescing.
+func TestCommitSingleGroups(t *testing.T) {
+	g := testGraph(64, 100, 13)
+	m := newTestManager(t, g, Options{})
+
+	// Hold the writer mutex so every CommitSingle queues behind it.
+	gate := m.Begin()
+	const n = 12
+	var wg sync.WaitGroup
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			err := m.CommitSingle(func(b *Batch) error {
+				_, err := b.AddEdge(storage.VertexID(i), storage.VertexID(i+1), "X", nil)
+				return err
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	// Give the goroutines time to enqueue (started is signalled just before
+	// CommitSingle; the queue append is its first action).
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		m.gqMu.Lock()
+		queued := len(m.gq)
+		m.gqMu.Unlock()
+		if queued == n || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := gate.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	s := m.Acquire()
+	defer s.Release()
+	if got := countEdges(s); got != 100+n {
+		t.Fatalf("count %d want %d", got, 100+n)
+	}
+	st := m.Stats()
+	if st.GroupCommits == 0 || st.GroupedOps < 2 {
+		t.Fatalf("no grouping observed: commits=%d ops=%d", st.GroupCommits, st.GroupedOps)
+	}
+}
+
+// TestCommitSingleErrorIsolation: a failing singleton grouped with healthy
+// ones must not take them down — the healthy ops commit, the bad one gets
+// its own error.
+func TestCommitSingleErrorIsolation(t *testing.T) {
+	g := testGraph(32, 40, 17)
+	m := newTestManager(t, g, Options{})
+
+	gate := m.Begin()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = m.CommitSingle(func(b *Batch) error {
+				if i == 1 {
+					_, err := b.AddEdge(storage.VertexID(1000), 0, "X", nil) // out of range
+					return err
+				}
+				_, err := b.AddEdge(storage.VertexID(i), storage.VertexID(i+1), "X", nil)
+				return err
+			})
+		}(i)
+	}
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		m.gqMu.Lock()
+		queued := len(m.gq)
+		m.gqMu.Unlock()
+		if queued == 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := gate.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if errs[1] == nil {
+		t.Fatal("invalid op committed without error")
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy grouped ops failed: %v %v", errs[0], errs[2])
+	}
+	s := m.Acquire()
+	defer s.Release()
+	if got := countEdges(s); got != 42 {
+		t.Fatalf("count %d want 42 (two healthy ops)", got)
+	}
+}
+
+// TestCommitSinglePanicIsolation: when one coalesced stage panics, the
+// healthy neighbour must still commit (solo fallback) and the panicking
+// caller must see its own failure — a panic if it was the leader, a
+// panic-derived error otherwise. Nobody ever gets a silent nil for an
+// uncommitted op.
+func TestCommitSinglePanicIsolation(t *testing.T) {
+	g := testGraph(32, 100, 23)
+	m := newTestManager(t, g, Options{})
+
+	gate := m.Begin()
+	var wg sync.WaitGroup
+	var healthyErr, panickerErr error
+	var panickerPanicked atomic.Bool
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() != nil {
+				panickerPanicked.Store(true)
+			}
+		}()
+		panickerErr = m.CommitSingle(func(b *Batch) error { panic("staged op bug") })
+	}()
+	go func() {
+		defer wg.Done()
+		healthyErr = m.CommitSingle(func(b *Batch) error {
+			_, err := b.AddEdge(1, 2, "X", nil)
+			return err
+		})
+	}()
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		m.gqMu.Lock()
+		queued := len(m.gq)
+		m.gqMu.Unlock()
+		if queued == 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := gate.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if healthyErr != nil {
+		t.Fatalf("healthy neighbour failed: %v", healthyErr)
+	}
+	s := m.Acquire()
+	defer s.Release()
+	if got := countEdges(s); got != 101 {
+		t.Fatalf("count %d want 101 (healthy op must commit, panicked op must not)", got)
+	}
+	if !panickerPanicked.Load() && panickerErr == nil {
+		t.Fatal("panicking op was acknowledged with a nil error")
+	}
+
+	// The manager stays usable: a later singleton commits normally.
+	if err := m.CommitSingle(func(b *Batch) error {
+		_, err := b.AddEdge(2, 3, "X", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := m.Acquire()
+	defer s2.Release()
+	if got := countEdges(s2); got != 102 {
+		t.Fatalf("post-panic commit count %d want 102", got)
+	}
+}
+
+// TestWALBytesSchedulesFold: with a one-byte WAL-tail budget, a single
+// committed op triggers a fold even though MergeThreshold is far away.
+func TestWALBytesSchedulesFold(t *testing.T) {
+	g := testGraph(32, 60, 19)
+	var walSize atomic.Int64
+	m := newTestManager(t, g, Options{
+		MergeThreshold: 1 << 30,
+		SyncMerge:      true,
+		WALAppend:      func(Record) error { walSize.Add(64); return nil },
+		WALTailBytes:   walSize.Load,
+		FoldWALBytes:   1,
+	})
+	b := m.Begin()
+	if _, err := b.AddEdge(0, 1, "X", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Acquire()
+	defer s.Release()
+	if !s.Delta().Empty() {
+		t.Fatal("WAL-budget fold did not run")
+	}
+	if st := m.Stats(); st.FoldsTotal == 0 {
+		t.Fatal("fold not counted")
+	}
+}

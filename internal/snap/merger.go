@@ -2,6 +2,7 @@ package snap
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/aplusdb/aplus/internal/index"
 	"github.com/aplusdb/aplus/internal/storage"
@@ -105,21 +106,21 @@ func (m *Manager) merge() (last *Snapshot, err error) {
 				m.mu.Unlock()
 				return s, nil
 			}
-			st, g2, err := foldSnapshot(s)
+			st, g2, inc, err := m.foldSnapshot(s)
 			if err != nil {
 				m.mu.Unlock()
 				return nil, err
 			}
 			m.publishBaseLocked(st, g2, index.NewDelta())
 			folded := m.cur.Load()
-			m.merges.Add(1)
+			m.countFold(inc)
 			m.mu.Unlock()
 			return folded, nil
 		}
 		attempts++
 
 		// Heavy build, no locks held: commits continue publishing.
-		st, g2, err := foldSnapshot(s)
+		st, g2, inc, err := m.foldSnapshot(s)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +129,7 @@ func (m *Manager) merge() (last *Snapshot, err error) {
 		cur := m.cur.Load()
 		if cur == s {
 			m.publishBaseLocked(st, g2, index.NewDelta())
-			m.merges.Add(1)
+			m.countFold(inc)
 			m.mu.Unlock()
 			continue // drain anything committed after the swap
 		}
@@ -140,7 +141,7 @@ func (m *Manager) merge() (last *Snapshot, err error) {
 			if d2, ok := index.RebaseDelta(cur.delta, s.delta.LogLen(), st.Primary(), g3); ok {
 				m.baseGen++
 				m.publishLocked(&Snapshot{baseGen: m.baseGen, store: st, graph: g3, delta: d2})
-				m.merges.Add(1)
+				m.countFold(inc)
 				m.mu.Unlock()
 				continue
 			}
@@ -151,17 +152,59 @@ func (m *Manager) merge() (last *Snapshot, err error) {
 	}
 }
 
+// countFold records a published fold's outcome for Stats.
+func (m *Manager) countFold(incremental bool) {
+	m.merges.Add(1)
+	if incremental {
+		m.incFolds.Add(1)
+	}
+}
+
 // foldSnapshot builds the merged base for s: a graph clone with s's pending
-// tombstones applied, indexed from scratch under the same primary config
-// and secondary definitions.
-func foldSnapshot(s *Snapshot) (*index.Store, *storage.Graph, error) {
+// tombstones applied. When the delta touched few enough owners it patches
+// the frozen base incrementally — O(delta) work, clean owners' packed
+// blocks copied wholesale — and falls back to indexing from scratch under
+// the same primary config and secondary definitions whenever the patch
+// cannot be proven equivalent (see index.Store.CloneIncremental). The
+// reported flag says which path built the result; fold duration and dirty
+// owners are recorded for Stats either way.
+func (m *Manager) foldSnapshot(s *Snapshot) (*index.Store, *storage.Graph, bool, error) {
+	start := time.Now()
+	dirty := s.delta.DirtyOwners()
 	g2 := s.graph.Clone()
 	g2.ApplyTombstones(s.delta.DeletedEdges())
-	st, err := s.store.CloneRebuilt(g2, s.store.Primary().Config())
-	if err != nil {
-		return nil, nil, err
+	var st *index.Store
+	incremental := false
+	if m.incrementalEligible(s, dirty) {
+		if ist, ok := s.store.CloneIncremental(g2, s.delta); ok {
+			st, incremental = ist, true
+		}
 	}
-	return st, g2, nil
+	if st == nil {
+		var err error
+		if st, err = s.store.CloneRebuilt(g2, s.store.Primary().Config()); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	m.lastFoldNanos.Store(time.Since(start).Nanoseconds())
+	m.lastFoldDirty.Store(int64(dirty))
+	return st, g2, incremental, nil
+}
+
+// incrementalEligible applies the dirtiness threshold: past it, patching
+// nearly every owner costs more than one flat rebuild. The fraction is
+// measured against the 2·|V| primary lists (every owner has one per
+// direction).
+func (m *Manager) incrementalEligible(s *Snapshot, dirty int) bool {
+	f := m.opts.IncrementalDirtyFraction
+	if f == 0 {
+		f = index.DefaultIncrementalDirtyFraction
+	}
+	if f < 0 {
+		return false
+	}
+	owners := 2 * s.graph.NumVertices()
+	return owners > 0 && float64(dirty) <= f*float64(owners)
 }
 
 // Reconfigure rebuilds the base under a new primary configuration (the
@@ -244,12 +287,12 @@ func (m *Manager) foldForDDLLocked(name string) (*Snapshot, error) {
 	if s.delta.Empty() {
 		return s, nil
 	}
-	st, g2, err := foldSnapshot(s)
+	st, g2, inc, err := m.foldSnapshot(s)
 	if err != nil {
 		return nil, err
 	}
 	m.publishBaseLocked(st, g2, index.NewDelta())
-	m.merges.Add(1)
+	m.countFold(inc)
 	return m.cur.Load(), nil
 }
 

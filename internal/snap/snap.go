@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/aplusdb/aplus/internal/index"
 	"github.com/aplusdb/aplus/internal/storage"
@@ -37,6 +38,14 @@ type Options struct {
 	// instead of in the background (deterministic tests, benchmarks of the
 	// fold itself).
 	SyncMerge bool
+
+	// IncrementalDirtyFraction tunes when a fold patches the frozen base
+	// incrementally instead of rebuilding it: the delta's dirty (direction,
+	// owner) lists divided by the 2·|V| primary lists must not exceed it.
+	// 0 uses index.DefaultIncrementalDirtyFraction; a negative value
+	// disables incremental folds entirely (every fold is a full rebuild);
+	// >= 1 always attempts the incremental path.
+	IncrementalDirtyFraction float64
 
 	// WALAppend, when set, makes the manager durable: it is invoked under
 	// the writer mutex immediately before every publication that carries
@@ -57,7 +66,27 @@ type Options struct {
 	// checkpoint it was restored from.
 	StartSeq   uint64
 	StartEpoch uint64
+
+	// WALTailBytes, when set, reports the write-ahead-log bytes past the
+	// newest checkpoint's coverage — the portion recovery must replay.
+	// Commits then schedule a fold as soon as the tail reaches
+	// FoldWALBytes even before MergeThreshold pending ops accumulate:
+	// every fold checkpoints (AfterFold), which re-covers the tail, so
+	// recovery time stays bounded even under vertex-heavy or
+	// property-heavy workloads whose op count grows slowly relative to
+	// record bytes. The tail — not the whole file — is the right trigger:
+	// truncation retains the prefix covering the fallback checkpoint, so
+	// total size lags one checkpoint behind and would re-trigger a
+	// redundant fold right after every budget crossing.
+	WALTailBytes func() int64
+	// FoldWALBytes is the WAL tail size that triggers a fold when
+	// WALTailBytes is set (<= 0 = DefaultFoldWALBytes).
+	FoldWALBytes int64
 }
+
+// DefaultFoldWALBytes bounds the write-ahead log between folds when the
+// manager is durable and no explicit budget is configured.
+const DefaultFoldWALBytes = 64 << 20
 
 func (o Options) threshold() int {
 	if o.MergeThreshold <= 0 {
@@ -152,10 +181,32 @@ type Manager struct {
 
 	retired atomic.Int64
 	merges  atomic.Int64
+	// incFolds, lastFoldNanos, and lastFoldDirty observe the incremental
+	// fold path: how many published folds were incremental patches, how
+	// long the most recent fold's build took, and how many dirty
+	// (direction, owner) lists it carried.
+	incFolds      atomic.Int64
+	lastFoldNanos atomic.Int64
+	lastFoldDirty atomic.Int64
 	// mergeErr records the most recent background fold failure (cleared on
 	// the next success) so it is observable via Stats; synchronous callers
 	// (Flush) get the error returned directly.
 	mergeErr atomic.Pointer[string]
+
+	// walFoldTail is the WAL tail size at which the last tail-triggered
+	// fold was scheduled (walFoldDue's once-per-budget-increment arming).
+	walFoldTail atomic.Int64
+
+	// gqMu guards the singleton-commit group queue (CommitSingle): waiting
+	// requests and whether a leader is currently draining them.
+	gqMu     sync.Mutex
+	gq       []*commitReq
+	gqLeader bool
+	// groupCommits counts publications that coalesced 2+ singleton commits
+	// into one batch (one WAL record, one fsync); groupedOps counts the
+	// singleton ops those publications carried.
+	groupCommits atomic.Int64
+	groupedOps   atomic.Int64
 }
 
 // NewManager builds the primary indexes over g under cfg and publishes
@@ -246,6 +297,22 @@ type Stats struct {
 	RetiredEpochs int64
 	// Merges counts delta folds published since the manager was built.
 	Merges int64
+	// FoldsTotal is Merges under its clearer name: every published fold,
+	// incremental or full, background or synchronous.
+	FoldsTotal int64
+	// IncrementalFolds counts published folds that patched the frozen base
+	// incrementally (O(delta)) instead of rebuilding it (O(E)).
+	IncrementalFolds int64
+	// LastFoldDuration is the build time of the most recent fold attempt.
+	LastFoldDuration time.Duration
+	// LastFoldDirtyOwners is the number of dirty (direction, owner) lists
+	// the most recent fold carried.
+	LastFoldDirtyOwners int
+	// GroupCommits counts publications that coalesced 2+ concurrent
+	// singleton commits into one batch (one WAL record, one fsync);
+	// GroupedOps is the total number of singleton ops they carried.
+	GroupCommits int64
+	GroupedOps   int64
 	// LastMergeError is the most recent background fold failure ("" when
 	// the last fold succeeded). A persistent error here means the delta
 	// cannot currently be folded and pending ops will keep accumulating.
@@ -255,12 +322,19 @@ type Stats struct {
 // Stats reports chain observability counters.
 func (m *Manager) Stats() Stats {
 	s := m.cur.Load()
+	folds := m.merges.Load()
 	st := Stats{
-		Epoch:         s.epoch,
-		Pins:          s.pins.Load(),
-		PendingOps:    s.delta.Pending(),
-		RetiredEpochs: m.retired.Load(),
-		Merges:        m.merges.Load(),
+		Epoch:               s.epoch,
+		Pins:                s.pins.Load(),
+		PendingOps:          s.delta.Pending(),
+		RetiredEpochs:       m.retired.Load(),
+		Merges:              folds,
+		FoldsTotal:          folds,
+		IncrementalFolds:    m.incFolds.Load(),
+		LastFoldDuration:    time.Duration(m.lastFoldNanos.Load()),
+		LastFoldDirtyOwners: int(m.lastFoldDirty.Load()),
+		GroupCommits:        m.groupCommits.Load(),
+		GroupedOps:          m.groupedOps.Load(),
 	}
 	if e := m.mergeErr.Load(); e != nil {
 		st.LastMergeError = *e
@@ -437,8 +511,37 @@ func (b *Batch) Commit() error {
 	}
 	m.publishLocked(&Snapshot{baseGen: b.base.baseGen, store: b.base.store, graph: b.g, delta: d})
 	m.mu.Unlock()
-	if d.Pending() >= m.opts.threshold() {
+	if d.Pending() >= m.opts.threshold() || m.walFoldDue(d.Pending()) {
 		m.scheduleMerge()
 	}
 	return nil
+}
+
+// walFoldDue reports whether the write-ahead log's un-checkpointed tail
+// has outgrown its budget and there is pending work a fold (and the
+// checkpoint it triggers) could re-cover. A trigger arms only once per
+// budget increment: if the fold it scheduled cannot shrink the tail —
+// recovery replay (checkpoints gated until SetReady) or a persistently
+// failing checkpoint writer — the next trigger waits for another full
+// budget of growth instead of re-scheduling a fold on every commit.
+func (m *Manager) walFoldDue(pending int) bool {
+	if pending == 0 || m.opts.WALTailBytes == nil {
+		return false
+	}
+	limit := m.opts.FoldWALBytes
+	if limit <= 0 {
+		limit = DefaultFoldWALBytes
+	}
+	tail := m.opts.WALTailBytes()
+	last := m.walFoldTail.Load()
+	if tail < last {
+		// The tail shrank (a checkpoint re-covered it): re-arm from zero.
+		m.walFoldTail.CompareAndSwap(last, 0)
+		last = 0
+	}
+	if tail >= limit && tail-last >= limit {
+		m.walFoldTail.Store(tail)
+		return true
+	}
+	return false
 }

@@ -49,7 +49,14 @@ type Engine struct {
 	// ready gates checkpointing until recovery replay has finished.
 	ready atomic.Bool
 
-	walBytes  atomic.Int64
+	walBytes atomic.Int64
+	// tailBytes approximates the log bytes past the newest checkpoint's
+	// coverage — the portion recovery must replay and the only portion a
+	// further fold+checkpoint can shrink. Appends add to it; a completed
+	// checkpoint resets it (records committed during the checkpoint write
+	// are undercounted until the next append, which only delays the next
+	// fold trigger).
+	tailBytes atomic.Int64
 	ckptErr   atomic.Pointer[string]
 	ckptBytes atomic.Int64
 }
@@ -156,9 +163,10 @@ func Open(dir string, fsync bool) (*Engine, *Recovered, error) {
 	}
 	e.walBytes.Store(validSize)
 	e.lastDiskSeq = rec.Seq
-	for _, r := range records {
+	for i, r := range records {
 		if r.Seq > rec.Seq {
 			rec.Tail = append(rec.Tail, r)
+			e.tailBytes.Add(frameHeaderSize + int64(len(payloads[i])))
 		}
 		if r.Seq > e.lastDiskSeq {
 			e.lastDiskSeq = r.Seq
@@ -189,11 +197,13 @@ func (e *Engine) Append(rec snap.Record) error {
 	if rec.Seq != e.lastDiskSeq+1 {
 		return fmt.Errorf("wal: append of record %d would leave a gap after %d", rec.Seq, e.lastDiskSeq)
 	}
+	prevSize := e.log.size
 	if err := e.log.append(encodeRecord(rec)); err != nil {
 		return err
 	}
 	e.lastDiskSeq = rec.Seq
 	e.walBytes.Store(e.log.size)
+	e.tailBytes.Add(e.log.size - prevSize)
 	return nil
 }
 
@@ -245,6 +255,9 @@ func (e *Engine) checkpoint(s *snap.Snapshot) error {
 	e.hasCkpt = true
 	e.curCkpt = ckptInfo{name: name, epoch: s.Epoch(), seq: s.Seq(), bytes: int64(len(data))}
 	e.ckptBytes.Store(int64(len(data)))
+	// The new checkpoint covers every record up to its Seq; what remains is
+	// the tail recovery would replay, which future appends re-accumulate.
+	e.tailBytes.Store(0)
 	if hadPrev {
 		e.prevCkptSeq, e.hasPrevSeq = prev.seq, true
 	}
@@ -335,6 +348,17 @@ func (e *Engine) reopenLogLocked(size int64) {
 		e.log = nl
 	}
 }
+
+// WALBytes returns the current size of the write-ahead log.
+func (e *Engine) WALBytes() int64 { return e.walBytes.Load() }
+
+// WALTailBytes returns the log bytes past the newest checkpoint's coverage
+// — the snap.Options.WALTailBytes hook. Scheduling folds on the tail
+// rather than the whole file matters: truncation always retains the prefix
+// covering the fallback checkpoint, so total size stays above any budget
+// for one extra cycle and would re-trigger a redundant full checkpoint on
+// the very next commit.
+func (e *Engine) WALTailBytes() int64 { return e.tailBytes.Load() }
 
 // Stats is a point-in-time observation of the durability subsystem.
 type Stats struct {

@@ -36,6 +36,12 @@ type OpenOptions struct {
 	// nothing, but a machine crash may. For tests and benchmarks of the
 	// non-sync costs.
 	NoFsync bool
+	// FoldWALBytes bounds the write-ahead log's un-checkpointed tail: when
+	// the bytes past the newest checkpoint's coverage reach this size, a
+	// commit schedules a fold even before MergeThreshold pending ops
+	// accumulate, and the checkpoint that follows re-covers the tail —
+	// capping what recovery has to replay (0 = snap.DefaultFoldWALBytes).
+	FoldWALBytes int64
 }
 
 // Open opens (creating if necessary) a durable database in dir with
@@ -59,6 +65,8 @@ func (o OpenOptions) Open(dir string) (*DB, error) {
 	sopts := snap.Options{
 		MergeThreshold: o.MergeThreshold,
 		WALAppend:      eng.Append,
+		WALTailBytes:   eng.WALTailBytes,
+		FoldWALBytes:   o.FoldWALBytes,
 		StartSeq:       rec.Seq,
 		StartEpoch:     rec.Epoch,
 		// Checkpointing: after every successful fold, serialize the fold's
