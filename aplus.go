@@ -663,6 +663,22 @@ type Stats struct {
 	// be truncated and keeps growing, the durable counterpart of
 	// LastMergeError.
 	LastCheckpointError string
+	// Degraded reports that a failed WAL fsync poisoned the log: every
+	// write fails fast with ErrDegraded while reads keep serving the last
+	// published snapshot. DegradedCause holds the original fsync failure.
+	// Only reopening the database (recovering from the durable prefix)
+	// clears it.
+	Degraded      bool
+	DegradedCause string
+	// LastWALError is the most recent WAL append failure of any kind (""
+	// if none) — set also for non-degrading failures like a full disk,
+	// where the log stays healthy and later commits may succeed.
+	LastWALError string
+	// MergeRetries counts background retries of a failed fold or
+	// checkpoint; RetryBackoff is the delay currently in force between
+	// them (0 when the merger is healthy).
+	MergeRetries int64
+	RetryBackoff time.Duration
 }
 
 // Stats reports sizes; index fields are zero before the first query or DDL.
@@ -705,6 +721,8 @@ func (db *DB) Stats() Stats {
 		LastFoldDirtyOwners:        ms.LastFoldDirtyOwners,
 		GroupCommits:               ms.GroupCommits,
 		GroupedWrites:              ms.GroupedOps,
+		MergeRetries:               ms.MergeRetries,
+		RetryBackoff:               ms.RetryBackoff,
 	}
 	if db.eng != nil {
 		es := db.eng.Stats()
@@ -713,6 +731,9 @@ func (db *DB) Stats() Stats {
 		st.CheckpointBytes = es.CheckpointBytes
 		st.ReplayedOps = db.replayedOps
 		st.LastCheckpointError = es.LastCheckpointError
+		st.Degraded = es.Degraded
+		st.DegradedCause = es.DegradedCause
+		st.LastWALError = es.LastWALError
 	}
 	return st
 }

@@ -9,10 +9,12 @@
 //	aplusbench -mixed [-mixed-writers 2] [-mixed-readers 8] [-mixed-batch 64] [-mixed-reads 200] [-mixed-ratio 0.2]
 //	aplusbench -merge
 //	aplusbench -durable /tmp/db
+//	aplusbench -faults 24
 //
 // Experiments: table1, table2, table3, table4, table5, maintenance,
-// parallel, mixed, merge, durability, all ("all" excludes mixed, merge,
-// and durability, whose rows are scheduling- or hardware-dependent and
+// parallel, mixed, merge, durability, faults, all ("all" excludes mixed,
+// merge, durability, and faults, whose rows are scheduling- or
+// hardware-dependent — or pass/fail rather than a measurement — and
 // therefore unsuitable for -baseline gating).
 //
 // -merge (or -exp merge) measures delta-fold cost on the largest bench
@@ -28,6 +30,14 @@
 // checkpoint, and a close/reopen cycle reporting reopen time, WAL records
 // and operations replayed, and checkpoint/WAL sizes. The directory must be
 // empty or nonexistent; "-durable tmp" uses a throwaway temp dir.
+//
+// -faults <n> (or -exp faults) runs the crash/fault-injection sweep over
+// the in-memory filesystem: a scripted workload (commits, folds,
+// checkpoints, WAL truncations) is traced once fault-free, then re-run
+// with a crash and a one-shot fault injected at each of n evenly-sampled
+// disk-op sites (0 = every site), asserting recovery is bit-identical to
+// the last acknowledged commit and degraded mode engages exactly when a
+// commit's WAL fsync fails. Any violated invariant panics.
 //
 // -mixed (or -exp mixed) runs the snapshot-isolation mixed workload:
 // reader goroutines counting over pinned snapshots while writer goroutines
@@ -57,11 +67,12 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/aplusdb/aplus/internal/faultsweep"
 	"github.com/aplusdb/aplus/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|parallel|mixed|merge|durability|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|parallel|mixed|merge|durability|faults|all")
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
 	verify := flag.Bool("verify", true, "cross-check counts across configurations")
 	workers := flag.Int("workers", 0, "query worker-pool size (0 = serial, N = morsel-driven with N workers)")
@@ -72,6 +83,7 @@ func main() {
 	mixed := flag.Bool("mixed", false, "run the mixed read/write workload (shorthand for -exp mixed)")
 	mergeExp := flag.Bool("merge", false, "run the fold-cost experiment: incremental vs full delta folds across delta sizes (shorthand for -exp merge)")
 	durable := flag.String("durable", "", "run the durable storage-engine experiment in this directory (shorthand for -exp durability; \"tmp\" = throwaway temp dir)")
+	faultSites := flag.Int("faults", -1, "run the crash/fault-injection sweep over this many evenly-sampled disk-op sites, 0 = all (shorthand for -exp faults)")
 	mixedReaders := flag.Int("mixed-readers", 8, "mixed: reader goroutines")
 	mixedWriters := flag.Int("mixed-writers", 1, "mixed: writer goroutines committing batches")
 	mixedBatch := flag.Int("mixed-batch", 64, "mixed: ops per committed batch")
@@ -86,6 +98,9 @@ func main() {
 	}
 	if *durable != "" {
 		*exp = "durability"
+	}
+	if *faultSites >= 0 {
+		*exp = "faults"
 	}
 
 	var baseRows []harness.Row
@@ -108,6 +123,9 @@ func main() {
 		MixedBatch: *mixedBatch, MixedReads: *mixedReads, MixedWriteRatio: *mixedRatio,
 		DurableDir: durableDir,
 	}
+	if *faultSites > 0 {
+		o.FaultSites = *faultSites
+	}
 	run := map[string]func(harness.Options) []harness.Row{
 		"table1":      harness.Table1,
 		"table2":      harness.Table2,
@@ -119,6 +137,7 @@ func main() {
 		"mixed":       harness.Mixed,
 		"merge":       harness.MergeBench,
 		"durability":  harness.Durability,
+		"faults":      faultsweep.FaultSweep,
 	}
 	var rows []harness.Row
 	if *exp == "all" {

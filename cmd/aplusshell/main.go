@@ -15,6 +15,8 @@
 //	:add edge SRC DST LABEL [k=v ...]   append an edge
 //	:flush                        fold pending writes (and checkpoint -db)
 //	:stats                        database, index, and durability sizes
+//	:health                       durability health: degraded mode, last
+//	                              WAL/checkpoint errors, retry backoff
 //	:quit
 package main
 
@@ -111,6 +113,24 @@ func eval(db *aplus.DB, line string) error {
 			fmt.Println()
 		}
 		return nil
+	case lower == ":health":
+		st := db.Stats()
+		if st.Degraded {
+			fmt.Printf("DEGRADED (read-only): %s\n", st.DegradedCause)
+			fmt.Println("writes fail fast; reads keep serving; restart the process to recover from the durable prefix")
+		} else {
+			fmt.Println("healthy: writes accepted")
+		}
+		if st.LastWALError != "" {
+			fmt.Printf("last wal error: %s\n", st.LastWALError)
+		}
+		if st.LastCheckpointError != "" {
+			fmt.Printf("last checkpoint error: %s\n", st.LastCheckpointError)
+		}
+		if st.RetryBackoff > 0 || st.MergeRetries > 0 {
+			fmt.Printf("fold/checkpoint retries=%d backoff=%v\n", st.MergeRetries, st.RetryBackoff)
+		}
+		return nil
 	case lower == ":flush":
 		if err := db.Flush(); err != nil {
 			return err
@@ -175,7 +195,7 @@ func eval(db *aplus.DB, line string) error {
 		fmt.Println("ok")
 		return nil
 	default:
-		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :add, :flush, :stats, :quit)")
+		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :add, :flush, :stats, :health, :quit)")
 	}
 }
 

@@ -1,0 +1,110 @@
+package aplus
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/vfs"
+)
+
+// A failed WAL fsync must drop the database into degraded read-only mode:
+// the failing commit and every later write report ErrDegraded, reads keep
+// serving the last published snapshot, no checkpoint is taken over the
+// untrusted state, and reopening recovers exactly the acknowledged commits.
+func TestDegradedModeServesReadsRejectsWrites(t *testing.T) {
+	mem := vfs.NewMem()
+	fi := vfs.NewFaulty(mem)
+	db, err := OpenOptions{VFS: fi, MergeThreshold: 1 << 30}.Open("/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var vs []VertexID
+	if err := db.Batch(func(b *Batch) error {
+		for i := 0; i < 4; i++ {
+			v, err := b.AddVertex("Account", nil)
+			if err != nil {
+				return err
+			}
+			vs = append(vs, v)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := b.AddEdge(vs[i], vs[i+1], "W", nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const q = "MATCH (a:Account)-[:W]->(b:Account)"
+	count, err := db.Count(q)
+	if err != nil || count != 3 {
+		t.Fatalf("count %d %v, want 3", count, err)
+	}
+
+	// The next commit issues exactly [write, sync] against the WAL: fail
+	// the fsync, once.
+	fi.FailAt(fi.OpCount() + 2)
+	err = db.Batch(func(b *Batch) error {
+		_, err := b.AddEdge(vs[3], vs[0], "W", nil)
+		return err
+	})
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+
+	// Reads keep serving the last published snapshot — the failed commit
+	// is invisible.
+	if count, err = db.Count(q); err != nil || count != 3 {
+		t.Fatalf("degraded read: count %d %v, want 3", count, err)
+	}
+	// Every later write fails fast, even though the fault was one-shot.
+	err = db.Batch(func(b *Batch) error {
+		_, err := b.AddEdge(vs[2], vs[0], "W", nil)
+		return err
+	})
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("second write after poison: want ErrDegraded, got %v", err)
+	}
+
+	st := db.Stats()
+	if !st.Degraded || st.DegradedCause == "" || st.LastWALError == "" {
+		t.Fatalf("stats not degraded: %+v", st)
+	}
+	// No checkpoint over untrusted state: Flush's fold succeeds in memory
+	// but the checkpoint hook is suppressed.
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush must stay non-fatal: %v", err)
+	}
+	if got := db.Stats().CheckpointEpoch; got != 0 {
+		t.Fatalf("checkpoint %d written while degraded", got)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash, reopen: the three acknowledged edges survive, degraded mode
+	// is gone, and writes work again.
+	mem.Crash()
+	db2, err := OpenOptions{VFS: mem}.Open("/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if count, err = db2.Count(q); err != nil || count != 3 {
+		t.Fatalf("recovered count %d %v, want 3", count, err)
+	}
+	if db2.Stats().Degraded {
+		t.Fatal("reopen must clear degraded mode")
+	}
+	if err := db2.Batch(func(b *Batch) error {
+		_, err := b.AddEdge(VertexID(3), VertexID(0), "W", nil)
+		return err
+	}); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	if count, err = db2.Count(q); err != nil || count != 4 {
+		t.Fatalf("post-recovery count %d %v, want 4", count, err)
+	}
+}

@@ -163,4 +163,24 @@ func main() {
 	dst := reopened.Stats()
 	fmt.Printf("\ndurable reopen: %d wire transfer(s) survived restart (replayed %d WAL ops)\n",
 		n, dst.ReplayedOps)
+
+	// Failure semantics worth knowing before running on real disks:
+	//
+	//   - If a commit's WAL fsync fails, the database enters degraded
+	//     read-only mode: that commit and every later write return an error
+	//     wrapping aplus.ErrDegraded (check with errors.Is), while reads
+	//     keep serving the last published snapshot. Restarting the process
+	//     recovers every acknowledged commit; nothing is retried over the
+	//     untrusted page cache. Stats().Degraded / DegradedCause /
+	//     LastWALError report the state (aplusshell's :health prints them).
+	//   - A full disk (ENOSPC) mid-commit does NOT degrade: the failing
+	//     commit is rolled back to the last record boundary and writes may
+	//     succeed again once space frees up.
+	//   - Checkpoint failures are never fatal: the write-ahead log keeps
+	//     the database recoverable, the failure shows up in
+	//     Stats().LastCheckpointError, and the background merger retries
+	//     with exponential backoff (tunable via OpenOptions.RetryBackoff).
+	if dst.Degraded {
+		log.Fatalf("unexpected degraded mode: %s", dst.DegradedCause)
+	}
 }

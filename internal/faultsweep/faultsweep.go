@@ -1,0 +1,442 @@
+// Package faultsweep is the crash/fault-injection harness for the
+// durability stack: it enumerates every disk operation a scripted
+// reference workload performs and re-runs the workload with a crash or a
+// one-shot fault injected at each site, asserting the recovery and
+// degraded-mode contracts hold everywhere. It lives outside
+// internal/harness because it drives the public aplus API end to end
+// (OpenOptions.VFS, ErrDegraded, Stats), which harness — imported by the
+// root package's own tests — cannot.
+package faultsweep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	aplus "github.com/aplusdb/aplus"
+	"github.com/aplusdb/aplus/internal/harness"
+	"github.com/aplusdb/aplus/internal/vfs"
+	"github.com/aplusdb/aplus/internal/wal"
+)
+
+// FaultSweep exhaustively tests the durability stack's failure contract.
+// It runs a scripted reference workload — commits, folds, checkpoints, WAL
+// truncations, a close — once fault-free over the crash-simulating
+// in-memory filesystem to enumerate every disk operation it performs, then
+// re-runs it once per operation site k with
+//
+//   - a CRASH at k: every op from k on fails, the machine then loses all
+//     unsynced state, and the reopen must recover counts and i-cost
+//     bit-identical to the last acknowledged commit — never a torn state,
+//     never a lost acknowledged one; and
+//   - a one-shot FAULT at k (torn to a 3-byte prefix when k is a write):
+//     the run must enter degraded read-only mode exactly when the failing
+//     op is a commit's WAL fsync (the fsyncgate contract), folds and
+//     checkpoints must stay non-fatal, reads must keep serving throughout,
+//     and both a process restart and a subsequent machine crash must
+//     recover a scripted state no older than the last acknowledged commit.
+//
+// Options.FaultSites bounds how many sites are tested (0 = all), sampling
+// evenly across the trace and reporting what was skipped. Any violated
+// invariant is printed and the sweep panics after covering every site.
+func FaultSweep(o harness.Options) []harness.Row {
+	w := io.Writer(io.Discard)
+	if o.Out != nil {
+		w = o.Out
+	}
+	start := time.Now()
+
+	states, stepEnd, trace := sweepTrace()
+	n := int64(len(trace))
+	sites := sweepSites(n, o.FaultSites)
+	fmt.Fprintf(w, "\n=== %s ===\n", fmt.Sprintf("Fault sweep: %d disk ops recorded, %d reference states, testing %d sites x {crash, fault}",
+		n, len(states), len(sites)))
+	if int64(len(sites)) < n {
+		fmt.Fprintf(w, "site budget %d < %d ops: sampling evenly, %d sites skipped\n",
+			o.FaultSites, n, n-int64(len(sites)))
+	}
+
+	steps := sweepSteps()
+	// stepEnd[0] is the op count when Open returned; stepEnd[1+i] when
+	// steps[i] finished; the final entry when Close finished.
+	openEnd := stepEnd[0]
+	lastCommitEnd := int64(0)
+	for i, st := range steps {
+		if st.commit {
+			lastCommitEnd = stepEnd[1+i]
+		}
+	}
+	inCommitStep := func(k int64) bool {
+		for i := range steps {
+			if k > stepEnd[i] && k <= stepEnd[1+i] {
+				return steps[i].commit
+			}
+		}
+		return false
+	}
+	// inTruncWindow reports whether site k lies in a flush step's WAL-
+	// truncation window — from the log handle's close (its sync op) through
+	// the reopen. A crash there leaves the handle closed, so later commits
+	// fail fast with a closed-handle error rather than a poisoned fsync:
+	// they must NOT enter degraded mode.
+	walPath := sweepDir + "/" + wal.WALFile
+	inTruncWindow := func(k int64) bool {
+		for i, st := range steps {
+			if st.commit || k <= stepEnd[i] || k > stepEnd[1+i] {
+				continue
+			}
+			lo, hi := int64(-1), int64(-1)
+			for j := stepEnd[i]; j < stepEnd[1+i]; j++ {
+				if op := trace[j]; op.Path == walPath { // op j is site j+1
+					if op.Kind == "sync" && lo < 0 {
+						lo = j + 1
+					}
+					if op.Kind == "open" {
+						hi = j + 1
+					}
+				}
+			}
+			return lo >= 0 && hi >= lo && k >= lo && k <= hi
+		}
+		return false
+	}
+
+	violations := 0
+	for _, k := range sites {
+		fail := func(pass, format string, args ...any) {
+			violations++
+			fmt.Fprintf(w, "VIOLATION site %d/%d %s (%s %s): %s\n",
+				k, n, pass, trace[k-1].Kind, trace[k-1].Path, fmt.Sprintf(format, args...))
+		}
+
+		// Crash pass: op k and everything after it dies, then the machine
+		// loses all unsynced state.
+		mem := vfs.NewMem()
+		f := vfs.NewFaulty(mem)
+		f.CrashAt(k)
+		res := runSweepFaulted(f, states, func(format string, args ...any) { fail("crash", format, args...) })
+		if res.openOK != (k > openEnd) {
+			fail("crash", "open succeeded=%v, want %v", res.openOK, k > openEnd)
+		}
+		// Degraded exactly when contracted: a crashed disk under any commit
+		// poisons the WAL (the append's write or fsync fails and cannot be
+		// rewound) — unless the crash already took the log handle down
+		// inside a truncation window, where commits fail fast without an
+		// fsync ever lying. Crashes confined to open, flushes past the last
+		// commit, or close never poison.
+		if expect := res.openOK && k <= lastCommitEnd && !inTruncWindow(k); res.degraded != expect {
+			fail("crash", "degraded=%v, want %v", res.degraded, expect)
+		}
+		mem.Crash()
+		if st, ok := sweepReopen(mem, func(format string, args ...any) { fail("crash", format, args...) }); ok {
+			if st != states[res.acked] {
+				fail("crash", "recovered %+v, want the last acknowledged state %+v (%d commits acked)",
+					st, states[res.acked], res.acked)
+			}
+		}
+		// Fault pass: op k alone fails (a write tears to a 3-byte prefix);
+		// the disk is healthy before and after.
+		mem = vfs.NewMem()
+		f = vfs.NewFaulty(mem)
+		f.FailAt(k)
+		if trace[k-1].Kind == "write" {
+			f.ShortWrite(3)
+		}
+		res = runSweepFaulted(f, states, func(format string, args ...any) { fail("fault", format, args...) })
+		if res.openOK != (k > openEnd) {
+			fail("fault", "open succeeded=%v, want %v", res.openOK, k > openEnd)
+		}
+		// Degraded exactly when contracted: only a commit's failed WAL fsync
+		// poisons (fsyncgate); torn writes rewind cleanly, checkpoint and
+		// truncation failures retry, close failures just surface.
+		if expect := trace[k-1].Kind == "sync" && inCommitStep(k); res.degraded != expect {
+			fail("fault", "degraded=%v, want %v", res.degraded, expect)
+		}
+		// Process restart over the live (unsynced) filesystem, then a
+		// machine crash after that restart synced what it recovered.
+		if st, ok := sweepReopen(mem, func(format string, args ...any) { fail("fault", format, args...) }); ok {
+			i := findSweepState(states, st)
+			switch {
+			case i < 0:
+				fail("fault", "reopen recovered a torn state %+v", st)
+			case i < res.acked || i > res.acked+1:
+				fail("fault", "reopen recovered state %d, want %d or %d (at most one in-flight commit)",
+					i, res.acked, res.acked+1)
+			}
+			mem.Crash()
+			if st2, ok2 := sweepReopen(mem, func(format string, args ...any) { fail("fault", format, args...) }); ok2 && st2 != st {
+				fail("fault", "post-crash reopen %+v diverges from the restart's synced state %+v", st2, st)
+			}
+		}
+	}
+
+	if violations > 0 {
+		panic(fmt.Sprintf("fault sweep: %d invariant violations (see output)", violations))
+	}
+	secs := time.Since(start).Seconds()
+	fmt.Fprintf(w, "all invariants held at every site (%.3fs)\n", secs)
+	return []harness.Row{
+		{Table: "faults", Dataset: "scripted", Config: "crash", Query: "sweep", Seconds: secs / 2, Count: int64(len(sites))},
+		{Table: "faults", Dataset: "scripted", Config: "fault", Query: "sweep", Seconds: secs / 2, Count: int64(len(sites))},
+	}
+}
+
+const (
+	sweepDir   = "/db"
+	sweepQuery = "MATCH (a:Account)-[:W]->(b:Account)"
+)
+
+// sweepState is one reference observation: the count and i-cost of the
+// reference query, which must be bit-identical whenever the same logical
+// state is served — live, degraded, or recovered.
+type sweepState struct {
+	Count int64
+	ICost int64
+}
+
+// sweepOpen opens the scripted database: a huge merge threshold so no
+// background fold perturbs the op trace (Flush drives folds explicitly),
+// and a retry backoff long enough that failed-checkpoint retries sleep
+// until Close interrupts them instead of racing the script.
+func sweepOpen(fs vfs.FS) (*aplus.DB, error) {
+	return aplus.OpenOptions{
+		VFS:            fs,
+		MergeThreshold: 1 << 30,
+		RetryBackoff:   time.Hour,
+	}.Open(sweepDir)
+}
+
+func sweepStateOf(db *aplus.DB) sweepState {
+	n, m, err := db.CountProfiled(sweepQuery)
+	if err != nil {
+		panic(fmt.Sprintf("fault sweep: reference query failed: %v", err))
+	}
+	return sweepState{Count: n, ICost: m.ICost}
+}
+
+func findSweepState(states []sweepState, got sweepState) int {
+	for i, s := range states {
+		if s == got {
+			return i
+		}
+	}
+	return -1
+}
+
+// sweepStep is one scripted action. Commit steps append to the WAL and, on
+// success, advance the acknowledged reference state; flush steps drive
+// fold -> checkpoint -> truncation and must never be fatal.
+type sweepStep struct {
+	name   string
+	commit bool
+	run    func(db *aplus.DB) error
+}
+
+// sweepSteps is the reference workload. Every commit leaves a distinct
+// live-edge count, so a recovered state maps to exactly one script
+// position. The flushes land three checkpoints: the second triggers the
+// first WAL truncation, the third retires the oldest checkpoint file.
+func sweepSteps() []sweepStep {
+	edge := func(b *aplus.Batch, src, dst int) error {
+		_, err := b.AddEdge(aplus.VertexID(src), aplus.VertexID(dst), "W", nil)
+		return err
+	}
+	batch := func(name string, fn func(b *aplus.Batch) error) sweepStep {
+		return sweepStep{name: name, commit: true, run: func(db *aplus.DB) error {
+			return db.Batch(fn)
+		}}
+	}
+	flush := func(name string) sweepStep {
+		return sweepStep{name: name, run: func(db *aplus.DB) error { return db.Flush() }}
+	}
+	return []sweepStep{
+		// 6 vertices chained by 5 edges.
+		batch("batch-1", func(b *aplus.Batch) error {
+			for i := 0; i < 6; i++ {
+				if _, err := b.AddVertex("Account", nil); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 5; i++ {
+				if err := edge(b, i, i+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+		// +4 -> 9 live edges.
+		batch("batch-2", func(b *aplus.Batch) error {
+			for i := 0; i < 4; i++ {
+				if err := edge(b, 5, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+		flush("flush-1"), // first checkpoint
+		// +3 -> 12.
+		batch("batch-3", func(b *aplus.Batch) error {
+			for i := 0; i < 3; i++ {
+				if err := edge(b, 4, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+		flush("flush-2"), // second checkpoint: first WAL truncation
+		// +2 -1 -> 13: adds land in the delta, the delete tombstones a
+		// folded base edge.
+		batch("batch-4", func(b *aplus.Batch) error {
+			for i := 0; i < 2; i++ {
+				if _, err := b.AddVertex("Account", nil); err != nil {
+					return err
+				}
+			}
+			if err := edge(b, 6, 7); err != nil {
+				return err
+			}
+			if err := edge(b, 7, 0); err != nil {
+				return err
+			}
+			return b.DeleteEdge(aplus.EdgeID(0))
+		}),
+		flush("flush-3"), // third checkpoint: retires the oldest
+		// +1 -> 14, left in the WAL tail for recovery to replay.
+		batch("batch-5", func(b *aplus.Batch) error {
+			return edge(b, 3, 0)
+		}),
+	}
+}
+
+// sweepTrace runs the workload fault-free over a recording injector and
+// returns the reference states (index 0 = the empty database, index j = the
+// j-th commit), the op count at the end of the open, each step, and the
+// close, and the full op trace.
+func sweepTrace() (states []sweepState, stepEnd []int64, trace []vfs.Op) {
+	f := vfs.NewFaulty(vfs.NewMem())
+	f.Record()
+	db, err := sweepOpen(f)
+	if err != nil {
+		panic(fmt.Sprintf("fault sweep: fault-free open failed: %v", err))
+	}
+	states = append(states, sweepStateOf(db))
+	stepEnd = append(stepEnd, f.OpCount())
+	for _, st := range sweepSteps() {
+		if err := st.run(db); err != nil {
+			panic(fmt.Sprintf("fault sweep: fault-free %s failed: %v", st.name, err))
+		}
+		if st.commit {
+			states = append(states, sweepStateOf(db))
+		}
+		stepEnd = append(stepEnd, f.OpCount())
+	}
+	if err := db.Close(); err != nil {
+		panic(fmt.Sprintf("fault sweep: fault-free close failed: %v", err))
+	}
+	stepEnd = append(stepEnd, f.OpCount())
+	return states, stepEnd, f.Trace()
+}
+
+// sweepOutcome is what one faulted run observed.
+type sweepOutcome struct {
+	openOK   bool
+	acked    int // index into the reference states of the last acknowledged commit
+	degraded bool
+}
+
+// runSweepFaulted runs the workload over fs, tolerating failures the way an
+// application would: the first failed commit abandons the rest of the
+// script. Along the way it checks the invariants that hold regardless of
+// where the fault lands — every acknowledged commit serves a bit-identical
+// reference state, flushes are never fatal, a degraded database rejects
+// writes fast but keeps serving reads — reporting breaches through fail.
+func runSweepFaulted(fs vfs.FS, states []sweepState, fail func(format string, args ...any)) sweepOutcome {
+	db, err := sweepOpen(fs)
+	if err != nil {
+		return sweepOutcome{}
+	}
+	out := sweepOutcome{openOK: true}
+	var firstErr error
+	for _, st := range sweepSteps() {
+		if firstErr != nil {
+			break
+		}
+		err := st.run(db)
+		switch {
+		case st.commit && err == nil:
+			out.acked++
+			if got := sweepStateOf(db); got != states[out.acked] {
+				fail("%s acked but serves %+v, want %+v", st.name, got, states[out.acked])
+			}
+		case st.commit:
+			firstErr = err
+		case err != nil:
+			fail("%s: a fold/checkpoint failure must be non-fatal, got %v", st.name, err)
+		}
+	}
+	out.degraded = errors.Is(firstErr, aplus.ErrDegraded)
+	if out.degraded {
+		// Fail-fast contract: the poison outlives the (long-cleared) fault.
+		if err := db.Batch(func(b *aplus.Batch) error {
+			_, err := b.AddVertex("Account", nil)
+			return err
+		}); !errors.Is(err, aplus.ErrDegraded) {
+			fail("write after degraded failure: want ErrDegraded, got %v", err)
+		}
+		if st := db.Stats(); !st.Degraded || st.DegradedCause == "" {
+			fail("degraded commit failure but Stats says %+v", st)
+		}
+	}
+	// Reads serve the last acknowledged state no matter what the disk did.
+	if got := sweepStateOf(db); got != states[out.acked] {
+		fail("post-run reads serve %+v, want %+v", got, states[out.acked])
+	}
+	_ = db.Close() // may legitimately fail under injected faults
+	return out
+}
+
+// sweepReopen reopens the database over the (now healthy) filesystem and
+// returns the recovered reference state. A reopen that fails, stays
+// degraded, or cannot close is itself an invariant breach: recovery must
+// accept any state a crash or fault can leave behind.
+func sweepReopen(fs vfs.FS, fail func(format string, args ...any)) (sweepState, bool) {
+	db, err := sweepOpen(fs)
+	if err != nil {
+		fail("reopen rejected the on-disk state: %v", err)
+		return sweepState{}, false
+	}
+	st := sweepStateOf(db)
+	if db.Stats().Degraded {
+		fail("degraded flag survived a reopen")
+	}
+	if err := db.Close(); err != nil {
+		fail("close after reopen: %v", err)
+	}
+	return st, true
+}
+
+// sweepSites picks the op sites to test: all n when budget is 0 or covers
+// them, otherwise budget sites spread evenly across the trace.
+func sweepSites(n int64, budget int) []int64 {
+	if budget <= 0 || int64(budget) >= n {
+		out := make([]int64, 0, n)
+		for k := int64(1); k <= n; k++ {
+			out = append(out, k)
+		}
+		return out
+	}
+	out := make([]int64, 0, budget)
+	seen := make(map[int64]bool, budget)
+	for i := 0; i < budget; i++ {
+		k := (int64(i)*2 + 1) * n / (2 * int64(budget))
+		if k < 1 {
+			k = 1
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

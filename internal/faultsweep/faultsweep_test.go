@@ -1,0 +1,60 @@
+package faultsweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/harness"
+)
+
+// The full sweep: every disk-op site of the reference workload gets a
+// crash pass and a fault pass; FaultSweep panics on any violated
+// invariant, so completing is the assertion.
+func TestFaultSweepAllSites(t *testing.T) {
+	var out bytes.Buffer
+	rows := FaultSweep(harness.Options{Out: &out})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want crash+fault", len(rows))
+	}
+	for _, r := range rows {
+		if r.Count <= 0 {
+			t.Fatalf("%s pass tested no sites", r.Config)
+		}
+	}
+	if s := out.String(); strings.Contains(s, "VIOLATION") {
+		t.Fatalf("violations reported:\n%s", s)
+	}
+}
+
+// A bounded run (the CI smoke configuration) samples sites evenly and says
+// what it skipped.
+func TestFaultSweepBounded(t *testing.T) {
+	var out bytes.Buffer
+	rows := FaultSweep(harness.Options{Out: &out, FaultSites: 7})
+	if rows[0].Count != 7 {
+		t.Fatalf("tested %d sites, want 7", rows[0].Count)
+	}
+	if !strings.Contains(out.String(), "sampling evenly") {
+		t.Fatalf("bounded sweep did not report sampling:\n%s", out.String())
+	}
+}
+
+func TestSweepSites(t *testing.T) {
+	all := sweepSites(5, 0)
+	if len(all) != 5 || all[0] != 1 || all[4] != 5 {
+		t.Fatalf("unbounded sites = %v", all)
+	}
+	some := sweepSites(100, 4)
+	if len(some) != 4 {
+		t.Fatalf("bounded sites = %v, want 4", some)
+	}
+	for i := 1; i < len(some); i++ {
+		if some[i] <= some[i-1] {
+			t.Fatalf("sites not increasing: %v", some)
+		}
+	}
+	if got := sweepSites(3, 10); len(got) != 3 {
+		t.Fatalf("budget past n must test all: %v", got)
+	}
+}

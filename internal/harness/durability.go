@@ -61,7 +61,7 @@ func Durability(o Options) []Row {
 	// Durable run: same workload, every batch fsync'd before visibility; a
 	// checkpoint is forced at the halfway mark so the close leaves a WAL
 	// tail for reopen to replay.
-	eng, rec, err := wal.Open(dir, true)
+	eng, rec, err := wal.Open(dir, true, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -71,7 +71,7 @@ func Durability(o Options) []Row {
 	sopts := snap.Options{
 		WALAppend:      eng.Append,
 		MergeThreshold: 1 << 30,
-		AfterFold:      func(s *snap.Snapshot) { _ = eng.CheckpointSnapshot(s) },
+		AfterFold:      eng.CheckpointSnapshot,
 	}
 	m, err := snap.NewManager(storage.NewGraph(), index.DefaultConfig(), sopts)
 	if err != nil {
@@ -137,7 +137,7 @@ func Durability(o Options) []Row {
 
 	// Reopen: load the checkpoint, replay the tail, verify the edge count.
 	reopenStart := time.Now()
-	eng2, rec2, err := wal.Open(dir, true)
+	eng2, rec2, err := wal.Open(dir, true, nil)
 	if err != nil {
 		panic(err)
 	}

@@ -46,6 +46,11 @@ type Options struct {
 	// DurableDir is the database directory for the Durability experiment;
 	// it must be empty or nonexistent. "" uses a throwaway temp dir.
 	DurableDir string
+
+	// FaultSites bounds how many disk-op sites FaultSweep injects into
+	// (0 = every site the reference workload executes). CI smoke runs use
+	// a small bound; the sweep samples evenly and reports what it skipped.
+	FaultSites int
 }
 
 func (o Options) scale() float64 {

@@ -2,6 +2,7 @@ package snap
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/aplusdb/aplus/internal/index"
@@ -12,6 +13,12 @@ import (
 // runs it inline under Options.SyncMerge). Commits landing while a fold is
 // in flight are rebased onto its result at publish time, and re-trigger a
 // fold themselves if the rebased delta is still above threshold.
+//
+// A failed fold or AfterFold hook does not stop the goroutine: it sleeps
+// out a capped exponential backoff (with jitter, interruptible by Close)
+// and retries, keeping the merging flag held so no duplicate merger spawns.
+// Throughout, readers and writers keep going against the delta overlay —
+// a broken checkpoint disk never stops query serving.
 func (m *Manager) scheduleMerge() {
 	if m.opts.SyncMerge {
 		_ = m.Merge()
@@ -33,26 +40,41 @@ func (m *Manager) scheduleMerge() {
 	m.closeMu.Unlock()
 	go func() {
 		defer m.mergeWG.Done()
+		backoff := m.opts.retryBackoff()
 		for {
-			if err := m.Merge(); err != nil {
-				// Merge recorded the failure for Stats; stop rather than
-				// retry, which would hot-loop full rebuilds. The next
-				// commit re-triggers a fold attempt; synchronous Flush
-				// callers see the error directly.
+			err := m.Merge()
+			if err == nil && m.afterFoldErr.Load() == nil {
+				m.retryBackoff.Store(0)
+				backoff = m.opts.retryBackoff()
+				m.merging.Store(false)
+				// A commit may have crossed the threshold after Merge loaded
+				// its final (empty) view but before the flag cleared — its
+				// scheduleMerge CAS lost against the still-true flag. Re-check
+				// and reclaim so no over-threshold delta is left unmerged on a
+				// burst-then-idle workload.
+				if m.cur.Load().delta.Pending() < m.opts.threshold() {
+					return
+				}
+				if !m.merging.CompareAndSwap(false, true) {
+					return
+				}
+				continue
+			}
+			// The fold failed (Stats.LastMergeError) or its checkpoint hook
+			// did (Stats, engine LastCheckpointError). Neither is fatal —
+			// sleep out the backoff and retry. Jitter de-synchronizes
+			// retries from whatever periodic pressure broke the disk.
+			m.mergeRetries.Add(1)
+			m.retryBackoff.Store(int64(backoff))
+			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+			select {
+			case <-m.closeCh:
 				m.merging.Store(false)
 				return
+			case <-time.After(sleep):
 			}
-			m.merging.Store(false)
-			// A commit may have crossed the threshold after Merge loaded
-			// its final (empty) view but before the flag cleared — its
-			// scheduleMerge CAS lost against the still-true flag. Re-check
-			// and reclaim so no over-threshold delta is left unmerged on a
-			// burst-then-idle workload.
-			if m.cur.Load().delta.Pending() < m.opts.threshold() {
-				return
-			}
-			if !m.merging.CompareAndSwap(false, true) {
-				return
+			if backoff *= 2; backoff > retryBackoffCapMult*m.opts.retryBackoff() {
+				backoff = retryBackoffCapMult * m.opts.retryBackoff()
 			}
 		}
 	}()
@@ -71,10 +93,25 @@ func (m *Manager) scheduleMerge() {
 // finished on — not a re-acquired current one, which a concurrent commit
 // could have already dirtied (that would starve checkpoints under
 // sustained writes).
+//
+// An AfterFold failure is non-fatal and NOT returned: the fold already
+// published, the overlay keeps serving, and a checkpoint is a space/
+// recovery-time optimization, not a correctness requirement. It is
+// recorded for Stats and retried in the background with backoff
+// (scheduleMerge's loop; a synchronous caller's failure arms that loop
+// here).
 func (m *Manager) Merge() error {
 	last, err := m.merge()
 	if err == nil && last != nil && m.opts.AfterFold != nil {
-		m.opts.AfterFold(last)
+		if aerr := m.opts.AfterFold(last); aerr != nil {
+			msg := aerr.Error()
+			m.afterFoldErr.Store(&msg)
+			if !m.opts.SyncMerge {
+				m.scheduleMerge()
+			}
+		} else {
+			m.afterFoldErr.Store(nil)
+		}
 	}
 	return err
 }

@@ -1,0 +1,139 @@
+package snap
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// A failing AfterFold hook (a broken checkpoint disk) must not stop the
+// background merger or query serving: the manager records the failure,
+// retries with backoff, and clears the state once the hook succeeds.
+func TestAfterFoldFailureRetriesWithBackoff(t *testing.T) {
+	var calls atomic.Int64
+	const failUntil = 3
+	m, err := NewManager(storage.NewGraph(), index.DefaultConfig(), Options{
+		MergeThreshold: 4,
+		RetryBackoff:   time.Millisecond,
+		AfterFold: func(s *Snapshot) error {
+			if calls.Add(1) <= failUntil {
+				return fmt.Errorf("injected checkpoint failure")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// First commit interns the labels (it folds inline, growing the
+	// catalog); the second only buffers edges, crossing the threshold and
+	// scheduling the background merger, which then fights the failing hook.
+	seedVertices(t, m, 6)
+	addChainEdges(t, m, 0, 5)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() <= failUntil {
+		if time.Now().After(deadline) {
+			t.Fatalf("hook retried only %d times", calls.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The hook has now succeeded; the retry state must drain to healthy.
+	for {
+		st := m.Stats()
+		if st.RetryBackoff == 0 && m.afterFoldErr.Load() == nil {
+			if st.MergeRetries < failUntil {
+				t.Fatalf("MergeRetries %d, want >= %d", st.MergeRetries, failUntil)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry state never cleared: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Reads served throughout and the fold itself landed.
+	s := m.Acquire()
+	defer s.Release()
+	if got := s.Graph().NumLiveEdges(); got != 6 {
+		t.Fatalf("live edges %d, want 6", got)
+	}
+	if !s.Delta().Empty() {
+		t.Fatal("delta not folded")
+	}
+}
+
+// seedVertices commits n vertices labeled "A" plus one "L" edge so the
+// catalog holds both labels (this first commit folds inline; later
+// edge-only commits buffer in the delta and can trigger background folds).
+func seedVertices(t *testing.T, m *Manager, n int) {
+	t.Helper()
+	b := m.Begin()
+	var first storage.VertexID
+	for i := 0; i < n; i++ {
+		v, err := b.AddVertex("A", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = v
+		} else if i == 1 {
+			if _, err := b.AddEdge(first, v, "L", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// addChainEdges commits one batch of "L" edges chaining vertices
+// from..from+n (the vertices must already exist).
+func addChainEdges(t *testing.T, m *Manager, from storage.VertexID, n int) {
+	t.Helper()
+	b := m.Begin()
+	for i := 0; i < n; i++ {
+		if _, err := b.AddEdge(from+storage.VertexID(i), from+storage.VertexID(i)+1, "L", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Close must interrupt a merger sleeping out a long retry backoff instead
+// of waiting for the timer.
+func TestCloseInterruptsRetryBackoff(t *testing.T) {
+	m, err := NewManager(storage.NewGraph(), index.DefaultConfig(), Options{
+		MergeThreshold: 2,
+		RetryBackoff:   time.Hour,
+		AfterFold: func(s *Snapshot) error {
+			return fmt.Errorf("always failing")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedVertices(t, m, 4)
+	addChainEdges(t, m, 0, 3)
+	// Give the background merger a moment to enter its backoff sleep, then
+	// Close must return promptly (well under the 1h backoff).
+	for i := 0; i < 1000 && m.Stats().RetryBackoff == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { m.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close blocked on the retry backoff")
+	}
+}

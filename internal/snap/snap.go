@@ -59,8 +59,16 @@ type Options struct {
 	// manager locks held — the checkpointing trigger. The snapshot may
 	// already be superseded by newer commits; it is immutable either way,
 	// so serializing it is always safe and always covers every record up
-	// to its Seq.
-	AfterFold func(*Snapshot)
+	// to its Seq. An AfterFold error is NON-FATAL: the fold itself already
+	// published and the delta overlay keeps serving, so the manager only
+	// records the failure (Stats) and retries the hook in the background
+	// with capped exponential backoff + jitter until it succeeds or the
+	// manager closes.
+	AfterFold func(*Snapshot) error
+	// RetryBackoff is the initial delay between background retries of a
+	// failed fold or AfterFold hook (<= 0 = DefaultRetryBackoff). Each
+	// failure doubles it, capped at 50x, with ±50% jitter.
+	RetryBackoff time.Duration
 	// StartSeq and StartEpoch initialize the record-sequence and epoch
 	// counters, so a recovered manager continues the numbering of the
 	// checkpoint it was restored from.
@@ -88,11 +96,25 @@ type Options struct {
 // manager is durable and no explicit budget is configured.
 const DefaultFoldWALBytes = 64 << 20
 
+// DefaultRetryBackoff is the initial delay between background retries of a
+// failed fold or checkpoint; retryBackoffCap bounds the doubling.
+const (
+	DefaultRetryBackoff = 100 * time.Millisecond
+	retryBackoffCapMult = 50
+)
+
 func (o Options) threshold() int {
 	if o.MergeThreshold <= 0 {
 		return index.DefaultMergeThreshold
 	}
 	return o.MergeThreshold
+}
+
+func (o Options) retryBackoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return o.RetryBackoff
 }
 
 // Snapshot is one immutable epoch of the database: the frozen base store,
@@ -175,8 +197,11 @@ type Manager struct {
 
 	// closeMu guards closed and the merge WaitGroup increment so Close can
 	// wait for the in-flight background fold without racing a new one.
+	// closeCh is closed alongside, interrupting a merger sleeping out a
+	// retry backoff.
 	closeMu sync.Mutex
 	closed  bool
+	closeCh chan struct{}
 	mergeWG sync.WaitGroup
 
 	retired atomic.Int64
@@ -192,6 +217,13 @@ type Manager struct {
 	// the next success) so it is observable via Stats; synchronous callers
 	// (Flush) get the error returned directly.
 	mergeErr atomic.Pointer[string]
+	// afterFoldErr records the most recent AfterFold (checkpoint) failure;
+	// while set, the background merger keeps retrying the hook with
+	// backoff. mergeRetries counts those retries and retryBackoff holds
+	// the delay currently in force (0 when healthy) — both for Stats.
+	afterFoldErr atomic.Pointer[string]
+	mergeRetries atomic.Int64
+	retryBackoff atomic.Int64
 
 	// walFoldTail is the WAL tail size at which the last tail-triggered
 	// fold was scheduled (walFoldDue's once-per-budget-increment arming).
@@ -225,7 +257,7 @@ func NewManager(g *storage.Graph, cfg index.Config, o Options) (*Manager, error)
 // o.StartEpoch/o.StartSeq. Neither st nor g may be mutated by the caller
 // afterwards.
 func NewManagerFromStore(st *index.Store, g *storage.Graph, o Options) *Manager {
-	m := &Manager{opts: o}
+	m := &Manager{opts: o, closeCh: make(chan struct{})}
 	m.epoch = o.StartEpoch
 	m.seq = o.StartSeq
 	m.mu.Lock()
@@ -241,7 +273,10 @@ func NewManagerFromStore(st *index.Store, g *storage.Graph, o Options) *Manager 
 // valid.
 func (m *Manager) Close() {
 	m.closeMu.Lock()
-	m.closed = true
+	if !m.closed {
+		m.closed = true
+		close(m.closeCh)
+	}
 	m.closeMu.Unlock()
 	m.mergeWG.Wait()
 }
@@ -317,6 +352,11 @@ type Stats struct {
 	// the last fold succeeded). A persistent error here means the delta
 	// cannot currently be folded and pending ops will keep accumulating.
 	LastMergeError string
+	// MergeRetries counts background retries of a failed fold or
+	// AfterFold (checkpoint) hook; RetryBackoff is the delay currently in
+	// force between them (0 when the merger is healthy).
+	MergeRetries int64
+	RetryBackoff time.Duration
 }
 
 // Stats reports chain observability counters.
@@ -339,6 +379,8 @@ func (m *Manager) Stats() Stats {
 	if e := m.mergeErr.Load(); e != nil {
 		st.LastMergeError = *e
 	}
+	st.MergeRetries = m.mergeRetries.Load()
+	st.RetryBackoff = time.Duration(m.retryBackoff.Load())
 	return st
 }
 

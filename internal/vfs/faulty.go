@@ -1,0 +1,324 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Injected fault sentinels. Callers distinguish them with errors.Is; the
+// wrapped messages carry the op index, kind, and path for diagnostics.
+var (
+	// ErrInjected is a scripted I/O failure (the op did not happen, or —
+	// for a short write — happened partially).
+	ErrInjected = errors.New("vfs: injected fault")
+	// ErrCrashed means the simulated process died: the failing op and
+	// every op after it return it unconditionally.
+	ErrCrashed = errors.New("vfs: crashed (injected)")
+	// ErrNoSpace is the injected out-of-disk condition: writes past the
+	// byte budget fail after writing what fits, like a real ENOSPC.
+	ErrNoSpace = errors.New("vfs: no space left on device (injected)")
+)
+
+// Op is one recorded filesystem operation: the injectable site the
+// fault-sweep enumerates.
+type Op struct {
+	Kind string // mkdir|open|create|read|readdir|stat|rename|remove|syncdir|write|sync|truncate|close|readat
+	Path string
+}
+
+// Faulty wraps another FS and injects deterministic, scriptable faults.
+// Every disk-touching operation (FS methods and file Write/ReadAt/Sync/
+// Truncate/Close) increments a global op counter; the scripted fault fires
+// when the counter hits the configured index:
+//
+//   - FailAt(k): the k-th op fails once with ErrInjected; later ops run
+//     normally (a transient error).
+//   - StickyAt(k): the k-th op fails and every later op with the same
+//     (kind, path) keeps failing — a persistent per-site error, e.g. a
+//     file whose fsync never succeeds again.
+//   - CrashAt(k): the k-th op and every op after it fail with ErrCrashed,
+//     simulating the process dying mid-operation. Pair with Mem.Crash()
+//     and a reopen to test recovery.
+//   - ShortWrite(n): when the failing op is a write, n bytes reach the
+//     inner FS before the error — a torn write.
+//   - SetWriteBudget(b): independent of the op counter, cumulative write
+//     bytes are capped at b; the write that crosses the budget stores the
+//     prefix that fits and returns ErrNoSpace, as do all writes after it.
+//
+// With Record(), every op is appended to a trace instead — run the
+// workload once fault-free to enumerate the sites, then once per site with
+// a fault scripted at it.
+type Faulty struct {
+	inner FS
+
+	mu     sync.Mutex
+	n      int64
+	record bool
+	trace  []Op
+
+	failAt     int64
+	sticky     bool
+	crash      bool
+	shortWrite int
+
+	crashed    bool
+	stickyOn   bool
+	stickyKind string
+	stickyPath string
+
+	budget    int64
+	budgetSet bool
+}
+
+// NewFaulty wraps inner with no faults scripted.
+func NewFaulty(inner FS) *Faulty { return &Faulty{inner: inner} }
+
+// Record makes the wrapper trace every op (and inject nothing).
+func (f *Faulty) Record() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.record = true
+}
+
+// Trace returns the ops recorded so far.
+func (f *Faulty) Trace() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Op(nil), f.trace...)
+}
+
+// OpCount returns the number of ops executed (or recorded) so far.
+func (f *Faulty) OpCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// FailAt scripts a one-shot ErrInjected at the k-th op (1-based).
+func (f *Faulty) FailAt(k int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt, f.sticky, f.crash = k, false, false
+}
+
+// StickyAt scripts ErrInjected at the k-th op, persisting for every later
+// op on the same (kind, path).
+func (f *Faulty) StickyAt(k int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt, f.sticky, f.crash = k, true, false
+}
+
+// CrashAt scripts a process death at the k-th op: it and every later op
+// fail with ErrCrashed.
+func (f *Faulty) CrashAt(k int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt, f.sticky, f.crash = k, false, true
+}
+
+// ShortWrite makes the scripted failing op — when it is a write — store n
+// bytes before erroring.
+func (f *Faulty) ShortWrite(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortWrite = n
+}
+
+// SetWriteBudget caps cumulative written bytes at b; the crossing write
+// stores the prefix that fits and fails with ErrNoSpace, as does every
+// write after it.
+func (f *Faulty) SetWriteBudget(b int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget, f.budgetSet = b, true
+}
+
+// gate counts one op and returns the scripted error for it, if any, plus
+// the number of bytes a failing write should still store (short write).
+func (f *Faulty) gate(kind, path string) (error, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	if f.record {
+		f.trace = append(f.trace, Op{Kind: kind, Path: path})
+		return nil, 0
+	}
+	if f.crashed {
+		return fmt.Errorf("%w: op %d (%s %s)", ErrCrashed, f.n, kind, path), 0
+	}
+	if f.stickyOn && kind == f.stickyKind && path == f.stickyPath {
+		return fmt.Errorf("%w: op %d (%s %s, sticky)", ErrInjected, f.n, kind, path), 0
+	}
+	if f.failAt != 0 && f.n == f.failAt {
+		if f.crash {
+			f.crashed = true
+			return fmt.Errorf("%w: op %d (%s %s)", ErrCrashed, f.n, kind, path), 0
+		}
+		if f.sticky {
+			f.stickyOn, f.stickyKind, f.stickyPath = true, kind, path
+		}
+		return fmt.Errorf("%w: op %d (%s %s)", ErrInjected, f.n, kind, path), f.shortWrite
+	}
+	return nil, 0
+}
+
+// consumeBudget reserves up to want write bytes, reporting how many fit.
+func (f *Faulty) consumeBudget(want int) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.record || !f.budgetSet {
+		return want, true
+	}
+	if int64(want) <= f.budget {
+		f.budget -= int64(want)
+		return want, true
+	}
+	n := int(f.budget)
+	f.budget = 0
+	return n, false
+}
+
+// MkdirAll implements FS.
+func (f *Faulty) MkdirAll(path string) error {
+	if err, _ := f.gate("mkdir", path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path)
+}
+
+// OpenFile implements FS.
+func (f *Faulty) OpenFile(path string, flag int) (File, error) {
+	if err, _ := f.gate("open", path); err != nil {
+		return nil, err
+	}
+	h, err := f.inner.OpenFile(path, flag)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, inner: h, path: path}, nil
+}
+
+// ReadFile implements FS.
+func (f *Faulty) ReadFile(path string) ([]byte, error) {
+	if err, _ := f.gate("read", path); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+// ReadDir implements FS.
+func (f *Faulty) ReadDir(dir string) ([]string, error) {
+	if err, _ := f.gate("readdir", dir); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Stat implements FS.
+func (f *Faulty) Stat(path string) (int64, error) {
+	if err, _ := f.gate("stat", path); err != nil {
+		return 0, err
+	}
+	return f.inner.Stat(path)
+}
+
+// Rename implements FS.
+func (f *Faulty) Rename(oldPath, newPath string) error {
+	if err, _ := f.gate("rename", newPath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(path string) error {
+	if err, _ := f.gate("remove", path); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// CreateTemp implements FS.
+func (f *Faulty) CreateTemp(dir, pattern string) (File, string, error) {
+	if err, _ := f.gate("create", dir+"/"+pattern); err != nil {
+		return nil, "", err
+	}
+	h, name, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, "", err
+	}
+	return &faultyFile{f: f, inner: h, path: name}, name, nil
+}
+
+// SyncDir implements FS.
+func (f *Faulty) SyncDir(dir string) error {
+	if err, _ := f.gate("syncdir", dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultyFile threads file ops through the shared op counter.
+type faultyFile struct {
+	f     *Faulty
+	inner File
+	path  string
+}
+
+func (h *faultyFile) Write(p []byte) (int, error) {
+	err, short := h.f.gate("write", h.path)
+	if err != nil {
+		n := 0
+		if short > 0 {
+			if short > len(p) {
+				short = len(p)
+			}
+			n, _ = h.inner.Write(p[:short])
+		}
+		return n, err
+	}
+	fit, ok := h.f.consumeBudget(len(p))
+	if !ok {
+		var n int
+		if fit > 0 {
+			n, _ = h.inner.Write(p[:fit])
+		}
+		return n, fmt.Errorf("%w: %s", ErrNoSpace, h.path)
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultyFile) ReadAt(p []byte, off int64) (int, error) {
+	if err, _ := h.f.gate("readat", h.path); err != nil {
+		return 0, err
+	}
+	return h.inner.ReadAt(p, off)
+}
+
+// Seek only moves the handle's offset — no disk touch, no fault site.
+func (h *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	return h.inner.Seek(offset, whence)
+}
+
+func (h *faultyFile) Truncate(size int64) error {
+	if err, _ := h.f.gate("truncate", h.path); err != nil {
+		return err
+	}
+	return h.inner.Truncate(size)
+}
+
+func (h *faultyFile) Sync() error {
+	if err, _ := h.f.gate("sync", h.path); err != nil {
+		return err
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultyFile) Close() error {
+	if err, _ := h.f.gate("close", h.path); err != nil {
+		return err
+	}
+	return h.inner.Close()
+}

@@ -1,0 +1,301 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mem is a deterministic in-memory filesystem that models what a real disk
+// guarantees across a crash, so recovery code can be tested against the
+// adversarial-but-legal outcomes a power cut produces:
+//
+//   - every file has a live view (what the page cache serves the writing
+//     process) and a synced view (what is guaranteed to be on the platter:
+//     the content as of the file's last successful Sync);
+//   - the namespace (name -> file bindings) likewise has a live view and a
+//     durable view: creates, renames, and removes become durable only when
+//     the containing directory is synced — with one concession to how
+//     journaling filesystems actually behave: a file's Sync also makes its
+//     current name binding durable (fsync of a newly created file persists
+//     the file, not just anonymous bytes);
+//   - Crash() discards everything volatile: every file's content reverts
+//     to its synced view and the namespace reverts to its durable view, so
+//     an un-dir-synced rename is torn back and unsynced appended bytes are
+//     gone.
+//
+// All methods are safe for concurrent use.
+type Mem struct {
+	mu      sync.Mutex
+	live    map[string]*memFile
+	durable map[string]*memFile
+	dirs    map[string]bool
+	tmpSeq  int
+}
+
+type memFile struct {
+	data   []byte
+	synced []byte
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{
+		live:    make(map[string]*memFile),
+		durable: make(map[string]*memFile),
+		dirs:    make(map[string]bool),
+	}
+}
+
+// Crash simulates a power cut: every file's content reverts to its last
+// synced view and the namespace reverts to its durable view. Handles open
+// before the crash keep writing into orphaned files; callers are expected
+// to close (or abandon) the pre-crash engine before reopening.
+func (m *Mem) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live = make(map[string]*memFile, len(m.durable))
+	for name, f := range m.durable {
+		f.data = append([]byte(nil), f.synced...)
+		m.live[name] = f
+	}
+}
+
+func notExist(op, path string) error {
+	return &fs.PathError{Op: op, Path: path, Err: fs.ErrNotExist}
+}
+
+// MkdirAll implements FS. Directory creation is treated as immediately
+// durable (metadata journaling): the stack never depends on losing one.
+func (m *Mem) MkdirAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := filepath.Clean(path); p != "." && p != string(filepath.Separator); p = filepath.Dir(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+// OpenFile implements FS.
+func (m *Mem) OpenFile(path string, flag int) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[path]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, notExist("open", path)
+		}
+		f = &memFile{}
+		m.live[path] = f
+	}
+	return &memHandle{m: m, f: f, name: path}, nil
+}
+
+// ReadFile implements FS.
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[path]
+	if !ok {
+		return nil, notExist("read", path)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// ReadDir implements FS.
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	var names []string
+	for name := range m.live {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements FS.
+func (m *Mem) Stat(path string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[path]
+	if !ok {
+		return 0, notExist("stat", path)
+	}
+	return int64(len(f.data)), nil
+}
+
+// Rename implements FS. The new binding is live immediately but durable
+// only after SyncDir — until then a crash tears the rename back.
+func (m *Mem) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[oldPath]
+	if !ok {
+		return notExist("rename", oldPath)
+	}
+	delete(m.live, oldPath)
+	m.live[newPath] = f
+	return nil
+}
+
+// Remove implements FS. Like Rename, the unlink is durable only after
+// SyncDir; a crash before then resurrects the name with synced content.
+func (m *Mem) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.live[path]; !ok {
+		return notExist("remove", path)
+	}
+	delete(m.live, path)
+	return nil
+}
+
+// CreateTemp implements FS with deterministic names, so fault-sweep runs
+// replay the exact same operation trace.
+func (m *Mem) CreateTemp(dir, pattern string) (File, string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tmpSeq++
+	name := strings.ReplaceAll(pattern, "*", fmt.Sprintf("%06d", m.tmpSeq))
+	path := filepath.Join(dir, name)
+	if _, ok := m.live[path]; ok {
+		return nil, "", fmt.Errorf("vfs: temp file %s already exists", path)
+	}
+	f := &memFile{}
+	m.live[path] = f
+	return &memHandle{m: m, f: f, name: path}, path, nil
+}
+
+// SyncDir implements FS: every live binding directly inside dir becomes
+// the durable binding (and durably-removed names stay gone).
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	for name := range m.durable {
+		if filepath.Dir(name) == dir {
+			if _, ok := m.live[name]; !ok {
+				delete(m.durable, name)
+			}
+		}
+	}
+	for name, f := range m.live {
+		if filepath.Dir(name) == dir {
+			m.durable[name] = f
+		}
+	}
+	return nil
+}
+
+// memHandle is one open handle: a private offset over a shared memFile.
+type memHandle struct {
+	m      *Mem
+	f      *memFile
+	name   string
+	offset int64
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	end := h.offset + int64(len(p))
+	if grow := end - int64(len(h.f.data)); grow > 0 {
+		h.f.data = append(h.f.data, make([]byte, grow)...)
+	}
+	copy(h.f.data[h.offset:end], p)
+	h.offset = end
+	return len(p), nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		h.offset = offset
+	case io.SeekCurrent:
+		h.offset += offset
+	case io.SeekEnd:
+		h.offset = int64(len(h.f.data)) + offset
+	default:
+		return 0, fmt.Errorf("vfs: bad whence %d", whence)
+	}
+	if h.offset < 0 {
+		return 0, fmt.Errorf("vfs: negative offset")
+	}
+	return h.offset, nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	switch {
+	case size < int64(len(h.f.data)):
+		h.f.data = h.f.data[:size]
+	case size > int64(len(h.f.data)):
+		h.f.data = append(h.f.data, make([]byte, size-int64(len(h.f.data)))...)
+	}
+	return nil
+}
+
+// Sync makes the file's current content durable, and — journaling-FS
+// style — its current name binding with it.
+func (h *memHandle) Sync() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.f.synced = append(h.f.synced[:0], h.f.data...)
+	for name, f := range h.m.live {
+		if f == h.f {
+			h.m.durable[name] = f
+		}
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}

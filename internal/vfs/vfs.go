@@ -1,0 +1,63 @@
+// Package vfs abstracts the filesystem operations the durability stack
+// performs, so the same write-ahead-log and checkpoint code can run against
+// the real disk (OS), a deterministic in-memory disk with crash simulation
+// (Mem), or a fault injector layered over either (Faulty).
+//
+// The interface is deliberately small: it contains exactly the operations
+// internal/wal issues — nothing speculative — which keeps every
+// implementation honest about covering the whole durability surface. Every
+// method that can touch the disk is a single injectable "site" for the
+// fault-sweep harness (internal/harness.FaultSweep), which enumerates the
+// sites a reference workload executes and re-runs the workload with a
+// crash or fault injected at each one.
+package vfs
+
+import "io"
+
+// FS is the filesystem surface the durability stack runs on.
+//
+// Path semantics follow the os package: paths are slash-joined by the
+// caller, missing files report errors satisfying os.IsNotExist, and Rename
+// over an existing destination replaces it atomically.
+type FS interface {
+	// MkdirAll creates a directory (and parents) if missing.
+	MkdirAll(path string) error
+	// OpenFile opens path for reading and writing. Flags are the os
+	// package's: the stack uses os.O_RDWR|os.O_CREATE for the log.
+	OpenFile(path string, flag int) (File, error)
+	// ReadFile returns the file's current contents (the live view — bytes
+	// written but not yet synced are visible, exactly as the page cache
+	// would serve them to the writing process).
+	ReadFile(path string) ([]byte, error)
+	// ReadDir returns the names (not full paths) of the entries in dir,
+	// sorted.
+	ReadDir(dir string) ([]string, error)
+	// Stat returns the file's current size.
+	Stat(path string) (int64, error)
+	// Rename atomically replaces newPath with oldPath's file.
+	Rename(oldPath, newPath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// CreateTemp creates a new file in dir whose name derives from pattern
+	// (a trailing '*' is replaced to make it unique) and returns the open
+	// handle plus the full path.
+	CreateTemp(dir, pattern string) (File, string, error)
+	// SyncDir fsyncs a directory, making renames, creates, and removes
+	// inside it durable.
+	SyncDir(dir string) error
+}
+
+// File is one open file. Writes land at the handle's current offset
+// (advanced by Write and Seek); ReadAt is offset-independent.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	// Seek repositions the write offset (os.File semantics).
+	Seek(offset int64, whence int) (int64, error)
+	// Truncate cuts the file to size without moving the offset.
+	Truncate(size int64) error
+	// Sync flushes written bytes to durable storage.
+	Sync() error
+	// Close releases the handle. It does NOT imply Sync.
+	Close() error
+}

@@ -1,0 +1,367 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, b []byte) {
+	t.Helper()
+	n, err := f.Write(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+}
+
+func TestMemWriteSyncReadBack(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("/db"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("/db/wal.log", os.O_RDWR|os.O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello "))
+	writeAll(t, f, []byte("world"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("/db/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+	if sz, err := m.Stat("/db/wal.log"); err != nil || sz != 11 {
+		t.Fatalf("stat: %d %v", sz, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemCrashDropsUnsyncedBytes(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("/wal.log", os.O_RDWR|os.O_CREATE)
+	writeAll(t, f, []byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte(" volatile"))
+	m.Crash()
+	got, err := m.ReadFile("/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("after crash got %q, want synced prefix only", got)
+	}
+}
+
+func TestMemCrashDropsNeverSyncedFile(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("/scratch", os.O_RDWR|os.O_CREATE)
+	writeAll(t, f, []byte("gone"))
+	m.Crash()
+	if _, err := m.ReadFile("/scratch"); !os.IsNotExist(err) {
+		t.Fatalf("want not-exist after crash, got %v", err)
+	}
+}
+
+func TestMemFileSyncDurablizesNameBinding(t *testing.T) {
+	// fsync of a newly created file persists the file itself, not just
+	// anonymous bytes (journaling-FS behavior the WAL relies on).
+	m := NewMem()
+	f, _ := m.OpenFile("/wal.log", os.O_RDWR|os.O_CREATE)
+	writeAll(t, f, []byte("x"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got, err := m.ReadFile("/wal.log"); err != nil || string(got) != "x" {
+		t.Fatalf("after crash: %q %v", got, err)
+	}
+}
+
+func TestMemTornRename(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("/a", os.O_RDWR|os.O_CREATE)
+	writeAll(t, f, []byte("old"))
+	f.Sync()
+	f.Close()
+
+	// Rename without SyncDir: live view moves, crash tears it back.
+	if err := m.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("/a"); !os.IsNotExist(err) {
+		t.Fatalf("live /a should be gone, got %v", err)
+	}
+	m.Crash()
+	if got, err := m.ReadFile("/a"); err != nil || string(got) != "old" {
+		t.Fatalf("torn rename should revert: %q %v", got, err)
+	}
+	if _, err := m.ReadFile("/b"); !os.IsNotExist(err) {
+		t.Fatalf("/b should not survive torn rename, got %v", err)
+	}
+
+	// Rename + SyncDir: durable.
+	if err := m.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("/"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := m.ReadFile("/a"); !os.IsNotExist(err) {
+		t.Fatalf("/a should be durably gone, got %v", err)
+	}
+	if got, err := m.ReadFile("/b"); err != nil || string(got) != "old" {
+		t.Fatalf("durable rename lost: %q %v", got, err)
+	}
+}
+
+func TestMemRemoveDurableOnlyAfterSyncDir(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("/a", os.O_RDWR|os.O_CREATE)
+	writeAll(t, f, []byte("x"))
+	f.Sync()
+	f.Close()
+	if err := m.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got, err := m.ReadFile("/a"); err != nil || string(got) != "x" {
+		t.Fatalf("un-dir-synced remove should resurrect: %q %v", got, err)
+	}
+	if err := m.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("/"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := m.ReadFile("/a"); !os.IsNotExist(err) {
+		t.Fatalf("durably removed file came back: %v", err)
+	}
+}
+
+func TestMemTruncateAndReadAt(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("/a", os.O_RDWR|os.O_CREATE)
+	writeAll(t, f, []byte("0123456789"))
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if n, err := f.ReadAt(buf, 0); err != nil && err != io.EOF || n != 4 {
+		t.Fatalf("readat: n=%d err=%v", n, err)
+	}
+	if string(buf) != "0123" {
+		t.Fatalf("got %q", buf)
+	}
+	if _, err := f.ReadAt(buf, 10); err != io.EOF {
+		t.Fatalf("want EOF past end, got %v", err)
+	}
+	if off, err := f.Seek(0, io.SeekEnd); err != nil || off != 4 {
+		t.Fatalf("seek end: %d %v", off, err)
+	}
+}
+
+func TestMemReadDirAndCreateTemp(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/db")
+	f1, p1, err := m.CreateTemp("/db", "ckpt.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.Close()
+	f2, p2, err := m.CreateTemp("/db", "ckpt.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	if p1 == p2 {
+		t.Fatalf("temp names collide: %s", p1)
+	}
+	if filepath.Dir(p1) != "/db" {
+		t.Fatalf("temp outside dir: %s", p1)
+	}
+	names, err := m.ReadDir("/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("readdir: %v", names)
+	}
+}
+
+func TestFaultyRecordThenFailAt(t *testing.T) {
+	mem := NewMem()
+	rec := NewFaulty(mem)
+	rec.Record()
+	run := func(f FS) error {
+		h, err := f.OpenFile("/wal.log", os.O_RDWR|os.O_CREATE)
+		if err != nil {
+			return err
+		}
+		if _, err := h.Write([]byte("abc")); err != nil {
+			return err
+		}
+		if err := h.Sync(); err != nil {
+			return err
+		}
+		return h.Close()
+	}
+	if err := run(rec); err != nil {
+		t.Fatal(err)
+	}
+	trace := rec.Trace()
+	want := []string{"open", "write", "sync", "close"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v", trace)
+	}
+	for i, k := range want {
+		if trace[i].Kind != k {
+			t.Fatalf("trace[%d]=%v want kind %s", i, trace[i], k)
+		}
+	}
+
+	// Fail each site in turn: the op at site k errors with ErrInjected.
+	for k := 1; k <= len(trace); k++ {
+		fi := NewFaulty(NewMem())
+		fi.FailAt(int64(k))
+		err := run(fi)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("site %d: want ErrInjected, got %v", k, err)
+		}
+	}
+}
+
+func TestFaultyOneShotVsSticky(t *testing.T) {
+	mem := NewMem()
+	f := NewFaulty(mem)
+	h, err := f.OpenFile("/a", os.O_RDWR|os.O_CREATE) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.FailAt(2)
+	if err := h.Sync(); !errors.Is(err, ErrInjected) { // op 2: fails once
+		t.Fatalf("want injected, got %v", err)
+	}
+	if err := h.Sync(); err != nil { // op 3: recovered
+		t.Fatalf("one-shot fault should clear: %v", err)
+	}
+
+	g := NewFaulty(NewMem())
+	h2, _ := g.OpenFile("/a", os.O_RDWR|os.O_CREATE) // op 1
+	g.StickyAt(2)
+	if err := h2.Sync(); !errors.Is(err, ErrInjected) { // op 2
+		t.Fatalf("want injected, got %v", err)
+	}
+	if err := h2.Sync(); !errors.Is(err, ErrInjected) { // op 3: still failing
+		t.Fatalf("sticky fault should persist: %v", err)
+	}
+	if _, err := h2.Write([]byte("x")); err != nil { // different kind: fine
+		t.Fatalf("sticky is per (kind,path): %v", err)
+	}
+}
+
+func TestFaultyCrashAt(t *testing.T) {
+	f := NewFaulty(NewMem())
+	h, _ := f.OpenFile("/a", os.O_RDWR|os.O_CREATE) // op 1
+	f.CrashAt(2)
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrCrashed) { // op 2
+		t.Fatalf("want crashed, got %v", err)
+	}
+	if err := h.Sync(); !errors.Is(err, ErrCrashed) { // everything after dies
+		t.Fatalf("want crashed, got %v", err)
+	}
+	if _, err := f.ReadFile("/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crashed, got %v", err)
+	}
+}
+
+func TestFaultyShortWrite(t *testing.T) {
+	mem := NewMem()
+	f := NewFaulty(mem)
+	h, _ := f.OpenFile("/a", os.O_RDWR|os.O_CREATE) // op 1
+	f.FailAt(2)
+	f.ShortWrite(3)
+	n, err := h.Write([]byte("abcdef")) // op 2: 3 bytes land, then error
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	got, err := mem.ReadFile("/a")
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("inner content %q %v", got, err)
+	}
+}
+
+func TestFaultyWriteBudgetENOSPC(t *testing.T) {
+	mem := NewMem()
+	f := NewFaulty(mem)
+	f.SetWriteBudget(5)
+	h, _ := f.OpenFile("/a", os.O_RDWR|os.O_CREATE)
+	if _, err := h.Write([]byte("abc")); err != nil { // 3 of 5
+		t.Fatal(err)
+	}
+	n, err := h.Write([]byte("defg")) // crosses: 2 fit, then ENOSPC
+	if !errors.Is(err, ErrNoSpace) || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if _, err := h.Write([]byte("h")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("disk should stay full: %v", err)
+	}
+	got, _ := mem.ReadFile("/a")
+	if string(got) != "abcde" {
+		t.Fatalf("prefix %q", got)
+	}
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var f OS
+	if err := f.MkdirAll(filepath.Join(dir, "db")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "db", "wal.log")
+	h, err := f.OpenFile(path, os.O_RDWR|os.O_CREATE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, h, []byte("payload"))
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("%q %v", got, err)
+	}
+	names, err := f.ReadDir(filepath.Join(dir, "db"))
+	if err != nil || len(names) != 1 || names[0] != "wal.log" {
+		t.Fatalf("%v %v", names, err)
+	}
+	tmp, tmpPath, err := f.CreateTemp(filepath.Join(dir, "db"), "x.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+	if err := f.Rename(tmpPath, filepath.Join(dir, "db", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir(filepath.Join(dir, "db")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove(filepath.Join(dir, "db", "x")); err != nil {
+		t.Fatal(err)
+	}
+}

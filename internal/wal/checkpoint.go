@@ -11,7 +11,6 @@ package wal
 import (
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -20,6 +19,7 @@ import (
 	"github.com/aplusdb/aplus/internal/enc"
 	"github.com/aplusdb/aplus/internal/index"
 	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/vfs"
 )
 
 const (
@@ -40,14 +40,13 @@ func ckptName(epoch uint64) string { return fmt.Sprintf("%s%016d", ckptPrefix, e
 
 // listCheckpoints returns the checkpoint files in dir, newest epoch first.
 // Quarantined (.corrupt) and temp files are ignored.
-func listCheckpoints(dir string) ([]ckptInfo, error) {
-	ents, err := os.ReadDir(dir)
+func listCheckpoints(fs vfs.FS, dir string) ([]ckptInfo, error) {
+	names, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var out []ckptInfo
-	for _, ent := range ents {
-		name := ent.Name()
+	for _, name := range names {
 		if !strings.HasPrefix(name, ckptPrefix) || strings.Contains(name, ".") {
 			continue
 		}
@@ -82,8 +81,8 @@ func encodeCheckpoint(seq, epoch uint64, g *storage.Graph, st *index.Store) []by
 // failure — quarantine it and fall back) from a transient read error
 // (permissions, I/O): quarantining on the latter would hide a perfectly
 // good image forever, so such errors must propagate instead.
-func loadCheckpoint(path string) (g *storage.Graph, st *index.Store, seq, epoch uint64, damaged bool, err error) {
-	data, err := os.ReadFile(path)
+func loadCheckpoint(fs vfs.FS, path string) (g *storage.Graph, st *index.Store, seq, epoch uint64, damaged bool, err error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, nil, 0, 0, false, err
 	}
@@ -120,7 +119,16 @@ func loadCheckpoint(path string) (g *storage.Graph, st *index.Store, seq, epoch 
 }
 
 // quarantine renames a corrupt checkpoint aside so it is never retried but
-// remains available for inspection.
-func quarantine(dir, name string) {
-	_ = os.Rename(filepath.Join(dir, name), filepath.Join(dir, name+".corrupt"))
+// remains available for inspection, and (in fsync mode) makes the rename
+// durable so the file cannot reappear under its original name after a
+// crash. The error is the caller's to surface — swallowing it would hide
+// that the corrupt file will be re-detected on every open.
+func quarantine(fs vfs.FS, dir, name string, fsync bool) error {
+	if err := fs.Rename(filepath.Join(dir, name), filepath.Join(dir, name+".corrupt")); err != nil {
+		return err
+	}
+	if fsync {
+		return fs.SyncDir(dir)
+	}
+	return nil
 }

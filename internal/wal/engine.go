@@ -12,6 +12,7 @@ import (
 	"github.com/aplusdb/aplus/internal/index"
 	"github.com/aplusdb/aplus/internal/snap"
 	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/vfs"
 )
 
 // WALFile is the name of the write-ahead log inside a database directory.
@@ -28,6 +29,7 @@ var ErrClosed = errors.New("wal: engine is closed")
 type Engine struct {
 	dir   string
 	fsync bool
+	fs    vfs.FS
 
 	// mu guards the log handle, lastDiskSeq, the retained-checkpoint
 	// bookkeeping, and closed.
@@ -59,6 +61,15 @@ type Engine struct {
 	tailBytes atomic.Int64
 	ckptErr   atomic.Pointer[string]
 	ckptBytes atomic.Int64
+
+	// degraded, once set, holds the cause of the WAL poisoning: every
+	// later Append fails fast with ErrDegraded and checkpointing is
+	// suppressed (no truncation over untrusted state). Never cleared —
+	// recovery is a restart.
+	degraded atomic.Pointer[string]
+	// walErr is the most recent append failure of any kind (ENOSPC,
+	// injected fault, fsync), for observability.
+	walErr atomic.Pointer[string]
 }
 
 // Recovered is the durable state found in a database directory at open: the
@@ -79,20 +90,24 @@ type Recovered struct {
 // .corrupt and falling back to the previous — scans the WAL, discards a
 // torn tail, and returns the engine plus the recovered state. fsync
 // disables nothing but the per-operation fsync calls (tests and benchmarks
-// of the non-durability costs set it false).
-func Open(dir string, fsync bool) (*Engine, *Recovered, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// of the non-durability costs set it false). fs selects the filesystem;
+// nil means the real one (vfs.OS).
+func Open(dir string, fsync bool, fs vfs.FS) (*Engine, *Recovered, error) {
+	if fs == nil {
+		fs = vfs.OS{}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, nil, err
 	}
-	e := &Engine{dir: dir, fsync: fsync}
+	e := &Engine{dir: dir, fsync: fsync, fs: fs}
 	rec := &Recovered{}
 
-	ckpts, err := listCheckpoints(dir)
+	ckpts, err := listCheckpoints(fs, dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, ci := range ckpts {
-		g, st, seq, epoch, damaged, err := loadCheckpoint(filepath.Join(dir, ci.name))
+		g, st, seq, epoch, damaged, err := loadCheckpoint(fs, filepath.Join(dir, ci.name))
 		if err != nil {
 			if !damaged {
 				// A read error, not bad content (permissions, I/O): the
@@ -102,14 +117,18 @@ func Open(dir string, fsync bool) (*Engine, *Recovered, error) {
 			}
 			// Quarantine and fall back to the previous checkpoint; the WAL
 			// retains the records covering it (truncation always keeps the
-			// suffix past the second-newest checkpoint).
-			quarantine(dir, ci.name)
+			// suffix past the second-newest checkpoint). A failed
+			// quarantine rename leaves the corrupt file in place — harmless
+			// for recovery (it stays skipped) but worth surfacing.
+			if qerr := quarantine(fs, dir, ci.name, fsync); qerr != nil {
+				msg := fmt.Sprintf("quarantine %s: %v", ci.name, qerr)
+				e.ckptErr.Store(&msg)
+			}
 			continue
 		}
 		ci.seq = seq
-		fi, statErr := os.Stat(filepath.Join(dir, ci.name))
-		if statErr == nil {
-			ci.bytes = fi.Size()
+		if sz, statErr := fs.Stat(filepath.Join(dir, ci.name)); statErr == nil {
+			ci.bytes = sz
 		}
 		e.hasCkpt = true
 		e.curCkpt = ci
@@ -119,9 +138,13 @@ func Open(dir string, fsync bool) (*Engine, *Recovered, error) {
 	}
 
 	walPath := filepath.Join(dir, WALFile)
-	buf, err := os.ReadFile(walPath)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, err
+	buf, err := fs.ReadFile(walPath)
+	created := false
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, nil, err
+		}
+		created = true
 	}
 	payloads, validSize := scanFrames(buf)
 	if int64(len(buf)) > validSize && hasLaterValidFrame(buf[validSize:]) {
@@ -150,9 +173,18 @@ func Open(dir string, fsync bool) (*Engine, *Recovered, error) {
 		return nil, nil, fmt.Errorf("wal: %s starts at record %d but the checkpoint covers only up to %d",
 			walPath, records[0].Seq, rec.Seq)
 	}
-	e.log, err = openLog(walPath, validSize, fsync)
+	e.log, err = openLog(fs, walPath, validSize, fsync)
 	if err != nil {
 		return nil, nil, err
+	}
+	if created && fsync {
+		// The log file was just created: persist its directory entry now,
+		// or the first crash could lose the whole (fsync-acknowledged) log
+		// by losing its name.
+		if err := fs.SyncDir(dir); err != nil {
+			e.log.close()
+			return nil, nil, err
+		}
 	}
 	if int64(len(buf)) > validSize {
 		// Discard the torn tail on disk so the next append starts clean.
@@ -185,6 +217,12 @@ func (e *Engine) SetReady() { e.ready.Store(true) }
 // Records already on disk (recovery replaying the tail re-commits them
 // through the same path) are recognized by their sequence number and
 // skipped, which makes replay idempotent by construction.
+//
+// A failed fsync degrades the engine: the failing append (and every one
+// after it) returns an error wrapping ErrDegraded, and no checkpoint or
+// truncation is taken over the untrusted state. A failed write that
+// truncates back cleanly does not degrade — the valid prefix stands and a
+// later commit may succeed.
 func (e *Engine) Append(rec snap.Record) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -194,11 +232,21 @@ func (e *Engine) Append(rec snap.Record) error {
 	if e.closed {
 		return ErrClosed
 	}
+	if cause := e.degraded.Load(); cause != nil {
+		return fmt.Errorf("%w (cause: %s)", ErrDegraded, *cause)
+	}
 	if rec.Seq != e.lastDiskSeq+1 {
 		return fmt.Errorf("wal: append of record %d would leave a gap after %d", rec.Seq, e.lastDiskSeq)
 	}
 	prevSize := e.log.size
 	if err := e.log.append(encodeRecord(rec)); err != nil {
+		msg := err.Error()
+		e.walErr.Store(&msg)
+		if e.log.poison != nil {
+			cause := e.log.poison.Error()
+			e.degraded.Store(&cause)
+			return errors.Join(ErrDegraded, err)
+		}
 		return err
 	}
 	e.lastDiskSeq = rec.Seq
@@ -207,14 +255,27 @@ func (e *Engine) Append(rec snap.Record) error {
 	return nil
 }
 
+// Degraded reports whether the WAL has been poisoned, and the cause.
+func (e *Engine) Degraded() (bool, string) {
+	if cause := e.degraded.Load(); cause != nil {
+		return true, *cause
+	}
+	return false, ""
+}
+
 // CheckpointSnapshot serializes a frozen snapshot to checkpoint-<epoch>,
 // retires checkpoints beyond the newest two, and truncates the WAL prefix
 // the retained pair no longer needs. Snapshots with a non-empty delta or
-// nothing new since the last checkpoint are skipped. Heavy work (encoding,
-// file write) runs without blocking appends; only the WAL rewrite briefly
-// excludes them. The outcome is mirrored into Stats().LastCheckpointError.
+// nothing new since the last checkpoint are skipped, as is everything once
+// the engine is degraded (no new files or truncation over untrusted
+// state). Heavy work (encoding, file write) runs without blocking appends;
+// only the WAL rewrite briefly excludes them. The outcome is mirrored into
+// Stats().LastCheckpointError.
 func (e *Engine) CheckpointSnapshot(s *snap.Snapshot) error {
 	if !e.ready.Load() {
+		return nil
+	}
+	if e.degraded.Load() != nil {
 		return nil
 	}
 	if !s.Delta().Empty() {
@@ -241,7 +302,7 @@ func (e *Engine) CheckpointSnapshot(s *snap.Snapshot) error {
 func (e *Engine) checkpoint(s *snap.Snapshot) error {
 	data := encodeCheckpoint(s.Seq(), s.Epoch(), s.Graph(), s.Store())
 	name := ckptName(s.Epoch())
-	if err := writeFileAtomic(e.dir, name, data, e.fsync); err != nil {
+	if err := writeFileAtomic(e.fs, e.dir, name, data, e.fsync); err != nil {
 		return err
 	}
 
@@ -272,9 +333,14 @@ func (e *Engine) checkpoint(s *snap.Snapshot) error {
 	}
 	e.mu.Unlock()
 
-	// Retire checkpoints beyond the newest two (best-effort; stray files
-	// are harmless and cleaned up next time).
-	if all, err := listCheckpoints(e.dir); err == nil {
+	// Retire checkpoints beyond the newest two. Stray files are harmless
+	// for recovery (they are never selected over newer valid checkpoints),
+	// but a failure here means disk is not being reclaimed — surface it so
+	// the merger retries and Stats shows it.
+	var retireErr error
+	if all, listErr := listCheckpoints(e.fs, e.dir); listErr != nil {
+		retireErr = listErr
+	} else {
 		keep := map[string]bool{e.curCkpt.name: true}
 		if hadPrev {
 			keep[prev.name] = true
@@ -282,23 +348,27 @@ func (e *Engine) checkpoint(s *snap.Snapshot) error {
 		removed := false
 		for _, ci := range all {
 			if !keep[ci.name] {
-				if os.Remove(filepath.Join(e.dir, ci.name)) == nil {
+				if rmErr := e.fs.Remove(filepath.Join(e.dir, ci.name)); rmErr != nil {
+					retireErr = errors.Join(retireErr, rmErr)
+				} else {
 					removed = true
 				}
 			}
 		}
 		if removed && e.fsync {
-			_ = syncDir(e.dir)
+			if sdErr := e.fs.SyncDir(e.dir); sdErr != nil {
+				retireErr = errors.Join(retireErr, sdErr)
+			}
 		}
 	}
-	return truncErr
+	return errors.Join(truncErr, retireErr)
 }
 
 // truncateWALLocked rewrites the log keeping only records with sequence
 // numbers past cutoff. Callers hold e.mu, so no append can interleave.
 func (e *Engine) truncateWALLocked(cutoff uint64) error {
 	path := filepath.Join(e.dir, WALFile)
-	buf, err := os.ReadFile(path)
+	buf, err := e.fs.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -325,11 +395,22 @@ func (e *Engine) truncateWALLocked(cutoff uint64) error {
 		e.reopenLogLocked(prevSize)
 		return err
 	}
-	if err := writeFileAtomic(e.dir, WALFile, w, e.fsync); err != nil {
-		// The rename never happened: the original log is intact; reopen it
-		// so appends keep working and the truncation is retried at the
-		// next checkpoint.
-		e.reopenLogLocked(prevSize)
+	if err := writeFileAtomic(e.fs, e.dir, WALFile, w, e.fsync); err != nil {
+		// The failure struck either before the rename (the original log is
+		// intact at prevSize) or at the directory sync just after it (the
+		// truncated log is live but its name not yet durable — a crash may
+		// resurface the original, which the checkpoints also cover). Either
+		// way the live file ends on a record boundary: size it and reopen
+		// there, so appends continue at the right offset and the truncation
+		// is retried at the next checkpoint. Reopening at a guessed size
+		// after the rename landed would leave a hole of zeros that reads
+		// back as mid-log corruption.
+		size := prevSize
+		if sz, serr := e.fs.Stat(path); serr == nil {
+			size = sz
+		}
+		e.walBytes.Store(size)
+		e.reopenLogLocked(size)
 		return err
 	}
 	e.walBytes.Store(int64(len(w)))
@@ -344,7 +425,7 @@ func (e *Engine) truncateWALLocked(cutoff uint64) error {
 // size after the handle was closed; on failure the closed handle stays in
 // place and appends keep failing (the on-disk state is still consistent).
 func (e *Engine) reopenLogLocked(size int64) {
-	if nl, err := openLog(filepath.Join(e.dir, WALFile), size, e.fsync); err == nil {
+	if nl, err := openLog(e.fs, filepath.Join(e.dir, WALFile), size, e.fsync); err == nil {
 		e.log = nl
 	}
 }
@@ -374,6 +455,14 @@ type Stats struct {
 	// the last attempt succeeded). A persistent value means the WAL cannot
 	// currently be truncated and will keep growing.
 	LastCheckpointError string
+	// Degraded reports that a failed WAL fsync poisoned the log: writes
+	// fail fast with ErrDegraded, reads keep serving, and DegradedCause
+	// holds the original failure. Cleared only by reopening the database.
+	Degraded      bool
+	DegradedCause string
+	// LastWALError is the most recent append failure of any kind ("" if
+	// none) — set also for non-degrading failures like a full disk.
+	LastWALError string
 }
 
 // Stats reports durability counters.
@@ -391,11 +480,19 @@ func (e *Engine) Stats() Stats {
 	if msg := e.ckptErr.Load(); msg != nil {
 		st.LastCheckpointError = *msg
 	}
+	if cause := e.degraded.Load(); cause != nil {
+		st.Degraded = true
+		st.DegradedCause = *cause
+	}
+	if msg := e.walErr.Load(); msg != nil {
+		st.LastWALError = *msg
+	}
 	return st
 }
 
-// Close syncs and closes the log. Further appends fail with ErrClosed;
-// checkpoint attempts become no-ops.
+// Close syncs and closes the log (degraded engines skip the sync — the
+// state past the last acknowledged commit is untrusted either way).
+// Further appends fail with ErrClosed; checkpoint attempts become no-ops.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()

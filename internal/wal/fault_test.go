@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/snap"
+	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/vfs"
+)
+
+func testRecord(seq uint64) snap.Record {
+	return snap.Record{Seq: seq, Ops: []snap.LoggedOp{
+		{Kind: snap.OpAddVertex, Label: "V", V: storage.VertexID(seq)},
+	}}
+}
+
+// A full disk mid-append must leave a valid prefix: the failed commit is
+// invisible, the engine is NOT degraded, and reopening recovers every
+// prior commit — whether the process reopens directly or the machine
+// crashes first.
+func TestAppendENOSPCLeavesValidPrefix(t *testing.T) {
+	mem := vfs.NewMem()
+	fi := vfs.NewFaulty(mem)
+	e, _, err := Open("/db", true, fi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := e.Append(testRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodBytes := e.Stats().WALBytes
+
+	// Exhaust the remaining budget so the 4th append's write fails.
+	fi.SetWriteBudget(4)
+	err = e.Append(testRecord(4))
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if errors.Is(err, ErrDegraded) {
+		t.Fatal("a clean ENOSPC truncate-back must not degrade the engine")
+	}
+	st := e.Stats()
+	if st.Degraded {
+		t.Fatalf("degraded after ENOSPC: %+v", st)
+	}
+	if st.LastWALError == "" {
+		t.Fatal("LastWALError not recorded")
+	}
+	if st.WALBytes != goodBytes {
+		t.Fatalf("wal bytes %d after failed append, want %d", st.WALBytes, goodBytes)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct reopen: the partial frame was truncated away, the prefix is
+	// intact, and — disk space permitting — commits continue.
+	e2, rec, err := Open("/db", true, vfs.NewFaulty(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(rec.Tail))
+	}
+	if err := e2.Append(testRecord(4)); err != nil {
+		t.Fatalf("append after space freed: %v", err)
+	}
+	e2.Close()
+
+	// Machine crash after the ENOSPC: the synced prefix is the same 3
+	// records plus the retried 4th (each append fsyncs).
+	mem.Crash()
+	e3, rec3, err := Open("/db", true, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	if len(rec3.Tail) != 4 {
+		t.Fatalf("recovered %d records after crash, want 4", len(rec3.Tail))
+	}
+}
+
+// A single failed fsync must poison the engine permanently — even though
+// the very next fsync would succeed — because the page cache's state after
+// a failed fsync is unknown (fsyncgate). The failing commit and every
+// later one report ErrDegraded; a crash+reopen recovers exactly the
+// acknowledged commits.
+func TestOneShotFsyncFailurePoisonsPermanently(t *testing.T) {
+	mem := vfs.NewMem()
+	fi := vfs.NewFaulty(mem)
+	e, _, err := Open("/db", true, fi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := e.Append(testRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The next append issues exactly [write, sync]: fail the sync, once.
+	fi.FailAt(fi.OpCount() + 2)
+	err = e.Append(testRecord(3))
+	if !errors.Is(err, ErrDegraded) || !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("want ErrDegraded wrapping the injected fault, got %v", err)
+	}
+	st := e.Stats()
+	if !st.Degraded || st.DegradedCause == "" {
+		t.Fatalf("stats not degraded: %+v", st)
+	}
+
+	// The fault was one-shot — a retried fsync would "succeed" — but the
+	// engine must refuse to trust it.
+	for seq := uint64(3); seq <= 5; seq++ {
+		if err := e.Append(testRecord(seq)); !errors.Is(err, ErrDegraded) {
+			t.Fatalf("append %d after poison: want ErrDegraded, got %v", seq, err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and recover: exactly the two acknowledged commits survive.
+	mem.Crash()
+	e2, rec, err := Open("/db", true, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if len(rec.Tail) != 2 {
+		t.Fatalf("recovered %d records, want the 2 acknowledged", len(rec.Tail))
+	}
+	if rec.Tail[len(rec.Tail)-1].Seq != 2 {
+		t.Fatalf("last recovered seq %d, want 2", rec.Tail[len(rec.Tail)-1].Seq)
+	}
+	st2 := e2.Stats()
+	if st2.Degraded {
+		t.Fatal("reopen must clear degraded mode")
+	}
+}
+
+// A checkpoint-path fault is non-fatal: CheckpointSnapshot returns the
+// error (for the merger's retry loop), records it in Stats, and appends
+// keep working; the retry succeeds once the fault clears.
+func TestCheckpointFaultIsNonFatalAndRetries(t *testing.T) {
+	mem := vfs.NewMem()
+	fi := vfs.NewFaulty(mem)
+	dir := "/db"
+	m, e := buildDurableManagerFS(t, dir, 8, fi)
+	defer m.Close()
+	defer e.Close()
+
+	commitEdges(t, m, 5) // below threshold: delta pending, no fold yet
+
+	// Fail the checkpoint temp file's first write, persistently, then
+	// trigger the fold (SyncMerge: runs inline, AfterFold included).
+	fi.StickyAt(fi.OpCount() + 2) // ckpt ops: [create, write, ...]
+	if err := m.Merge(); err != nil {
+		t.Fatalf("fold itself must succeed: %v", err)
+	}
+	if e.Stats().LastCheckpointError == "" {
+		t.Fatal("checkpoint fault not recorded in Stats")
+	}
+
+	// Appends unaffected.
+	commitEdges(t, m, 2)
+
+	// Retry once the disk heals: a fresh temp file has a different path,
+	// so the sticky fault does not match, and the checkpoint lands.
+	if err := m.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.LastCheckpointError != "" {
+		t.Fatalf("retry did not clear the error: %s", st.LastCheckpointError)
+	}
+	if st.CheckpointSeq == 0 {
+		t.Fatal("no checkpoint written after retry")
+	}
+}
+
+// buildDurableManagerFS is buildDurableManager over an explicit VFS.
+func buildDurableManagerFS(t *testing.T, dir string, threshold int, fs vfs.FS) (*snap.Manager, *Engine) {
+	t.Helper()
+	e, rec, err := Open(dir, true, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Store != nil || len(rec.Tail) > 0 {
+		t.Fatal("expected an empty directory")
+	}
+	m, err := snap.NewManager(storage.NewGraph(), index.DefaultConfig(), snap.Options{
+		MergeThreshold: threshold,
+		SyncMerge:      true,
+		WALAppend:      e.Append,
+		AfterFold:      e.CheckpointSnapshot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetReady()
+	return m, e
+}

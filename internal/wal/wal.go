@@ -13,15 +13,46 @@
 // loads the newest valid checkpoint (quarantining corrupt ones and falling
 // back to the previous), replays the WAL tail as ordinary commits, and
 // tolerates a torn final record by discarding it.
+//
+// All disk access goes through a vfs.FS (vfs.OS by default), so the same
+// code runs under the fault injector (vfs.Faulty) and the crash simulator
+// (vfs.Mem). Failure semantics are asymmetric by design:
+//
+//   - A failed WAL fsync POISONS the log. After fsync fails, the page
+//     cache is in an unknown state — the kernel may have dropped the dirty
+//     pages while leaving them marked clean — so retrying the fsync and
+//     trusting a later success would silently lose the commit (the classic
+//     "fsyncgate" bug). The failing commit reports an error wrapping
+//     ErrDegraded, every later Append fails fast with ErrDegraded, and no
+//     further checkpoint or truncation is taken over the untrusted state.
+//     Reads keep serving published snapshots; recovery is a restart.
+//   - A failed write (ENOSPC, injected fault) does NOT poison: the log
+//     truncates back to the last record boundary, the valid prefix stays
+//     durable, and later commits may succeed. Only if that truncation
+//     itself fails — the file may carry a mid-file hole — does the log
+//     poison.
+//   - Checkpoint and truncation failures are non-fatal: they surface
+//     through Stats.LastCheckpointError and the caller (the snapshot
+//     merger) retries with backoff while the delta overlay keeps serving.
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+
+	"github.com/aplusdb/aplus/internal/vfs"
 )
+
+// ErrDegraded is reported (wrapped) by every write after the write-ahead
+// log has been poisoned by a failed fsync. The database keeps serving
+// reads from published snapshots; writes fail fast until the process
+// restarts and recovers from the durable prefix.
+var ErrDegraded = errors.New("wal: write-ahead log is poisoned; database is in degraded read-only mode")
 
 // castagnoli is the CRC-32C table used for record and checkpoint framing.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -47,18 +78,23 @@ func appendFrame(dst, payload []byte) []byte {
 
 // log is an append-only file of framed records.
 type log struct {
-	f     *os.File
+	fs    vfs.FS
+	f     vfs.File
 	path  string
 	size  int64
 	fsync bool
+	// poison, once set, fails every later append: the on-disk state past
+	// size can no longer be trusted (failed fsync, or failed truncate-back
+	// after a short write).
+	poison error
 	// scratch is the reusable frame buffer, so each append is one write.
 	scratch []byte
 }
 
 // openLog opens (creating if needed) the log file for appending at size.
 // The caller has already scanned the file and truncated any torn tail.
-func openLog(path string, size int64, fsync bool) (*log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openLog(fs vfs.FS, path string, size int64, fsync bool) (*log, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE)
 	if err != nil {
 		return nil, err
 	}
@@ -66,21 +102,36 @@ func openLog(path string, size int64, fsync bool) (*log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &log{f: f, path: path, size: size, fsync: fsync}, nil
+	return &log{fs: fs, f: f, path: path, size: size, fsync: fsync}, nil
 }
 
 // append frames payload and writes it, syncing when the log is in fsync
-// mode. On a short write the log attempts to truncate back to the last
-// record boundary so the file never carries a mid-file hole.
+// mode.
+//
+// A failed write truncates back to the last record boundary so the file
+// never carries a mid-file hole; the log stays healthy and a later append
+// may succeed. A failed sync poisons the log permanently — see the
+// package comment for why retrying fsync over dirty state is unsound.
 func (l *log) append(payload []byte) error {
+	if l.poison != nil {
+		return l.poison
+	}
+	if l.f == nil {
+		// A truncation closed the handle and the reopen failed; the on-disk
+		// prefix is consistent, and the next successful checkpoint's
+		// truncation pass reopens the log.
+		return fmt.Errorf("wal: log file handle is closed (reopen after truncation failed)")
+	}
 	l.scratch = appendFrame(l.scratch[:0], payload)
 	if _, err := l.f.Write(l.scratch); err != nil {
-		l.rewind()
+		if rerr := l.rewind(); rerr != nil {
+			l.poison = fmt.Errorf("wal: truncate to record boundary after failed write: %w", rerr)
+		}
 		return err
 	}
 	if l.fsync {
 		if err := l.f.Sync(); err != nil {
-			l.rewind()
+			l.poison = fmt.Errorf("wal: fsync failed: %w", err)
 			return err
 		}
 	}
@@ -88,11 +139,16 @@ func (l *log) append(payload []byte) error {
 	return nil
 }
 
-// rewind restores the file offset (and length, best-effort) to the last
-// durable record boundary after a failed append.
-func (l *log) rewind() {
-	_ = l.f.Truncate(l.size)
-	_, _ = l.f.Seek(l.size, io.SeekStart)
+// rewind restores the file length and offset to the last durable record
+// boundary after a failed write.
+func (l *log) rewind() error {
+	if err := l.f.Truncate(l.size); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
 }
 
 func (l *log) sync() error {
@@ -102,11 +158,17 @@ func (l *log) sync() error {
 	return l.f.Sync()
 }
 
+// close syncs (unless poisoned — nothing since the last per-append sync is
+// trusted anyway, and fsync over unknown state proves nothing) and closes
+// the file.
 func (l *log) close() error {
 	if l.f == nil {
 		return nil
 	}
-	err := l.f.Sync()
+	var err error
+	if l.poison == nil {
+		err = l.f.Sync()
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
@@ -161,31 +223,17 @@ func hasLaterValidFrame(buf []byte) bool {
 	return false
 }
 
-// syncDir fsyncs a directory so renames and unlinks within it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
 // writeFileAtomic writes data to path via a same-directory temp file with
 // fsync-then-rename, and syncs the directory, so a crash leaves either the
 // old file or the complete new one.
-func writeFileAtomic(dir, name string, data []byte, fsync bool) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+func writeFileAtomic(fs vfs.FS, dir, name string, data []byte, fsync bool) error {
+	tmp, tmpName, err := fs.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return err
 	}
-	tmpName := tmp.Name()
 	cleanup := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fs.Remove(tmpName)
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
@@ -199,12 +247,12 @@ func writeFileAtomic(dir, name string, data []byte, fsync bool) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("wal: close %s: %w", tmpName, err)
 	}
-	if err := os.Rename(tmpName, dir+string(os.PathSeparator)+name); err != nil {
-		os.Remove(tmpName)
+	if err := fs.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		fs.Remove(tmpName)
 		return err
 	}
 	if fsync {
-		return syncDir(dir)
+		return fs.SyncDir(dir)
 	}
 	return nil
 }

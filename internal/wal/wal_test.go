@@ -9,6 +9,7 @@ import (
 	"github.com/aplusdb/aplus/internal/pred"
 	"github.com/aplusdb/aplus/internal/snap"
 	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/vfs"
 )
 
 func TestRecordCodecRoundTrip(t *testing.T) {
@@ -83,7 +84,7 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 // records with sequence numbers start+1..start+n.
 func appendRecords(t *testing.T, dir string, start uint64, n int) {
 	t.Helper()
-	e, _, err := Open(dir, true)
+	e, _, err := Open(dir, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestEngineAppendAndReopen(t *testing.T) {
 	dir := t.TempDir()
 	appendRecords(t, dir, 0, 5)
 
-	e, rec, err := Open(dir, true)
+	e, rec, err := Open(dir, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestEngineTornTailSweep(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(sub, WALFile), full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		e, rec, err := Open(sub, true)
+		e, rec, err := Open(sub, true, nil)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
@@ -179,7 +180,7 @@ func TestEngineTornTailSweep(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(sub, WALFile), bad, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Open(sub, true); err == nil {
+	if _, _, err := Open(sub, true, nil); err == nil {
 		t.Fatal("mid-log corruption with durable records after it must fail the open")
 	}
 	// Corrupting the *final* record with no valid frames after it is
@@ -190,7 +191,7 @@ func TestEngineTornTailSweep(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(sub2, WALFile), bad, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	e, rec, err := Open(sub2, true)
+	e, rec, err := Open(sub2, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestEngineTornTailSweep(t *testing.T) {
 // graph, the way aplus.Open does.
 func buildDurableManager(t *testing.T, dir string, threshold int) (*snap.Manager, *Engine) {
 	t.Helper()
-	e, rec, err := Open(dir, true)
+	e, rec, err := Open(dir, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func buildDurableManager(t *testing.T, dir string, threshold int) (*snap.Manager
 		WALAppend:      e.Append,
 		StartSeq:       rec.Seq,
 		StartEpoch:     rec.Epoch,
-		AfterFold:      func(s *snap.Snapshot) { _ = e.CheckpointSnapshot(s) },
+		AfterFold:      e.CheckpointSnapshot,
 	}
 	if rec.Store != nil {
 		m = snap.NewManagerFromStore(rec.Store, rec.Graph, opts)
@@ -326,7 +327,7 @@ func TestEngineCheckpointTruncateAndFallback(t *testing.T) {
 	if st.LastCheckpointError != "" {
 		t.Fatalf("checkpoint error: %s", st.LastCheckpointError)
 	}
-	ckpts, err := listCheckpoints(dir)
+	ckpts, err := listCheckpoints(vfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +350,7 @@ func TestEngineCheckpointTruncateAndFallback(t *testing.T) {
 
 	// Corrupt the newest checkpoint: open must quarantine it, fall back to
 	// the previous one, and replay the WAL suffix to the same state.
-	ckpts, _ = listCheckpoints(dir)
+	ckpts, _ = listCheckpoints(vfs.OS{}, dir)
 	newest := filepath.Join(dir, ckpts[0].name)
 	data, err := os.ReadFile(newest)
 	if err != nil {
@@ -372,7 +373,7 @@ func TestEngineCheckpointTruncateAndFallback(t *testing.T) {
 	// Both checkpoints corrupt: recovery falls back to a full WAL replay
 	// only if the log still covers everything — here it does not (it was
 	// truncated), so Open must fail loudly instead of silently losing data.
-	ckpts, _ = listCheckpoints(dir)
+	ckpts, _ = listCheckpoints(vfs.OS{}, dir)
 	for _, ci := range ckpts {
 		p := filepath.Join(dir, ci.name)
 		data, err := os.ReadFile(p)
@@ -384,7 +385,7 @@ func TestEngineCheckpointTruncateAndFallback(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := Open(dir, true); err == nil {
+	if _, _, err := Open(dir, true, nil); err == nil {
 		t.Fatal("open with no usable checkpoint and a truncated WAL must fail")
 	}
 }

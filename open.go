@@ -13,15 +13,26 @@ package aplus
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/aplusdb/aplus/internal/index"
 	"github.com/aplusdb/aplus/internal/snap"
 	"github.com/aplusdb/aplus/internal/storage"
+	"github.com/aplusdb/aplus/internal/vfs"
 	"github.com/aplusdb/aplus/internal/wal"
 )
 
 // ErrClosed is returned by every read and write entry point after Close.
 var ErrClosed = errors.New("aplus: database is closed")
+
+// ErrDegraded is reported (wrapped) by every write after a failed WAL
+// fsync has poisoned the log. The database stays up in degraded read-only
+// mode — reads keep serving the last published snapshot — but no further
+// write can be made durable, so all of them fail fast with this error
+// until the process reopens the database and recovers from the durable
+// prefix. Match with errors.Is; Stats().Degraded and DegradedCause carry
+// the details.
+var ErrDegraded = wal.ErrDegraded
 
 // OpenOptions tune a durable database at open time.
 type OpenOptions struct {
@@ -42,6 +53,14 @@ type OpenOptions struct {
 	// accumulate, and the checkpoint that follows re-covers the tail —
 	// capping what recovery has to replay (0 = snap.DefaultFoldWALBytes).
 	FoldWALBytes int64
+	// VFS selects the filesystem the durability stack runs on. nil means
+	// the real one (vfs.OS). Tests and the fault-sweep harness pass
+	// vfs.NewMem() or a vfs.Faulty wrapper to script crashes and faults.
+	VFS vfs.FS
+	// RetryBackoff is the initial delay between background retries of a
+	// failed fold or checkpoint (0 = snap.DefaultRetryBackoff). Each
+	// failure doubles it, capped at 50x, with jitter.
+	RetryBackoff time.Duration
 }
 
 // Open opens (creating if necessary) a durable database in dir with
@@ -56,7 +75,7 @@ func Open(dir string) (*DB, error) { return OpenOptions{}.Open(dir) }
 // directory; the same directory must not be opened by two live DBs at
 // once.
 func (o OpenOptions) Open(dir string) (*DB, error) {
-	eng, rec, err := wal.Open(dir, !o.NoFsync)
+	eng, rec, err := wal.Open(dir, !o.NoFsync, o.VFS)
 	if err != nil {
 		return nil, err
 	}
@@ -67,13 +86,16 @@ func (o OpenOptions) Open(dir string) (*DB, error) {
 		WALAppend:      eng.Append,
 		WALTailBytes:   eng.WALTailBytes,
 		FoldWALBytes:   o.FoldWALBytes,
+		RetryBackoff:   o.RetryBackoff,
 		StartSeq:       rec.Seq,
 		StartEpoch:     rec.Epoch,
 		// Checkpointing: after every successful fold, serialize the fold's
 		// delta-free snapshot and truncate the WAL behind it. The engine
 		// skips the call until SetReady (no checkpoints of half-replayed
-		// state) and records failures for Stats().LastCheckpointError.
-		AfterFold: func(s *snap.Snapshot) { _ = eng.CheckpointSnapshot(s) },
+		// state) and records failures for Stats().LastCheckpointError; a
+		// returned error makes the merger retry with backoff while the
+		// delta overlay keeps serving.
+		AfterFold: eng.CheckpointSnapshot,
 	}
 	if rec.Store != nil {
 		db.g = rec.Graph
