@@ -61,6 +61,7 @@
 package aplus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -154,6 +155,30 @@ type DB struct {
 	// must be set before the first query or DDL.
 	MergeThreshold int
 
+	// Limits are the default per-query resource budgets applied to every
+	// read that does not pass explicit limits (zero value = unlimited).
+	Limits QueryLimits
+
+	// QueryTimeout is the default deadline applied to every read whose
+	// limits carry no MaxDuration (0 = none). Timed-out queries fail with a
+	// wrapped ErrQueryTimeout within one morsel of work.
+	QueryTimeout time.Duration
+
+	// MaxConcurrentQueries gates how many top-level reads may execute at
+	// once (0 = unlimited); excess arrivals queue or fail per
+	// AdmissionPolicy. Set it before issuing queries — the gate's capacity
+	// is fixed at the first gated read. Nested reads issued from inside a
+	// Query callback bypass the gate (the outer query holds a slot).
+	MaxConcurrentQueries int
+
+	// AdmissionPolicy picks queue (default) or reject behavior at the
+	// MaxConcurrentQueries gate.
+	AdmissionPolicy AdmissionPolicy
+
+	// SlowQueryThreshold, when positive, counts every read at least this
+	// slow in Stats().SlowQueries.
+	SlowQueryThreshold time.Duration
+
 	// activeQueries counts Query calls in flight and cbGoroutines marks the
 	// goroutines currently allowed to run their callbacks; activeBatches
 	// and batchGoroutines do the same for Batch callbacks (which hold the
@@ -163,6 +188,21 @@ type DB struct {
 	cbGoroutines    sync.Map // goroutine id -> *atomic.Int64 nesting count
 	activeBatches   atomic.Int64
 	batchGoroutines sync.Map // goroutine id -> *atomic.Int64 nesting count
+
+	// Governance state (see governance.go): the lazily created admission
+	// semaphore and the observability counters surfaced through Stats.
+	admitCh         chan struct{} // guarded by mu until created
+	queriesInFlight atomic.Int64
+	queriesRejected atomic.Int64
+	queriesCanceled atomic.Int64
+	queriesTimedOut atomic.Int64
+	slowQueries     atomic.Int64
+	queriesPanicked atomic.Int64
+	lastQueryPanic  atomic.Pointer[string]
+
+	// injectWorkerFault, when set by tests, is plumbed into every query's
+	// ParallelOptions to inject a panic into a live worker goroutine.
+	injectWorkerFault func(worker int)
 
 	// eng is the durability engine for databases created with Open (nil
 	// for in-memory databases); replayedOps counts the WAL operations Open
@@ -466,26 +506,20 @@ type Metrics struct {
 	EstimatedICost float64
 }
 
-// Count runs a query and returns the number of matches.
+// Count runs a query and returns the number of matches. It honors the
+// database-wide governance defaults (DB.Limits, DB.QueryTimeout,
+// MaxConcurrentQueries); use CountCtx to additionally pass a cancelable
+// context.
 func (db *DB) Count(cypher string) (int64, error) {
-	n, _, err := db.CountProfiled(cypher)
+	n, _, err := db.CountProfiledCtx(context.Background(), cypher)
 	return n, err
 }
 
 // CountProfiled runs a query and also reports execution metrics. The count
 // and the merged ICost/PredEvals are identical whatever Parallelism is.
+// Governance defaults apply as in Count; see CountProfiledCtx.
 func (db *DB) CountProfiled(cypher string) (int64, Metrics, error) {
-	s, err := db.pin()
-	if err != nil {
-		return 0, Metrics{}, err
-	}
-	defer s.Release()
-	plan, rt, err := db.planSnap(s, cypher)
-	if err != nil {
-		return 0, Metrics{}, err
-	}
-	n := plan.CountParallel(rt, db.parallelOptions())
-	return n, Metrics{ICost: rt.ICost, PredEvals: rt.PredEvals, EstimatedICost: plan.EstimatedICost}, nil
+	return db.CountProfiledCtx(context.Background(), cypher)
 }
 
 // Query streams matches to fn; returning false stops early. fn is never
@@ -494,37 +528,11 @@ func (db *DB) CountProfiled(cypher string) (int64, Metrics, error) {
 // started for its entire run: concurrently committed writes neither appear
 // in its rows nor block it. fn may issue reads (they pin their own, possibly
 // newer, snapshot); writes from inside fn fail with ErrWriteInQueryCallback.
+// A panic inside fn — even on a worker goroutine — drains the pool,
+// releases the snapshot pin, and re-raises on the calling goroutine.
+// Governance defaults apply as in Count; see QueryCtx.
 func (db *DB) Query(cypher string, fn func(Row) bool) error {
-	s, err := db.pin()
-	if err != nil {
-		return err
-	}
-	defer s.Release()
-	plan, rt, err := db.planSnap(s, cypher)
-	if err != nil {
-		return err
-	}
-	db.activeQueries.Add(1)
-	defer db.activeQueries.Add(-1)
-	// Mark the goroutines that may run fn — this one (serial path and
-	// non-partitionable fallback) and every pool worker — so writeGuard can
-	// reject writes issued from inside the callback.
-	unmark := db.markCallbackGoroutine()
-	defer unmark()
-	opts := db.parallelOptions()
-	opts.OnWorkerStart = db.markCallbackGoroutine
-	g := s.Graph()
-	plan.ExecuteParallel(rt, opts, func(b *exec.Binding) bool {
-		row := Row{g: g, Vertices: make(map[string]VertexID), Edges: make(map[string]EdgeID)}
-		for i, name := range plan.VertexNames {
-			row.Vertices[name] = b.V[i]
-		}
-		for i, name := range plan.EdgeNames {
-			row.Edges[name] = b.E[i]
-		}
-		return fn(row)
-	})
-	return nil
+	return db.QueryCtx(context.Background(), cypher, fn)
 }
 
 // Explain returns the physical plan chosen for a query.
@@ -679,6 +687,26 @@ type Stats struct {
 	// them (0 when the merger is healthy).
 	MergeRetries int64
 	RetryBackoff time.Duration
+
+	// Query-governance observability — the signals an admission-controlling
+	// serving layer consumes.
+
+	// QueriesInFlight is the number of admitted reads currently executing.
+	QueriesInFlight int64
+	// QueriesRejected counts reads failed fast by AdmitReject at the
+	// MaxConcurrentQueries gate.
+	QueriesRejected int64
+	// QueriesCanceled counts reads stopped by context cancellation;
+	// QueriesTimedOut counts reads stopped by a deadline (context,
+	// MaxDuration, or QueryTimeout).
+	QueriesCanceled int64
+	QueriesTimedOut int64
+	// SlowQueries counts reads at least SlowQueryThreshold slow.
+	SlowQueries int64
+	// QueriesPanicked counts engine panics converted to errors;
+	// LastQueryPanic is the most recent one's panic message ("" if none).
+	QueriesPanicked int64
+	LastQueryPanic  string
 }
 
 // Stats reports sizes; index fields are zero before the first query or DDL.
@@ -693,6 +721,7 @@ func (db *DB) Stats() Stats {
 				GraphBytes:  db.g.MemoryBytes(),
 			}
 			db.mu.Unlock()
+			db.governanceStats(&st)
 			return st
 		}
 		db.mu.Unlock()
@@ -735,6 +764,7 @@ func (db *DB) Stats() Stats {
 		st.DegradedCause = es.DegradedCause
 		st.LastWALError = es.LastWALError
 	}
+	db.governanceStats(&st)
 	return st
 }
 

@@ -10,12 +10,13 @@
 //	aplusbench -merge
 //	aplusbench -durable /tmp/db
 //	aplusbench -faults 24
+//	aplusbench -governed
 //
 // Experiments: table1, table2, table3, table4, table5, maintenance,
-// parallel, mixed, merge, durability, faults, all ("all" excludes mixed,
-// merge, durability, and faults, whose rows are scheduling- or
-// hardware-dependent — or pass/fail rather than a measurement — and
-// therefore unsuitable for -baseline gating).
+// parallel, mixed, merge, durability, faults, governed, all ("all"
+// excludes mixed, merge, durability, faults, and governed, whose rows are
+// scheduling- or hardware-dependent — or pass/fail rather than a
+// measurement — and therefore unsuitable for -baseline gating).
 //
 // -merge (or -exp merge) measures delta-fold cost on the largest bench
 // graph: deltas of increasing size are folded twice, once through the
@@ -38,6 +39,13 @@
 // disk-op sites (0 = every site), asserting recovery is bit-identical to
 // the last acknowledged commit and degraded mode engages exactly when a
 // commit's WAL fsync fails. Any violated invariant panics.
+//
+// -governed (or -exp governed) measures query governance through the
+// public API: the runtime overhead of the armed governor (cancel checks
+// once per morsel and once per 1024 sink tuples) plus the admission gate
+// on the triangle ablation query — acceptance bar 2% over the ungoverned
+// path — and the cancel-to-return latency p50/p99 of an in-flight star3
+// query on a hub-dominated fan-out shape.
 //
 // -mixed (or -exp mixed) runs the snapshot-isolation mixed workload:
 // reader goroutines counting over pinned snapshots while writer goroutines
@@ -68,11 +76,12 @@ import (
 	"os"
 
 	"github.com/aplusdb/aplus/internal/faultsweep"
+	"github.com/aplusdb/aplus/internal/govbench"
 	"github.com/aplusdb/aplus/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|parallel|mixed|merge|durability|faults|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|parallel|mixed|merge|durability|faults|governed|all")
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
 	verify := flag.Bool("verify", true, "cross-check counts across configurations")
 	workers := flag.Int("workers", 0, "query worker-pool size (0 = serial, N = morsel-driven with N workers)")
@@ -84,6 +93,7 @@ func main() {
 	mergeExp := flag.Bool("merge", false, "run the fold-cost experiment: incremental vs full delta folds across delta sizes (shorthand for -exp merge)")
 	durable := flag.String("durable", "", "run the durable storage-engine experiment in this directory (shorthand for -exp durability; \"tmp\" = throwaway temp dir)")
 	faultSites := flag.Int("faults", -1, "run the crash/fault-injection sweep over this many evenly-sampled disk-op sites, 0 = all (shorthand for -exp faults)")
+	governed := flag.Bool("governed", false, "run the query-governance overhead and cancellation-latency experiment (shorthand for -exp governed)")
 	mixedReaders := flag.Int("mixed-readers", 8, "mixed: reader goroutines")
 	mixedWriters := flag.Int("mixed-writers", 1, "mixed: writer goroutines committing batches")
 	mixedBatch := flag.Int("mixed-batch", 64, "mixed: ops per committed batch")
@@ -101,6 +111,9 @@ func main() {
 	}
 	if *faultSites >= 0 {
 		*exp = "faults"
+	}
+	if *governed {
+		*exp = "governed"
 	}
 
 	var baseRows []harness.Row
@@ -138,6 +151,7 @@ func main() {
 		"merge":       harness.MergeBench,
 		"durability":  harness.Durability,
 		"faults":      faultsweep.FaultSweep,
+		"governed":    govbench.Governed,
 	}
 	var rows []harness.Row
 	if *exp == "all" {

@@ -14,19 +14,30 @@
 //	:add vertex LABEL [k=v ...]   append a vertex (durable sessions)
 //	:add edge SRC DST LABEL [k=v ...]   append an edge
 //	:flush                        fold pending writes (and checkpoint -db)
-//	:stats                        database, index, and durability sizes
+//	:stats                        database, index, durability, and query
+//	                              governance counters
 //	:health                       durability health: degraded mode, last
-//	                              WAL/checkpoint errors, retry backoff
+//	                              WAL/checkpoint errors, retry backoff,
+//	                              and the last query panic (if any)
+//	:limits [...]                 show or set per-session query limits
+//	                              (timeout, i-cost, rows)
 //	:quit
+//
+// Ctrl-C while a query is running cancels that query (the shell keeps
+// going); at the prompt, use :quit to exit.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	aplus "github.com/aplusdb/aplus"
 )
@@ -63,6 +74,9 @@ func main() {
 			*preset, st.NumVertices, st.NumEdges)
 	}
 
+	s := &session{db: db}
+	signal.Notify(s.sigint(), os.Interrupt)
+
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -75,7 +89,7 @@ func main() {
 		if line == "" {
 			continue
 		}
-		if err := eval(db, line); err != nil {
+		if err := eval(s, line); err != nil {
 			if err == errQuit {
 				return
 			}
@@ -86,7 +100,55 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
-func eval(db *aplus.DB, line string) error {
+// session carries the shell's per-session governance settings and the
+// SIGINT plumbing that cancels the in-flight query.
+type session struct {
+	db     *aplus.DB
+	limits aplus.QueryLimits
+	sig    chan os.Signal
+}
+
+func (s *session) sigint() chan os.Signal {
+	if s.sig == nil {
+		s.sig = make(chan os.Signal, 1)
+	}
+	return s.sig
+}
+
+// queryCtx returns a context canceled by Ctrl-C for the duration of one
+// query, plus a cleanup that must run when the query returns. A SIGINT
+// delivered at the prompt (no query running) is drained at the start of
+// the next query so it cannot cancel it spuriously.
+func (s *session) queryCtx() (context.Context, func()) {
+	select {
+	case <-s.sigint():
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-s.sigint():
+			fmt.Println(" ^C canceling query")
+			cancel()
+		case <-done:
+		}
+	}()
+	return ctx, func() { close(done); cancel() }
+}
+
+// explainQueryError renders governance failures with their partial-work
+// detail instead of a bare error string.
+func explainQueryError(err error) error {
+	var be *aplus.BudgetError
+	if errors.As(err, &be) {
+		return fmt.Errorf("%w (partial: i-cost %d, rows %d)", err, be.Partial.ICost, be.PartialRows)
+	}
+	return err
+}
+
+func eval(s *session, line string) error {
+	db := s.db
 	lower := strings.ToLower(line)
 	switch {
 	case lower == ":quit" || lower == ":q" || lower == "exit":
@@ -112,6 +174,9 @@ func eval(db *aplus.DB, line string) error {
 			}
 			fmt.Println()
 		}
+		fmt.Printf("queries: in-flight=%d canceled=%d timed-out=%d rejected=%d slow=%d panicked=%d\n",
+			st.QueriesInFlight, st.QueriesCanceled, st.QueriesTimedOut,
+			st.QueriesRejected, st.SlowQueries, st.QueriesPanicked)
 		return nil
 	case lower == ":health":
 		st := db.Stats()
@@ -130,7 +195,12 @@ func eval(db *aplus.DB, line string) error {
 		if st.RetryBackoff > 0 || st.MergeRetries > 0 {
 			fmt.Printf("fold/checkpoint retries=%d backoff=%v\n", st.MergeRetries, st.RetryBackoff)
 		}
+		if st.LastQueryPanic != "" {
+			fmt.Printf("last query panic (isolated, %d total): %s\n", st.QueriesPanicked, st.LastQueryPanic)
+		}
 		return nil
+	case lower == ":limits" || strings.HasPrefix(lower, ":limits "):
+		return evalLimits(s, strings.TrimSpace(line[len(":limits"):]))
 	case lower == ":flush":
 		if err := db.Flush(); err != nil {
 			return err
@@ -156,13 +226,15 @@ func eval(db *aplus.DB, line string) error {
 		if err != nil {
 			return fmt.Errorf("bad row count %q", fields[0])
 		}
+		ctx, finish := s.queryCtx()
+		defer finish()
 		printed := 0
-		err = db.Query(fields[1], func(r aplus.Row) bool {
+		err = db.QueryLimited(ctx, fields[1], s.limits, func(r aplus.Row) bool {
 			fmt.Printf("%v %v\n", r.Vertices, r.Edges)
 			printed++
 			return printed < n
 		})
-		return err
+		return explainQueryError(err)
 	case strings.HasPrefix(lower, ":advise "):
 		var workload []string
 		for _, q := range strings.Split(line[len(":advise "):], ";") {
@@ -182,11 +254,14 @@ func eval(db *aplus.DB, line string) error {
 		}
 		return nil
 	case strings.HasPrefix(lower, "match "):
-		n, m, err := db.CountProfiled(line)
+		ctx, finish := s.queryCtx()
+		defer finish()
+		start := time.Now()
+		n, m, err := db.CountProfiledLimited(ctx, line, s.limits)
 		if err != nil {
-			return err
+			return explainQueryError(err)
 		}
-		fmt.Printf("%d matches (i-cost %d)\n", n, m.ICost)
+		fmt.Printf("%d matches (i-cost %d, %v)\n", n, m.ICost, time.Since(start).Round(time.Microsecond))
 		return nil
 	case strings.HasPrefix(lower, "reconfigure ") || strings.HasPrefix(lower, "create ") || strings.HasPrefix(lower, "drop "):
 		if err := db.Exec(line); err != nil {
@@ -195,8 +270,80 @@ func eval(db *aplus.DB, line string) error {
 		fmt.Println("ok")
 		return nil
 	default:
-		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :add, :flush, :stats, :health, :quit)")
+		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :add, :flush, :stats, :health, :limits, :quit)")
 	}
+}
+
+// evalLimits shows or sets the session's query limits:
+//
+//	:limits                          show current limits
+//	:limits timeout 500ms | off      per-query deadline
+//	:limits icost 1000000 | off      i-cost budget
+//	:limits rows 100000 | off        produced-row budget
+//	:limits off                      clear everything
+func evalLimits(s *session, rest string) error {
+	show := func() {
+		or := func(v string, unset bool) string {
+			if unset {
+				return "off"
+			}
+			return v
+		}
+		fmt.Printf("timeout=%s icost=%s rows=%s\n",
+			or(s.limits.MaxDuration.String(), s.limits.MaxDuration == 0),
+			or(strconv.FormatInt(s.limits.MaxICost, 10), s.limits.MaxICost == 0),
+			or(strconv.FormatInt(s.limits.MaxRows, 10), s.limits.MaxRows == 0))
+	}
+	if rest == "" {
+		show()
+		return nil
+	}
+	fields := strings.Fields(strings.ToLower(rest))
+	if len(fields) == 1 && fields[0] == "off" {
+		s.limits = aplus.QueryLimits{}
+		show()
+		return nil
+	}
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: :limits [timeout DUR|off] [icost N|off] [rows N|off] [off]")
+	}
+	kind, val := fields[0], fields[1]
+	setInt := func(dst *int64) error {
+		if val == "off" {
+			*dst = 0
+		} else {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad limit %q", val)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	switch kind {
+	case "timeout":
+		if val == "off" {
+			s.limits.MaxDuration = 0
+		} else {
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return fmt.Errorf("bad duration %q (try 500ms, 2s)", val)
+			}
+			s.limits.MaxDuration = d
+		}
+	case "icost":
+		if err := setInt(&s.limits.MaxICost); err != nil {
+			return err
+		}
+	case "rows":
+		if err := setInt(&s.limits.MaxRows); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown limit %q (timeout, icost, rows)", kind)
+	}
+	show()
+	return nil
 }
 
 // evalAdd handles ":add vertex LABEL [k=v ...]" and ":add edge SRC DST

@@ -3,6 +3,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -119,6 +121,28 @@ func main() {
 	st := db.Stats()
 	fmt.Printf("\n%d vertices, %d edges; primary index: %d B levels + %d B ID lists\n",
 		st.NumVertices, st.NumEdges, st.PrimaryLevelBytes, st.PrimaryIDListBytes)
+
+	// Query governance: every read accepts a context (CountCtx / QueryCtx)
+	// and optional resource budgets. A canceled context or an expired
+	// deadline stops the query within about one morsel of work, unpins its
+	// snapshot, and returns a wrapped sentinel you can match with errors.Is:
+	// aplus.ErrQueryCanceled, ErrQueryTimeout, ErrBudgetExceeded. Engine
+	// panics never crash or poison the database — they come back as errors
+	// wrapping aplus.ErrQueryPanic, and the next query runs normally.
+	// DB.QueryTimeout, DB.Limits, and DB.MaxConcurrentQueries (or the same
+	// fields on OpenOptions) set database-wide defaults.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // a canceled context aborts before any work
+	if _, err := db.CountCtx(ctx, q); !errors.Is(err, aplus.ErrQueryCanceled) {
+		log.Fatalf("expected ErrQueryCanceled, got %v", err)
+	}
+	_, _, err = db.CountProfiledLimited(context.Background(), q, aplus.QueryLimits{MaxRows: 1})
+	var be *aplus.BudgetError
+	if !errors.As(err, &be) {
+		log.Fatalf("expected a budget abort, got %v", err)
+	}
+	fmt.Printf("\ngoverned: %v (did %d rows, i-cost %d before the abort)\n",
+		err, be.PartialRows, be.Partial.ICost)
 
 	// Durable databases: Open a directory instead of New, and every commit
 	// is crash-safe (written and fsync'd to the write-ahead log) before it

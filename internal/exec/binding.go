@@ -44,6 +44,14 @@ type Runtime struct {
 	// secondary indexes with matching sort orders reduce; Section V-C1).
 	PredEvals int64
 
+	// Gov, when set, governs this execution: the pipeline flushes locally
+	// accumulated i-cost/row counters into it and polls its stop flag every
+	// Governor.CheckEvery sink tuples and at every morsel boundary. The
+	// morsel-parallel path shares the root Runtime's Governor with every
+	// worker Runtime it spawns. nil disables governance (no per-tuple
+	// overhead beyond one nil check per sink call).
+	Gov *Governor
+
 	// scratch is the per-worker arena of per-operator buffers; pipe caches
 	// the compiled closure chain (and reusable binding) of the last plan
 	// this Runtime executed, so warm re-executions are allocation-free. A

@@ -44,7 +44,10 @@ func assertFoldParity(t *testing.T, s *index.Store, p *Plan) {
 
 	for _, workers := range []int{1, 8} {
 		rtPar := NewRuntime(s)
-		gotPar := p.CountParallel(rtPar, ParallelOptions{Workers: workers, MorselSize: 4})
+		gotPar, err := p.CountParallel(rtPar, ParallelOptions{Workers: workers, MorselSize: 4})
+		if err != nil {
+			t.Fatalf("CountParallel(%d workers): %v", workers, err)
+		}
 		if gotPar != want {
 			t.Errorf("CountParallel(%d workers) = %d, want %d", workers, gotPar, want)
 		}

@@ -1,0 +1,235 @@
+package exec
+
+// Tests for the query-governance layer at the exec level: cancellation via
+// a pre-tripped governor, i-cost/row budgets, partial-metric publication,
+// worker-panic conversion, and the zero-alloc pin for the cancel-check-
+// enabled steady-state loop.
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/index"
+)
+
+// TestZeroAllocWithCancelCheck pins that attaching a Governor (cancel check
+// + budget accounting enabled, with an aggressively small flush interval)
+// keeps the steady-state Count loop allocation-free.
+func TestZeroAllocWithCancelCheck(t *testing.T) {
+	rt := NewRuntime(allocStore(t))
+	rt.Gov = &Governor{CheckEvery: 2}
+	plan := &Plan{
+		NumV: 3, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+				{Kind: ListPrimary, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 2},
+			}},
+		},
+	}
+	assertZeroAlloc(t, rt, plan)
+	if rt.Gov.Stopped() {
+		t.Error("unlimited governor tripped during zero-alloc runs")
+	}
+}
+
+// TestGovernorPreTrippedStopsEarly: a governor tripped before (or at the
+// very start of) execution parks the pool after at most one flush interval,
+// and the trip reason survives unchanged.
+func TestGovernorPreTrippedStopsEarly(t *testing.T) {
+	s, plan := chainGraph(t, 211, 4)
+	full, err := plan.CountParallel(NewRuntime(s), ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		gov := &Governor{CheckEvery: 1}
+		gov.Trip(StopCanceled)
+		rt := NewRuntime(s)
+		rt.Gov = gov
+		n, err := plan.CountParallel(rt, ParallelOptions{Workers: workers, MorselSize: 4})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n >= full {
+			t.Errorf("workers=%d: pre-canceled count = %d, want < %d", workers, n, full)
+		}
+		if got := gov.Reason(); got != StopCanceled {
+			t.Errorf("workers=%d: reason = %v, want canceled", workers, got)
+		}
+	}
+}
+
+// TestGovernorRowBudget: MaxRows trips the execution with StopRows and a
+// partial count; the rows flushed into the governor match the partial count.
+func TestGovernorRowBudget(t *testing.T) {
+	s, plan := chainGraph(t, 211, 4)
+	full, err := plan.CountParallel(NewRuntime(s), ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		gov := &Governor{MaxRows: 10, CheckEvery: 1}
+		rt := NewRuntime(s)
+		rt.Gov = gov
+		n, err := plan.CountParallel(rt, ParallelOptions{Workers: workers, MorselSize: 4})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !gov.Stopped() || gov.Reason() != StopRows {
+			t.Fatalf("workers=%d: reason = %v, want row budget", workers, gov.Reason())
+		}
+		if n >= full {
+			t.Errorf("workers=%d: budgeted count = %d, want < %d", workers, n, full)
+		}
+		if gov.RowsSeen() != n {
+			t.Errorf("workers=%d: RowsSeen = %d, partial count = %d", workers, gov.RowsSeen(), n)
+		}
+	}
+}
+
+// TestGovernorICostBudget: MaxICost trips with StopICost and publishes the
+// partial i-cost actually incurred.
+func TestGovernorICostBudget(t *testing.T) {
+	s, plan := chainGraph(t, 211, 4)
+	rtFull := NewRuntime(s)
+	if _, err := plan.CountParallel(rtFull, ParallelOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		gov := &Governor{MaxICost: rtFull.ICost / 4, CheckEvery: 1}
+		rt := NewRuntime(s)
+		rt.Gov = gov
+		if _, err := plan.CountParallel(rt, ParallelOptions{Workers: workers, MorselSize: 4}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if gov.Reason() != StopICost {
+			t.Fatalf("workers=%d: reason = %v, want i-cost budget", workers, gov.Reason())
+		}
+		if gov.ICostSeen() == 0 || gov.ICostSeen() != rt.ICost {
+			t.Errorf("workers=%d: ICostSeen = %d, merged ICost = %d", workers, gov.ICostSeen(), rt.ICost)
+		}
+		if rt.ICost >= rtFull.ICost {
+			t.Errorf("workers=%d: budgeted ICost = %d, want < %d", workers, rt.ICost, rtFull.ICost)
+		}
+	}
+}
+
+// TestGovernorCleanRunPublishesTotals: an untripped governed run flushes
+// its complete metrics, so the governor's totals equal the merged Runtime
+// counters and the final count.
+func TestGovernorCleanRunPublishesTotals(t *testing.T) {
+	s, plan := chainGraph(t, 97, 3)
+	for _, workers := range []int{1, 4} {
+		gov := &Governor{}
+		rt := NewRuntime(s)
+		rt.Gov = gov
+		n, err := plan.CountParallel(rt, ParallelOptions{Workers: workers, MorselSize: 8})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if gov.Stopped() {
+			t.Fatalf("workers=%d: unlimited governor tripped: %v", workers, gov.Reason())
+		}
+		if gov.RowsSeen() != n {
+			t.Errorf("workers=%d: RowsSeen = %d, count = %d", workers, gov.RowsSeen(), n)
+		}
+		if gov.ICostSeen() != rt.ICost {
+			t.Errorf("workers=%d: ICostSeen = %d, ICost = %d", workers, gov.ICostSeen(), rt.ICost)
+		}
+	}
+}
+
+// TestGovernorRowBudgetExecute: the row budget also governs enumeration
+// (emitted rows), not just counting.
+func TestGovernorRowBudgetExecute(t *testing.T) {
+	s, plan := chainGraph(t, 211, 4)
+	gov := &Governor{MaxRows: 7, CheckEvery: 1}
+	rt := NewRuntime(s)
+	rt.Gov = gov
+	var emitted atomic.Int64
+	if err := plan.ExecuteParallel(rt, ParallelOptions{Workers: 4, MorselSize: 4}, func(*Binding) bool {
+		emitted.Add(1)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gov.Reason() != StopRows {
+		t.Fatalf("reason = %v, want row budget", gov.Reason())
+	}
+	// Trip granularity is one flush interval per worker: with CheckEvery 1
+	// the overshoot is bounded by the worker count finishing their current
+	// tuple, not by morsels.
+	if got := emitted.Load(); got < 7 || got > 7+4*int64(DefaultMorselSize) {
+		t.Errorf("emitted %d rows under MaxRows=7", got)
+	}
+}
+
+// TestWorkerPanicBecomesError: a panic on a worker goroutine (or the serial
+// path) surfaces as a *PanicError carrying the stack, the pool drains, and
+// the same plan runs cleanly afterwards with bit-identical results.
+func TestWorkerPanicBecomesError(t *testing.T) {
+	s, plan := chainGraph(t, 211, 4)
+	rtClean := NewRuntime(s)
+	want, err := plan.CountParallel(rtClean, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		rt := NewRuntime(s)
+		_, err := plan.CountParallel(rt, ParallelOptions{
+			Workers:    workers,
+			MorselSize: 4,
+			InjectWorkerFault: func(w int) {
+				if w == workers-1 {
+					panic("injected worker fault")
+				}
+			},
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "injected worker fault" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "goroutine") {
+			t.Errorf("workers=%d: stack not captured: %q", workers, pe.Stack)
+		}
+		// The engine must be fully usable after the poisoned query.
+		rt2 := NewRuntime(s)
+		got, err := plan.CountParallel(rt2, ParallelOptions{Workers: workers, MorselSize: 4})
+		if err != nil {
+			t.Fatalf("workers=%d: follow-up query: %v", workers, err)
+		}
+		if got != want || rt2.ICost != rtClean.ICost {
+			t.Errorf("workers=%d: follow-up count/ICost = %d/%d, want %d/%d",
+				workers, got, rt2.ICost, want, rtClean.ICost)
+		}
+	}
+}
+
+// TestWorkerPanicFirstWins: with every worker panicking, exactly one
+// PanicError is returned and the pool still drains.
+func TestWorkerPanicFirstWins(t *testing.T) {
+	s, plan := chainGraph(t, 211, 4)
+	rt := NewRuntime(s)
+	_, err := plan.CountParallel(rt, ParallelOptions{
+		Workers:           4,
+		MorselSize:        4,
+		InjectWorkerFault: func(int) { panic("boom") },
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+}

@@ -43,6 +43,11 @@ type ParallelOptions struct {
 	// tag worker goroutines (e.g. so writes issued from inside a streaming
 	// callback can be detected and rejected).
 	OnWorkerStart func() func()
+	// InjectWorkerFault, when set, runs once per worker goroutine (and once,
+	// as worker 0, on the serial fallback) after the panic recovery is
+	// installed. It exists so tests can inject a panic into a live worker
+	// and assert the pool converts it to a *PanicError instead of crashing.
+	InjectWorkerFault func(worker int)
 }
 
 func (o ParallelOptions) workers() int {
@@ -68,16 +73,24 @@ func (o ParallelOptions) morsel() int {
 // enumeration would have, the count and merged metrics are bit-identical
 // to the serial path regardless of worker count. Plans whose root operator
 // is not partitionable fall back to the serial path.
-func (p *Plan) CountParallel(rt *Runtime, o ParallelOptions) int64 {
+//
+// A panic inside a worker (or the serial fallback) is recovered, converted
+// to a *PanicError carrying the panicking goroutine's stack, and returned
+// after the whole pool has drained; the first panic wins. When rt.Gov is
+// set, workers additionally poll it at every morsel boundary and every
+// Governor.CheckEvery sink tuples — a tripped governor parks the pool and
+// CountParallel returns the partial count with a nil error; the caller
+// inspects Governor.Reason to map the trip to its own error type.
+func (p *Plan) CountParallel(rt *Runtime, o ParallelOptions) (int64, error) {
 	workers := o.workers()
 	if workers <= 1 {
-		return p.Count(rt)
+		return p.countSerial(rt, o)
 	}
-	n, ran := p.runMorsels(rt, o, workers, true, nil)
+	n, ran, err := p.runMorsels(rt, o, workers, true, nil)
 	if !ran {
-		return p.Count(rt)
+		return p.countSerial(rt, o)
 	}
-	return n
+	return n, err
 }
 
 // ExecuteParallel streams complete matches into emit from a morsel-driven
@@ -87,16 +100,15 @@ func (p *Plan) CountParallel(rt *Runtime, o ParallelOptions) int64 {
 // false from emit stops all workers: no further emit calls occur, though
 // in-flight workers may still read the indexes briefly before parking.
 // Plans whose root operator is not partitionable fall back to the serial
-// path.
-func (p *Plan) ExecuteParallel(rt *Runtime, o ParallelOptions, emit func(*Binding) bool) {
+// path. Panic conversion and governance polling behave as in CountParallel.
+func (p *Plan) ExecuteParallel(rt *Runtime, o ParallelOptions, emit func(*Binding) bool) error {
 	workers := o.workers()
 	if workers <= 1 {
-		p.Execute(rt, emit)
-		return
+		return p.executeSerial(rt, o, emit)
 	}
 	var mu sync.Mutex
 	stopped := false
-	_, ran := p.runMorsels(rt, o, workers, false, func(int) func(*Binding) bool {
+	_, ran, err := p.runMorsels(rt, o, workers, false, func(int) func(*Binding) bool {
 		return func(b *Binding) bool {
 			mu.Lock()
 			defer mu.Unlock()
@@ -111,8 +123,38 @@ func (p *Plan) ExecuteParallel(rt *Runtime, o ParallelOptions, emit func(*Bindin
 		}
 	})
 	if !ran {
-		p.Execute(rt, emit)
+		return p.executeSerial(rt, o, emit)
 	}
+	return err
+}
+
+// countSerial is the single-threaded CountParallel path with the same
+// panic-to-error contract as the worker pool.
+func (p *Plan) countSerial(rt *Runtime, o ParallelOptions) (n int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(r)
+		}
+	}()
+	if o.InjectWorkerFault != nil {
+		o.InjectWorkerFault(0)
+	}
+	return p.Count(rt), nil
+}
+
+// executeSerial is the single-threaded ExecuteParallel path with the same
+// panic-to-error contract as the worker pool.
+func (p *Plan) executeSerial(rt *Runtime, o ParallelOptions, emit func(*Binding) bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(r)
+		}
+	}()
+	if o.InjectWorkerFault != nil {
+		o.InjectWorkerFault(0)
+	}
+	p.Execute(rt, emit)
+	return nil
 }
 
 // runMorsels partitions the root scan into morsels dispensed from a shared
@@ -123,13 +165,18 @@ func (p *Plan) ExecuteParallel(rt *Runtime, o ParallelOptions, emit func(*Bindin
 // returns the terminal emit for one worker, which must be safe for that
 // worker's exclusive use. It reports ran=false (without spawning anything)
 // when the plan's root is not partitionable, signalling a serial fallback.
-func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting bool, sinkFor func(w int) func(*Binding) bool) (int64, bool) {
+//
+// Worker panics are recovered inside the worker, park the pool via stopAll,
+// and surface as the returned error (first panic wins). Per-worker metric
+// counters accumulated before a panic or a governor trip are still merged
+// into rt, so aborted executions report partial profiled metrics.
+func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting bool, sinkFor func(w int) func(*Binding) bool) (int64, bool, error) {
 	if len(p.Ops) == 0 {
-		return 0, false
+		return 0, false, nil
 	}
 	root, ok := p.Ops[0].(partitionableOp)
 	if !ok {
-		return 0, false
+		return 0, false, nil
 	}
 	stop := len(p.Ops)
 	if counting {
@@ -148,10 +195,12 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 		cursor  atomic.Int64
 		stopAll atomic.Bool
 		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		poolErr error
 	)
 	rts := make([]*Runtime, workers)
 	for w := 0; w < workers; w++ {
-		wrt := &Runtime{Store: rt.Store, G: rt.G, Delta: rt.Delta}
+		wrt := &Runtime{Store: rt.Store, G: rt.G, Delta: rt.Delta, Gov: rt.Gov}
 		rts[w] = wrt
 		var emit func(*Binding) bool
 		if !counting {
@@ -160,13 +209,31 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Recover worker panics (whether from operator code, injected
+			// faults, or a panicking emit that the caller chose not to
+			// shield) so a poisoned query surfaces as an error on the
+			// coordinating goroutine instead of crashing the process.
+			defer func() {
+				if r := recover(); r != nil {
+					stopAll.Store(true)
+					errMu.Lock()
+					if poolErr == nil {
+						poolErr = newPanicError(r)
+					}
+					errMu.Unlock()
+				}
+			}()
 			if o.OnWorkerStart != nil {
 				defer o.OnWorkerStart()()
+			}
+			if o.InjectWorkerFault != nil {
+				o.InjectWorkerFault(w)
 			}
 			pl := wrt.pipelineFor(p)
 			pl.stop = stop
 			pl.emit = emit
 			pl.n = 0
+			pl.beginRun()
 			for !stopAll.Load() {
 				m := int(cursor.Add(1)) - 1
 				if m >= numMorsels {
@@ -178,11 +245,23 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 					hi = size
 				}
 				if !root.runRange(wrt, wrt.scratch.op(0), pl.b, lo, hi, pl.next[1]) {
-					// The pipeline aborted: emit returned false. Park the
-					// whole pool.
+					// The pipeline aborted: emit returned false, or a mid-
+					// morsel governor poll tripped. Park the whole pool.
 					stopAll.Store(true)
 					break
 				}
+				// Morsel boundary: publish this worker's counter deltas and
+				// poll the governor, bounding cancellation latency by one
+				// morsel of work.
+				if pl.govEvery != 0 && !pl.govFlush() {
+					stopAll.Store(true)
+					break
+				}
+			}
+			// Publish any tail counters so the governor's totals reflect the
+			// work actually done (partial metrics on aborted executions).
+			if pl.govEvery != 0 {
+				pl.govFlush()
 			}
 			counts[w] = pl.n
 		}(w)
@@ -196,5 +275,5 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 		rt.ICost += wrt.ICost
 		rt.PredEvals += wrt.PredEvals
 	}
-	return n, true
+	return n, true, poolErr
 }

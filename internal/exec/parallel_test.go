@@ -63,7 +63,10 @@ func TestCountParallelMatchesSerial(t *testing.T) {
 		{Workers: 64},                     // more workers than morsels
 	} {
 		rt := NewRuntime(s)
-		got := plan.CountParallel(rt, tc)
+		got, err := plan.CountParallel(rt, tc)
+		if err != nil {
+			t.Fatalf("%+v: CountParallel: %v", tc, err)
+		}
 		if got != want {
 			t.Errorf("%+v: count = %d, want %d", tc, got, want)
 		}
@@ -84,8 +87,8 @@ func TestCountParallelEmptyGraph(t *testing.T) {
 	}
 	plan := &Plan{NumV: 1, Ops: []Op{&ScanVertexOp{Slot: 0}}}
 	rt := NewRuntime(s)
-	if got := plan.CountParallel(rt, ParallelOptions{Workers: 4}); got != 0 {
-		t.Errorf("count on empty graph = %d, want 0", got)
+	if got, err := plan.CountParallel(rt, ParallelOptions{Workers: 4}); err != nil || got != 0 {
+		t.Errorf("count on empty graph = %d, %v, want 0, nil", got, err)
 	}
 	if rt.ICost != 0 {
 		t.Errorf("ICost on empty graph = %d, want 0", rt.ICost)
@@ -100,10 +103,12 @@ func TestExecuteParallelEarlyTermination(t *testing.T) {
 		t.Fatalf("need > %d matches, have %d", limit, total)
 	}
 	emits := 0
-	plan.ExecuteParallel(NewRuntime(s), ParallelOptions{Workers: 4, MorselSize: 8}, func(*Binding) bool {
+	if err := plan.ExecuteParallel(NewRuntime(s), ParallelOptions{Workers: 4, MorselSize: 8}, func(*Binding) bool {
 		emits++
 		return emits < limit
-	})
+	}); err != nil {
+		t.Fatalf("ExecuteParallel: %v", err)
+	}
 	if emits != limit {
 		t.Errorf("emit called %d times, want exactly %d (no emits after false)", emits, limit)
 	}
@@ -118,10 +123,12 @@ func TestExecuteParallelSeesEveryMatch(t *testing.T) {
 		return true
 	})
 	par := map[match]int{}
-	plan.ExecuteParallel(NewRuntime(s), ParallelOptions{Workers: 4, MorselSize: 3}, func(b *Binding) bool {
+	if err := plan.ExecuteParallel(NewRuntime(s), ParallelOptions{Workers: 4, MorselSize: 3}, func(b *Binding) bool {
 		par[match{b.V[0], b.V[1], b.V[2]}]++
 		return true
-	})
+	}); err != nil {
+		t.Fatalf("ExecuteParallel: %v", err)
+	}
 	if len(par) != len(serial) {
 		t.Fatalf("parallel saw %d distinct matches, serial %d", len(par), len(serial))
 	}
@@ -142,7 +149,7 @@ func TestScanEdgeRunRange(t *testing.T) {
 	if want != int64(s.Graph().NumLiveEdges()) {
 		t.Fatalf("serial edge scan = %d, want %d", want, s.Graph().NumLiveEdges())
 	}
-	if got := plan.CountParallel(NewRuntime(s), ParallelOptions{Workers: 3, MorselSize: 11}); got != want {
-		t.Errorf("parallel edge scan = %d, want %d", got, want)
+	if got, err := plan.CountParallel(NewRuntime(s), ParallelOptions{Workers: 3, MorselSize: 11}); err != nil || got != want {
+		t.Errorf("parallel edge scan = %d, %v, want %d, nil", got, err, want)
 	}
 }

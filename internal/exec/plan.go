@@ -38,6 +38,49 @@ type pipeline struct {
 	// emit is the enumeration sink; nil selects the counting sink.
 	emit func(*Binding) bool
 	n    int64
+
+	// Governance state (all zero when rt.Gov is nil): govEvery is the
+	// flush interval in sink tuples, govTuples counts tuples since the last
+	// flush, govRows the rows produced since, and govICostBase the rt.ICost
+	// watermark already published to the governor.
+	govEvery     int
+	govTuples    int
+	govRows      int64
+	govICostBase int64
+}
+
+// beginRun re-arms the pipeline's governance state for one execution. It
+// must run after pipelineFor and before step(0): the cached pipeline may
+// have been built for an earlier execution with a different (or no)
+// governor, and the i-cost watermark must start at the Runtime's current
+// accumulator value.
+func (pl *pipeline) beginRun() {
+	g := pl.rt.Gov
+	if g == nil {
+		pl.govEvery = 0
+		return
+	}
+	pl.govEvery = g.checkEvery()
+	pl.govTuples = 0
+	pl.govRows = 0
+	pl.govICostBase = pl.rt.ICost
+}
+
+// govFlush publishes the pipeline's locally accumulated i-cost and row
+// counters to the governor, enforces the budgets, and reports whether the
+// execution may continue. It performs no allocations.
+func (pl *pipeline) govFlush() bool {
+	g := pl.rt.Gov
+	pl.govTuples = 0
+	if ic := pl.rt.ICost - pl.govICostBase; ic != 0 {
+		pl.govICostBase = pl.rt.ICost
+		g.addICost(ic)
+	}
+	if pl.govRows != 0 {
+		g.addRows(pl.govRows)
+		pl.govRows = 0
+	}
+	return !g.stop.Load()
 }
 
 // pipelineFor returns the Runtime's cached pipeline for p, building it on
@@ -68,12 +111,29 @@ func (pl *pipeline) step(i int) bool {
 
 // sink consumes one boundary tuple: enumeration hands it to emit, counting
 // folds the remaining pure-EXTEND suffix (possibly empty) into a product.
+// With a governor attached it also ticks the cancel/budget check every
+// govEvery tuples, so even a single hub-dominated morsel observes a trip
+// within a bounded number of produced rows.
 func (pl *pipeline) sink() bool {
+	var rows int64
 	if pl.emit != nil {
-		return pl.emit(pl.b)
+		if !pl.emit(pl.b) {
+			return false
+		}
+		rows = 1
+	} else {
+		rows = pl.plan.foldedCount(pl.rt, pl.b, pl.stop)
+		pl.n += rows
 	}
-	pl.n += pl.plan.foldedCount(pl.rt, pl.b, pl.stop)
-	return true
+	if pl.govEvery == 0 {
+		return true
+	}
+	pl.govRows += rows
+	pl.govTuples++
+	if pl.govTuples < pl.govEvery {
+		return true
+	}
+	return pl.govFlush()
 }
 
 // Execute streams complete matches into emit; returning false from emit
@@ -84,7 +144,11 @@ func (p *Plan) Execute(rt *Runtime, emit func(*Binding) bool) {
 	pl := rt.pipelineFor(p)
 	pl.stop = len(p.Ops)
 	pl.emit = emit
+	pl.beginRun()
 	pl.step(0)
+	if pl.govEvery != 0 {
+		pl.govFlush()
+	}
 	pl.emit = nil
 }
 
@@ -99,7 +163,11 @@ func (p *Plan) Count(rt *Runtime) int64 {
 	pl.stop = p.countFoldStart()
 	pl.emit = nil
 	pl.n = 0
+	pl.beginRun()
 	pl.step(0)
+	if pl.govEvery != 0 {
+		pl.govFlush()
+	}
 	return pl.n
 }
 

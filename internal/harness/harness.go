@@ -99,7 +99,10 @@ func measure(s *index.Store, mode opt.Mode, q workload.Query, workers int) (floa
 	start := time.Now()
 	var n int64
 	if workers > 1 {
-		n = plan.CountParallel(rt, exec.ParallelOptions{Workers: workers})
+		n, err = plan.CountParallel(rt, exec.ParallelOptions{Workers: workers})
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("%s: %w", q.Name, err)
+		}
 	} else {
 		n = plan.Count(rt)
 	}

@@ -61,6 +61,17 @@ type OpenOptions struct {
 	// failed fold or checkpoint (0 = snap.DefaultRetryBackoff). Each
 	// failure doubles it, capped at 50x, with jitter.
 	RetryBackoff time.Duration
+
+	// QueryTimeout is the default per-query deadline (0 = none); see
+	// DB.QueryTimeout.
+	QueryTimeout time.Duration
+	// MaxConcurrentQueries gates concurrent top-level reads (0 = unlimited)
+	// under AdmissionPolicy; see DB.MaxConcurrentQueries.
+	MaxConcurrentQueries int
+	// AdmissionPolicy picks queue-or-reject behavior at the gate.
+	AdmissionPolicy AdmissionPolicy
+	// SlowQueryThreshold feeds Stats().SlowQueries (0 = disabled).
+	SlowQueryThreshold time.Duration
 }
 
 // Open opens (creating if necessary) a durable database in dir with
@@ -79,7 +90,14 @@ func (o OpenOptions) Open(dir string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{eng: eng, MergeThreshold: o.MergeThreshold}
+	db := &DB{
+		eng:                  eng,
+		MergeThreshold:       o.MergeThreshold,
+		QueryTimeout:         o.QueryTimeout,
+		MaxConcurrentQueries: o.MaxConcurrentQueries,
+		AdmissionPolicy:      o.AdmissionPolicy,
+		SlowQueryThreshold:   o.SlowQueryThreshold,
+	}
 	var m *snap.Manager
 	sopts := snap.Options{
 		MergeThreshold: o.MergeThreshold,
