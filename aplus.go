@@ -72,6 +72,7 @@ import (
 	"github.com/aplusdb/aplus/internal/exec"
 	"github.com/aplusdb/aplus/internal/index"
 	"github.com/aplusdb/aplus/internal/opt"
+	"github.com/aplusdb/aplus/internal/plancache"
 	"github.com/aplusdb/aplus/internal/query"
 	"github.com/aplusdb/aplus/internal/snap"
 	"github.com/aplusdb/aplus/internal/storage"
@@ -86,6 +87,14 @@ type EdgeID = storage.EdgeID
 
 // Props carries property values for loading: int/int64/float64/string/bool.
 type Props map[string]any
+
+// ShardSpec identifies a database's slot in a K-way hash-partitioned
+// cluster: Index in [0, Of). See DB.Shard. Field-compatible with the exec
+// layer's spec; the hash is Fibonacci multiplicative on the vertex ID.
+type ShardSpec struct {
+	Index int
+	Of    int
+}
 
 // PlannerOptions restrict the optimizer's plan space; the zero value is the
 // full A+ plan space. They exist for experiments that emulate systems with
@@ -178,6 +187,27 @@ type DB struct {
 	// SlowQueryThreshold, when positive, counts every read at least this
 	// slow in Stats().SlowQueries.
 	SlowQueryThreshold time.Duration
+
+	// Shard, when Of > 1, marks this database as one full replica in a
+	// K-way hash-partitioned cluster and restricts every query's root scan
+	// to the vertices (or, for edge-rooted plans, edge sources) it owns.
+	// The serving layer (internal/shard) sets it so per-shard counts,
+	// i-cost, and PredEvals sum bit-identically to an unsharded run; the
+	// zero value disables filtering. Set it before issuing queries.
+	Shard ShardSpec
+
+	// PlanCacheSize caps the compiled-plan cache shared by every read
+	// (0 = DefaultPlanCacheSize, negative disables caching). The cache is
+	// keyed on whitespace-normalized query text plus planner mode and
+	// invalidated whenever a fold or DDL publishes a new index store, so a
+	// hit is always exactly the plan a fresh compile would produce. Set it
+	// before issuing queries; effectiveness counters surface in Stats.
+	PlanCacheSize int
+
+	// planOnce lazily sizes the plan cache at the first read; planCache is
+	// nil when caching is disabled.
+	planOnce  sync.Once
+	planCache *plancache.Cache[planKey, *exec.Plan]
 
 	// activeQueries counts Query calls in flight and cbGoroutines marks the
 	// goroutines currently allowed to run their callbacks; activeBatches
@@ -561,24 +591,81 @@ func (db *DB) pin() (*snap.Snapshot, error) {
 	return mgr.Acquire(), nil
 }
 
-// planSnap parses and optimizes against a pinned snapshot. While the
-// snapshot carries unmerged writes, secondary indexes are hidden from the
-// planner: materialized views do not cover the delta overlay, and the
-// primary indexes (which splice it) answer every query shape.
+// DefaultPlanCacheSize is the compiled-plan cache capacity used when
+// DB.PlanCacheSize is 0.
+const DefaultPlanCacheSize = 256
+
+// planKey keys the plan cache: normalized query text plus the effective
+// planner mode. The mode is part of the key (not just the generation)
+// because the same store serves both delta-clean reads and delta-pending
+// reads with secondary indexes hidden.
+type planKey struct {
+	text string
+	mode opt.Mode
+}
+
+// plans lazily creates the plan cache at the first read (nil = disabled).
+func (db *DB) plans() *plancache.Cache[planKey, *exec.Plan] {
+	db.planOnce.Do(func() {
+		size := db.PlanCacheSize
+		if size == 0 {
+			size = DefaultPlanCacheSize
+		}
+		if size > 0 {
+			db.planCache = plancache.New[planKey, *exec.Plan](size)
+		}
+	})
+	return db.planCache
+}
+
+// planSnap resolves the plan for a query against a pinned snapshot and
+// builds its runtime. While the snapshot carries unmerged writes, secondary
+// indexes are hidden from the planner: materialized views do not cover the
+// delta overlay, and the primary indexes (which splice it) answer every
+// query shape.
 func (db *DB) planSnap(s *snap.Snapshot, cypher string) (*exec.Plan, *exec.Runtime, error) {
-	q, err := query.Parse(cypher)
-	if err != nil {
-		return nil, nil, err
-	}
 	mode := db.Planner.mode()
 	if !s.Delta().Empty() {
 		mode.DisableSecondary = true
 	}
-	plan, err := opt.Optimize(s.Store(), q, mode)
+	plan, err := db.planFor(s.Store(), cypher, mode)
 	if err != nil {
 		return nil, nil, err
 	}
-	return plan, exec.NewRuntimeOver(s.Store(), s.Graph(), s.Delta()), nil
+	rt := exec.NewRuntimeOver(s.Store(), s.Graph(), s.Delta())
+	rt.Shard = exec.ShardSpec(db.Shard)
+	return plan, rt, nil
+}
+
+// planFor returns a compiled plan for cypher, consulting the plan cache.
+// The cache generation is the frozen *index.Store identity: compiled plans
+// embed direct pointers into the store's secondary indexes and its resolved
+// partition codes, and every fold or DDL publishes a new store, so keying
+// on store identity invalidates exactly when a cached plan could go stale.
+// Parse errors and plan failures are never cached.
+func (db *DB) planFor(store *index.Store, cypher string, mode opt.Mode) (*exec.Plan, error) {
+	c := db.plans()
+	if c == nil {
+		q, err := query.Parse(cypher)
+		if err != nil {
+			return nil, err
+		}
+		return opt.Optimize(store, q, mode)
+	}
+	key := planKey{text: plancache.Normalize(cypher), mode: mode}
+	if plan, ok := c.Get(store, key); ok {
+		return plan, nil
+	}
+	q, err := query.Parse(cypher)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := opt.Optimize(store, q, mode)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(store, key, plan)
+	return plan, nil
 }
 
 // VertexProp reads a vertex property (nil when absent, or after Close).
@@ -707,6 +794,24 @@ type Stats struct {
 	// LastQueryPanic is the most recent one's panic message ("" if none).
 	QueriesPanicked int64
 	LastQueryPanic  string
+
+	// Plan-cache observability: a hit reuses a compiled plan (skipping
+	// parse and plan search); misses include lookups against a store the
+	// cache has not seen yet (fold/DDL invalidation). All zero when
+	// PlanCacheSize is negative.
+	PlanCacheHits    int64
+	PlanCacheMisses  int64
+	PlanCacheEntries int64
+}
+
+// planCacheStats merges the plan cache's counters into st.
+func (db *DB) planCacheStats(st *Stats) {
+	if c := db.plans(); c != nil {
+		cs := c.Stats()
+		st.PlanCacheHits = cs.Hits
+		st.PlanCacheMisses = cs.Misses
+		st.PlanCacheEntries = cs.Entries
+	}
 }
 
 // Stats reports sizes; index fields are zero before the first query or DDL.
@@ -722,6 +827,7 @@ func (db *DB) Stats() Stats {
 			}
 			db.mu.Unlock()
 			db.governanceStats(&st)
+			db.planCacheStats(&st)
 			return st
 		}
 		db.mu.Unlock()
@@ -765,6 +871,7 @@ func (db *DB) Stats() Stats {
 		st.LastWALError = es.LastWALError
 	}
 	db.governanceStats(&st)
+	db.planCacheStats(&st)
 	return st
 }
 

@@ -1,0 +1,111 @@
+// Command aplusd serves an aplus cluster over TCP.
+//
+// It opens (or creates) N replica shards, each a full aplus database with
+// its own WAL, and serves the line-oriented aplusd protocol: queries fan
+// out across shards with the caller's deadline, budget, and cancellation
+// propagated to every shard; writes route through the owner shard's WAL
+// and mirror to the replicas; `stats` and `health` expose the aggregated
+// observability counters an admission-controlling load balancer consumes.
+//
+// Quickstart:
+//
+//	aplusd -dir /var/lib/aplus -shards 2 -addr 127.0.0.1:7687 &
+//	aplusshell -connect 127.0.0.1:7687
+//
+// The same -dir reopens to the same state: shards recover independently
+// from their WALs and checkpoints, and a reopen refuses a different
+// -shards count (resharding is not supported). Without -dir the cluster
+// is in-memory and its data is lost at exit.
+//
+// SIGINT or SIGTERM shuts down gracefully: the listener closes, in-flight
+// queries are canceled and drained, every shard's WAL is closed cleanly,
+// and the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	aplus "github.com/aplusdb/aplus"
+	"github.com/aplusdb/aplus/internal/server"
+	"github.com/aplusdb/aplus/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7687", "TCP listen address")
+	dir := flag.String("dir", "", "durable cluster directory (empty = in-memory, data lost at exit)")
+	shards := flag.Int("shards", 2, "number of replica shards (fixed at directory creation)")
+	noFsync := flag.Bool("no-fsync", false, "skip WAL fsync (faster, loses the crash-durability guarantee)")
+	parallelism := flag.Int("parallelism", 0, "per-shard intra-query workers (0 = GOMAXPROCS)")
+	planCache := flag.Int("plan-cache", 0, "per-shard compiled-plan cache entries (0 = default, <0 = disabled)")
+	maxQueries := flag.Int("max-queries", 0, "per-shard concurrent-query admission gate (0 = unlimited)")
+	admission := flag.String("admission", "queue", "admission policy at the max-queries gate: queue|reject")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-shard default query deadline (0 = none)")
+	mergeThreshold := flag.Int("merge-threshold", 0, "pending delta ops per shard before a fold (0 = default)")
+	maxPending := flag.Int("max-pending-writes", 0, "reject writes while aggregate pending writes exceed this (0 = no backpressure)")
+	maxRows := flag.Int64("max-rows", 0, "default per-query row-stream cap (0 = unlimited)")
+	idle := flag.Duration("idle-timeout", 0, "disconnect connections idle at the prompt for this long (0 = never)")
+	flag.Parse()
+
+	var policy aplus.AdmissionPolicy
+	switch *admission {
+	case "queue":
+		policy = aplus.AdmitQueue
+	case "reject":
+		policy = aplus.AdmitReject
+	default:
+		fmt.Fprintf(os.Stderr, "aplusd: bad -admission %q (queue|reject)\n", *admission)
+		os.Exit(2)
+	}
+
+	cluster, err := shard.New(shard.Options{
+		Shards:               *shards,
+		Dir:                  *dir,
+		NoFsync:              *noFsync,
+		MergeThreshold:       *mergeThreshold,
+		Parallelism:          *parallelism,
+		PlanCacheSize:        *planCache,
+		QueryTimeout:         *queryTimeout,
+		MaxConcurrentQueries: *maxQueries,
+		AdmissionPolicy:      policy,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aplusd:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(cluster, server.Options{
+		Addr:             *addr,
+		DefaultMaxRows:   *maxRows,
+		MaxPendingWrites: *maxPending,
+		IdleTimeout:      *idle,
+	})
+	if err := srv.Start(); err != nil {
+		cluster.Close()
+		fmt.Fprintln(os.Stderr, "aplusd:", err)
+		os.Exit(1)
+	}
+	st := cluster.Stats()
+	where := *dir
+	if where == "" {
+		where = "in-memory"
+	}
+	fmt.Printf("aplusd listening on %s (%d shards, %s; %d vertices, %d edges)\n",
+		srv.Addr(), cluster.NumShards(), where, st.Aggregate.NumVertices, st.Aggregate.NumEdges)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("aplusd: %v: shutting down\n", s)
+	start := time.Now()
+	srv.Close()
+	if err := cluster.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "aplusd: close:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("aplusd: clean shutdown in %v\n", time.Since(start).Round(time.Millisecond))
+}

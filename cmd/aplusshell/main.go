@@ -3,7 +3,10 @@
 // By default it starts with a synthetic in-memory dataset (configurable
 // with flags). With -db <dir> it opens a durable database instead: every
 // write is crash-safe before the prompt returns, and the same directory
-// reopens to the same state in the next session. It accepts:
+// reopens to the same state in the next session. With -connect <addr> it
+// drives a remote aplusd cluster over TCP with the same REPL: queries fan
+// out across the server's shards, Ctrl-C cancels in-flight remote queries,
+// and governance errors carry the same meanings. It accepts:
 //
 //	MATCH ...                     run a query, print the match count
 //	RECONFIGURE PRIMARY INDEXES   index DDL
@@ -11,11 +14,14 @@
 //	:explain MATCH ...            show the physical plan
 //	:rows N MATCH ...             print the first N matches
 //	:advise MATCH ... [; MATCH ...]   recommend indexes for a workload
+//	                              (local sessions only)
 //	:add vertex LABEL [k=v ...]   append a vertex (durable sessions)
 //	:add edge SRC DST LABEL [k=v ...]   append an edge
 //	:flush                        fold pending writes (and checkpoint -db)
-//	:stats                        database, index, durability, and query
-//	                              governance counters
+//	:stats                        database, index, durability, plan-cache,
+//	                              and query governance counters
+//	:shards                       per-shard epoch, WAL, and governance
+//	                              counters (one line in local sessions)
 //	:health                       durability health: degraded mode, last
 //	                              WAL/checkpoint errors, retry backoff,
 //	                              and the last query panic (if any)
@@ -40,6 +46,8 @@ import (
 	"time"
 
 	aplus "github.com/aplusdb/aplus"
+	"github.com/aplusdb/aplus/internal/client"
+	"github.com/aplusdb/aplus/internal/proto"
 )
 
 func main() {
@@ -47,34 +55,51 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	dbDir := flag.String("db", "", "open (creating if needed) a durable database in this directory instead of a synthetic in-memory dataset")
+	connect := flag.String("connect", "", "drive a remote aplusd at this address instead of an embedded database")
 	flag.Parse()
 
-	var db *aplus.DB
-	var err error
-	if *dbDir != "" {
-		db, err = aplus.Open(*dbDir)
+	var b backend
+	switch {
+	case *connect != "":
+		cl, err := client.Dial(*connect)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer db.Close()
+		b = &remoteBackend{cl: cl}
+		st, err := b.Stats()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("aplus shell — remote %s (%d shards, %d vertices, %d edges). Type :quit to exit.\n",
+			*connect, cl.NumShards(), st.NumVertices, st.NumEdges)
+	case *dbDir != "":
+		db, err := aplus.Open(*dbDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b = localBackend{db}
 		st := db.Stats()
 		fmt.Printf("aplus shell — durable db %s (%d vertices, %d edges; replayed %d WAL ops, checkpoint epoch %d). Type :quit to exit.\n",
 			*dbDir, st.NumVertices, st.NumEdges, st.ReplayedOps, st.CheckpointEpoch)
-	} else {
-		db, err = aplus.Generate(aplus.DatasetConfig{
+	default:
+		db, err := aplus.Generate(aplus.DatasetConfig{
 			Preset: *preset, Scale: *scale, Seed: *seed, Financial: true, Time: true,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		b = localBackend{db}
 		st := db.Stats()
 		fmt.Printf("aplus shell — %s (%d vertices, %d edges). Type :quit to exit.\n",
 			*preset, st.NumVertices, st.NumEdges)
 	}
+	defer b.Close()
 
-	s := &session{db: db}
+	s := &session{db: b}
 	signal.Notify(s.sigint(), os.Interrupt)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -100,10 +125,84 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
+// backend abstracts the shell over an embedded database and a remote
+// cluster: same REPL, same governance semantics, swapped transport.
+type backend interface {
+	CountProfiledLimited(ctx context.Context, q string, l aplus.QueryLimits) (int64, aplus.Metrics, error)
+	QueryLimited(ctx context.Context, q string, l aplus.QueryLimits, fn func(aplus.Row) bool) error
+	Explain(q string) (string, error)
+	Exec(ddl string) error
+	Flush() error
+	AddVertex(label string, props aplus.Props) (aplus.VertexID, error)
+	AddEdge(src, dst aplus.VertexID, label string, props aplus.Props) (aplus.EdgeID, error)
+	Advise(workload []string, budgetBytes int64) ([]aplus.Recommendation, error)
+	Stats() (aplus.Stats, error)
+	Shards() (shardsInfo, error)
+	Close() error
+}
+
+type shardsInfo struct {
+	per      []aplus.Stats
+	diverged bool
+	cause    string
+}
+
+// localBackend adapts *aplus.DB (everything but Stats/Shards is the DB's
+// own method set).
+type localBackend struct{ *aplus.DB }
+
+func (b localBackend) Stats() (aplus.Stats, error) { return b.DB.Stats(), nil }
+
+func (b localBackend) Shards() (shardsInfo, error) {
+	return shardsInfo{per: []aplus.Stats{b.DB.Stats()}}, nil
+}
+
+// remoteBackend adapts the wire client.
+type remoteBackend struct{ cl *client.Client }
+
+func (b *remoteBackend) CountProfiledLimited(ctx context.Context, q string, l aplus.QueryLimits) (int64, aplus.Metrics, error) {
+	return b.cl.CountProfiledLimited(ctx, q, l)
+}
+
+func (b *remoteBackend) QueryLimited(ctx context.Context, q string, l aplus.QueryLimits, fn func(aplus.Row) bool) error {
+	_, err := b.cl.QueryLimited(ctx, q, l, 0, func(r proto.Row) bool {
+		return fn(aplus.Row{Vertices: r.V, Edges: r.E})
+	})
+	return err
+}
+
+func (b *remoteBackend) Explain(q string) (string, error) { return b.cl.Explain(q) }
+func (b *remoteBackend) Exec(ddl string) error            { return b.cl.Exec(ddl) }
+func (b *remoteBackend) Flush() error                     { return b.cl.Flush() }
+
+func (b *remoteBackend) AddVertex(label string, props aplus.Props) (aplus.VertexID, error) {
+	return b.cl.AddVertex(label, props)
+}
+
+func (b *remoteBackend) AddEdge(src, dst aplus.VertexID, label string, props aplus.Props) (aplus.EdgeID, error) {
+	return b.cl.AddEdge(src, dst, label, props)
+}
+
+func (b *remoteBackend) Advise([]string, int64) ([]aplus.Recommendation, error) {
+	return nil, fmt.Errorf(":advise is not supported over -connect (open the data directory locally)")
+}
+
+func (b *remoteBackend) Stats() (aplus.Stats, error) {
+	st, err := b.cl.Stats()
+	return st.Aggregate, err
+}
+
+func (b *remoteBackend) Shards() (shardsInfo, error) {
+	st, err := b.cl.Stats()
+	return shardsInfo{per: st.PerShard, diverged: st.Diverged, cause: st.DivergedCause}, err
+}
+
+func (b *remoteBackend) Close() error { return b.cl.Close() }
+
 // session carries the shell's per-session governance settings and the
 // SIGINT plumbing that cancels the in-flight query.
 type session struct {
-	db     *aplus.DB
+	db     backend
 	limits aplus.QueryLimits
 	sig    chan os.Signal
 }
@@ -154,7 +253,10 @@ func eval(s *session, line string) error {
 	case lower == ":quit" || lower == ":q" || lower == "exit":
 		return errQuit
 	case lower == ":stats":
-		st := db.Stats()
+		st, err := db.Stats()
+		if err != nil {
+			return err
+		}
 		fmt.Printf("vertices=%d edges=%d graph=%dB primary(levels=%dB idlists=%dB) secondary=%dB\n",
 			st.NumVertices, st.NumEdges, st.GraphBytes,
 			st.PrimaryLevelBytes, st.PrimaryIDListBytes, st.SecondaryIndexBytes)
@@ -174,12 +276,34 @@ func eval(s *session, line string) error {
 			}
 			fmt.Println()
 		}
+		if st.PlanCacheHits > 0 || st.PlanCacheMisses > 0 {
+			fmt.Printf("plan-cache: hits=%d misses=%d entries=%d\n",
+				st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheEntries)
+		}
 		fmt.Printf("queries: in-flight=%d canceled=%d timed-out=%d rejected=%d slow=%d panicked=%d\n",
 			st.QueriesInFlight, st.QueriesCanceled, st.QueriesTimedOut,
 			st.QueriesRejected, st.SlowQueries, st.QueriesPanicked)
 		return nil
+	case lower == ":shards":
+		info, err := db.Shards()
+		if err != nil {
+			return err
+		}
+		for i, st := range info.per {
+			fmt.Printf("shard %d: epoch=%d vertices=%d edges=%d pending=%d wal=%dB replayed=%d plan-cache(hits=%d misses=%d) queries(in-flight=%d canceled=%d timed-out=%d rejected=%d)\n",
+				i, st.Epoch, st.NumVertices, st.NumEdges, st.PendingWrites,
+				st.WALBytes, st.ReplayedOps, st.PlanCacheHits, st.PlanCacheMisses,
+				st.QueriesInFlight, st.QueriesCanceled, st.QueriesTimedOut, st.QueriesRejected)
+		}
+		if info.diverged {
+			fmt.Printf("DIVERGED (writes disabled): %s\n", info.cause)
+		}
+		return nil
 	case lower == ":health":
-		st := db.Stats()
+		st, err := db.Stats()
+		if err != nil {
+			return err
+		}
 		if st.Degraded {
 			fmt.Printf("DEGRADED (read-only): %s\n", st.DegradedCause)
 			fmt.Println("writes fail fast; reads keep serving; restart the process to recover from the durable prefix")
@@ -270,7 +394,7 @@ func eval(s *session, line string) error {
 		fmt.Println("ok")
 		return nil
 	default:
-		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :add, :flush, :stats, :health, :limits, :quit)")
+		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :add, :flush, :stats, :shards, :health, :limits, :quit)")
 	}
 }
 
@@ -348,7 +472,7 @@ func evalLimits(s *session, rest string) error {
 
 // evalAdd handles ":add vertex LABEL [k=v ...]" and ":add edge SRC DST
 // LABEL [k=v ...]". Values parse as int when possible, string otherwise.
-func evalAdd(db *aplus.DB, rest string) error {
+func evalAdd(db backend, rest string) error {
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
 		return fmt.Errorf("usage: :add vertex LABEL [k=v ...] | :add edge SRC DST LABEL [k=v ...]")

@@ -52,13 +52,20 @@ type Runtime struct {
 	// overhead beyond one nil check per sink call).
 	Gov *Governor
 
-	// scratch is the per-worker arena of per-operator buffers; pipe caches
-	// the compiled closure chain (and reusable binding) of the last plan
-	// this Runtime executed, so warm re-executions are allocation-free. A
-	// Runtime consequently serves one plan execution at a time — the
+	// Shard, when active (Of > 1), restricts the root scan to the entries
+	// this shard owns (see ShardSpec). The morsel-parallel path copies it
+	// into every worker Runtime.
+	Shard ShardSpec
+
+	// pipe caches the compiled pipeline (binding + scratch arena + closure
+	// chain) of the last plan this Runtime executed, and pipes holds one
+	// pipeline per plan seen, so warm re-executions are allocation-free
+	// even when distinct plans alternate (the serving layer's plan cache
+	// replays a small working set of compiled plans against long-lived
+	// runtimes). A Runtime serves one plan execution at a time — the
 	// morsel-parallel path gives each worker its own Runtime.
-	scratch Scratch
-	pipe    *pipeline
+	pipe  *pipeline
+	pipes map[*Plan]*pipeline
 }
 
 // NewRuntime builds a runtime over a store.

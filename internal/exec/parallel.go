@@ -200,7 +200,7 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 	)
 	rts := make([]*Runtime, workers)
 	for w := 0; w < workers; w++ {
-		wrt := &Runtime{Store: rt.Store, G: rt.G, Delta: rt.Delta, Gov: rt.Gov}
+		wrt := &Runtime{Store: rt.Store, G: rt.G, Delta: rt.Delta, Gov: rt.Gov, Shard: rt.Shard}
 		rts[w] = wrt
 		var emit func(*Binding) bool
 		if !counting {
@@ -244,7 +244,7 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 				if hi > size {
 					hi = size
 				}
-				if !root.runRange(wrt, wrt.scratch.op(0), pl.b, lo, hi, pl.next[1]) {
+				if !root.runRange(wrt, pl.scratch.op(0), pl.b, lo, hi, pl.next[1]) {
 					// The pipeline aborted: emit returned false, or a mid-
 					// morsel governor poll tripped. Park the whole pool.
 					stopAll.Store(true)

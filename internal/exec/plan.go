@@ -29,6 +29,11 @@ type pipeline struct {
 	plan *Plan
 	rt   *Runtime
 	b    *Binding
+	// scratch is this pipeline's arena of per-operator buffers. It lives on
+	// the pipeline rather than the Runtime because a Runtime may cache
+	// pipelines for several plans with different operator counts; buffers
+	// are only ever reused by re-executions of the same plan.
+	scratch Scratch
 	// next[i] runs operators i.. and then the sink; next[i] is passed as
 	// the continuation of operator i-1.
 	next []func() bool
@@ -83,19 +88,36 @@ func (pl *pipeline) govFlush() bool {
 	return !g.stop.Load()
 }
 
+// maxCachedPipelines bounds the per-Runtime pipeline cache. The working
+// set is expected to be tiny (a Runtime usually serves one or a handful of
+// cached plans); on overflow the whole map is dropped rather than tracking
+// recency — rebuilding a pipeline is cheap next to compiling its plan.
+const maxCachedPipelines = 64
+
 // pipelineFor returns the Runtime's cached pipeline for p, building it on
-// first use or when the Runtime last executed a different plan.
+// first use. The most recent plan hits a single pointer compare; older
+// plans hit the per-plan map, so alternating query texts stay warm too.
 func (rt *Runtime) pipelineFor(p *Plan) *pipeline {
 	if rt.pipe != nil && rt.pipe.plan == p {
 		return rt.pipe
 	}
+	if pl, ok := rt.pipes[p]; ok {
+		rt.pipe = pl
+		return pl
+	}
 	pl := &pipeline{plan: p, rt: rt, b: NewBinding(p.NumV, p.NumE)}
-	rt.scratch.reset(len(p.Ops))
+	pl.scratch.reset(len(p.Ops))
 	pl.next = make([]func() bool, len(p.Ops)+1)
 	for i := 1; i <= len(p.Ops); i++ {
 		i := i
 		pl.next[i] = func() bool { return pl.step(i) }
 	}
+	if rt.pipes == nil {
+		rt.pipes = make(map[*Plan]*pipeline, 4)
+	} else if len(rt.pipes) >= maxCachedPipelines {
+		clear(rt.pipes)
+	}
+	rt.pipes[p] = pl
 	rt.pipe = pl
 	return pl
 }
@@ -106,7 +128,7 @@ func (pl *pipeline) step(i int) bool {
 	if i >= pl.stop {
 		return pl.sink()
 	}
-	return pl.plan.Ops[i].run(pl.rt, pl.rt.scratch.op(i), pl.b, pl.next[i+1])
+	return pl.plan.Ops[i].run(pl.rt, pl.scratch.op(i), pl.b, pl.next[i+1])
 }
 
 // sink consumes one boundary tuple: enumeration hands it to emit, counting

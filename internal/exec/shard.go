@@ -1,0 +1,42 @@
+package exec
+
+import "github.com/aplusdb/aplus/internal/storage"
+
+// ShardSpec restricts a plan's root scan to the entries one shard of a
+// K-way hash-partitioned cluster owns. Shards in the serving layer hold
+// full replicas of the data (so multi-hop pipelines never need remote
+// adjacency), and fan-out instead partitions *root ownership*: shard i of
+// K processes exactly the root-scan entries whose owning vertex hashes to
+// i. A partition of root entries across shards therefore covers every
+// entry exactly once — the same invariant morsel-driven parallelism relies
+// on — so per-shard counts, i-cost, and PredEvals sum bit-identically to a
+// single unsharded execution.
+//
+// Vertex scans own a position when the scanned vertex hashes to Index;
+// edge scans use the edge's source vertex. The filter runs before any
+// predicate evaluation or binding, so skipped entries charge no metrics.
+// The zero value (Of == 0) and Of <= 1 disable filtering.
+type ShardSpec struct {
+	Index int
+	Of    int
+}
+
+// Owner returns the shard index owning vertex v under a K-way partition.
+func Owner(v storage.VertexID, of int) int {
+	if of <= 1 {
+		return 0
+	}
+	// Fibonacci hashing: dense vertex IDs are sequential, so a plain mod
+	// would stripe adjacent IDs across shards in lockstep with any
+	// generator periodicity; the multiplicative mix decorrelates them.
+	h := uint64(v) * 0x9e3779b97f4a7c15
+	return int((h >> 33) % uint64(of))
+}
+
+// active reports whether the spec filters at all.
+func (s ShardSpec) active() bool { return s.Of > 1 }
+
+// ownsVertex reports whether this shard owns vertex v.
+func (s ShardSpec) ownsVertex(v storage.VertexID) bool {
+	return Owner(v, s.Of) == s.Index
+}

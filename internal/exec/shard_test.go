@@ -1,0 +1,209 @@
+package exec
+
+// Tests for the root-scan shard ownership filter (ShardSpec) and the
+// per-plan pipeline cache: sharded executions must partition the root
+// entries exactly (counts, i-cost, and PredEvals sum bit-identically to an
+// unsharded run), and a Runtime alternating between cached plans must stay
+// allocation-free in steady state.
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/pred"
+	"github.com/aplusdb/aplus/internal/storage"
+)
+
+// shardTrianglePlan is a vertex-rooted triangle with a predicate on the
+// scan so PredEvals partitioning is exercised too.
+func shardTrianglePlan() *Plan {
+	return &Plan{
+		NumV: 3, NumE: 2,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0, Terms: []CompiledTerm{{
+				Left: VertexOperand(0, pred.PropID), Op: pred.GE, Right: ConstOperand(storage.Int(0)),
+			}}},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+			}},
+		},
+	}
+}
+
+// shardEdgePlan is an edge-rooted 2-path (ownership keyed on Src(e)).
+func shardEdgePlan() *Plan {
+	return &Plan{
+		NumV: 3, NumE: 2,
+		Ops: []Op{
+			&ScanEdgeOp{EdgeSlot: 0, SrcSlot: 0, DstSlot: 1},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+			}},
+		},
+	}
+}
+
+// TestShardPartitionExact asserts that for K-way sharding the per-shard
+// counts, i-cost, and PredEvals sum exactly to the unsharded run, for both
+// vertex- and edge-rooted plans, on the serial and morsel-parallel paths.
+func TestShardPartitionExact(t *testing.T) {
+	s := allocStore(t)
+	plans := map[string]*Plan{"triangle": shardTrianglePlan(), "edge2path": shardEdgePlan()}
+	for name, plan := range plans {
+		base := NewRuntime(s)
+		want := plan.Count(base)
+		if want == 0 {
+			t.Fatalf("%s: degenerate test, no matches", name)
+		}
+		for _, k := range []int{1, 2, 3, 8} {
+			var n, icost, preds int64
+			for i := 0; i < k; i++ {
+				rt := NewRuntime(s)
+				rt.Shard = ShardSpec{Index: i, Of: k}
+				n += plan.Count(rt)
+				icost += rt.ICost
+				preds += rt.PredEvals
+			}
+			if n != want {
+				t.Errorf("%s K=%d: count %d, want %d", name, k, n, want)
+			}
+			if icost != base.ICost {
+				t.Errorf("%s K=%d: i-cost %d, want %d", name, k, icost, base.ICost)
+			}
+			if preds != base.PredEvals {
+				t.Errorf("%s K=%d: PredEvals %d, want %d", name, k, preds, base.PredEvals)
+			}
+			// Morsel-parallel inside each shard must not change the sums.
+			var pn, picost, ppreds int64
+			for i := 0; i < k; i++ {
+				rt := NewRuntime(s)
+				rt.Shard = ShardSpec{Index: i, Of: k}
+				got, err := plan.CountParallel(rt, ParallelOptions{Workers: 4, MorselSize: 7})
+				if err != nil {
+					t.Fatalf("%s K=%d shard %d: %v", name, k, i, err)
+				}
+				pn += got
+				picost += rt.ICost
+				ppreds += rt.PredEvals
+			}
+			if pn != want || picost != base.ICost || ppreds != base.PredEvals {
+				t.Errorf("%s K=%d parallel: (%d,%d,%d), want (%d,%d,%d)",
+					name, k, pn, picost, ppreds, want, base.ICost, base.PredEvals)
+			}
+		}
+	}
+}
+
+// TestShardExactIDScan pins that exact-ID roots resolve to exactly one
+// owning shard.
+func TestShardExactIDScan(t *testing.T) {
+	s := allocStore(t)
+	id := storage.VertexID(5)
+	plan := &Plan{
+		NumV: 2, NumE: 1,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0, ExactID: &id},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+		},
+	}
+	want := plan.Count(NewRuntime(s))
+	const k = 4
+	owners := 0
+	var n int64
+	for i := 0; i < k; i++ {
+		rt := NewRuntime(s)
+		rt.Shard = ShardSpec{Index: i, Of: k}
+		got := plan.Count(rt)
+		if got > 0 {
+			owners++
+		}
+		n += got
+	}
+	if owners != 1 || n != want {
+		t.Fatalf("exact-ID scan: %d owning shards (want 1), count %d (want %d)", owners, n, want)
+	}
+}
+
+// TestOwnerStable pins the ownership hash: every vertex maps to exactly one
+// shard in range, and Of<=1 never filters.
+func TestOwnerStable(t *testing.T) {
+	for _, k := range []int{2, 3, 8} {
+		for v := 0; v < 1000; v++ {
+			o := Owner(storage.VertexID(v), k)
+			if o < 0 || o >= k {
+				t.Fatalf("Owner(%d, %d) = %d out of range", v, k, o)
+			}
+			if o != Owner(storage.VertexID(v), k) {
+				t.Fatalf("Owner not deterministic")
+			}
+		}
+	}
+	if Owner(42, 1) != 0 || Owner(42, 0) != 0 {
+		t.Fatal("Of<=1 must map everything to shard 0")
+	}
+	if (ShardSpec{Index: 0, Of: 1}).active() || !(ShardSpec{Index: 0, Of: 2}).active() {
+		t.Fatal("active() wrong")
+	}
+}
+
+// TestZeroAllocAlternatingPlans pins the per-plan pipeline cache: once a
+// Runtime has executed two distinct plans, alternating between them stays
+// allocation-free (previously only the immediately-preceding plan was
+// cached, so alternation recompiled a pipeline per call).
+func TestZeroAllocAlternatingPlans(t *testing.T) {
+	s := allocStore(t)
+	rt := NewRuntime(s)
+	p1 := shardTrianglePlan()
+	p2 := shardEdgePlan()
+	w1 := p1.Count(rt)
+	w2 := p2.Count(rt)
+	if w1 == 0 || w2 == 0 {
+		t.Fatal("degenerate test: no matches")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if got := p1.Count(rt); got != w1 {
+			t.Fatalf("p1 count changed: %d vs %d", got, w1)
+		}
+		if got := p2.Count(rt); got != w2 {
+			t.Fatalf("p2 count changed: %d vs %d", got, w2)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("alternating warm plans allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestZeroAllocShardFilter pins that an active shard filter adds no
+// allocations to the steady-state loop.
+func TestZeroAllocShardFilter(t *testing.T) {
+	s := allocStore(t)
+	rt := NewRuntime(s)
+	rt.Shard = ShardSpec{Index: 1, Of: 2}
+	assertZeroAlloc(t, rt, shardTrianglePlan())
+}
+
+// TestPipelineCacheOverflow pins that overflowing the pipeline cache drops
+// and rebuilds rather than growing without bound or corrupting results.
+func TestPipelineCacheOverflow(t *testing.T) {
+	s := allocStore(t)
+	rt := NewRuntime(s)
+	ref := shardTrianglePlan()
+	want := ref.Count(NewRuntime(s))
+	for i := 0; i < maxCachedPipelines+8; i++ {
+		p := shardTrianglePlan() // distinct *Plan each time
+		if got := p.Count(rt); got != want {
+			t.Fatalf("plan %d: count %d, want %d", i, got, want)
+		}
+	}
+	if len(rt.pipes) > maxCachedPipelines {
+		t.Fatalf("pipeline cache grew to %d entries, cap %d", len(rt.pipes), maxCachedPipelines)
+	}
+	if got := ref.Count(rt); got != want {
+		t.Fatalf("after overflow: count %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,123 @@
+package plancache
+
+import "testing"
+
+func TestHitMissLRU(t *testing.T) {
+	c := New[string, int](2)
+	gen := "g1"
+	if _, ok := c.Get(gen, "a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(gen, "a", 1)
+	c.Put(gen, "b", 2)
+	if v, ok := c.Get(gen, "a"); !ok || v != 1 {
+		t.Fatalf("a = %d,%v", v, ok)
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	c.Put(gen, "c", 3)
+	if _, ok := c.Get(gen, "b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get(gen, "a"); !ok || v != 1 {
+		t.Fatalf("a after eviction = %d,%v", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	c := New[string, int](8)
+	g1, g2 := &struct{ int }{1}, &struct{ int }{2}
+	c.Put(g1, "q", 1)
+	if _, ok := c.Get(g2, "q"); ok {
+		t.Fatal("stale generation must miss")
+	}
+	// Old generation still hits until a Put flips the cache over.
+	if v, ok := c.Get(g1, "q"); !ok || v != 1 {
+		t.Fatalf("g1 lookup = %d,%v", v, ok)
+	}
+	c.Put(g2, "q", 2)
+	if _, ok := c.Get(g1, "q"); ok {
+		t.Fatal("g1 must miss after g2 Put")
+	}
+	if v, ok := c.Get(g2, "q"); !ok || v != 2 {
+		t.Fatalf("g2 lookup = %d,%v", v, ok)
+	}
+	if st := c.Stats(); st.Invalidations != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[string, int](8)
+	c.Put("g", "a", 1)
+	c.Put("g", "b", 2)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+	if st := c.Stats(); st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", st.Invalidations)
+	}
+	// Same generation, cache usable again.
+	c.Put("g", "a", 3)
+	if v, ok := c.Get("g", "a"); !ok || v != 3 {
+		t.Fatalf("a after purge = %d,%v", v, ok)
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("g", "a", 1)
+	c.Put("g", "a", 9)
+	if v, ok := c.Get("g", "a"); !ok || v != 9 {
+		t.Fatalf("a = %d,%v, want 9", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"MATCH a-[e]->b", "MATCH a-[e]->b"},
+		{"  MATCH   a-[e]->b\n", "MATCH a-[e]->b"},
+		{"MATCH\ta-[e]->b,\n\tb-[f]->c", "MATCH a-[e]->b, b-[f]->c"},
+		{"MATCH a-[e]->b WHERE a.name = 'two  spaces'", "MATCH a-[e]->b WHERE a.name = 'two  spaces'"},
+		{"MATCH a-[e]->b  WHERE a.name='x y'  ", "MATCH a-[e]->b WHERE a.name='x y'"},
+		{"", ""},
+		{"   ", ""},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[int, int](16)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			gen := w % 2 // two generations contending
+			for i := 0; i < 500; i++ {
+				c.Put(gen, i%32, i)
+				c.Get(gen, (i+7)%32)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	st := c.Stats()
+	if st.Entries > 16 {
+		t.Fatalf("entries %d exceed cap", st.Entries)
+	}
+}

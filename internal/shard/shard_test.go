@@ -1,0 +1,451 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/aplusdb/aplus"
+)
+
+const (
+	triangleQ = "MATCH a1-[e1]->a2-[e2]->a3, a3-[e3]->a1"
+	pathQ     = "MATCH a-[e]->b, b-[f]->c"
+)
+
+// seedOps writes a deterministic pseudo-random graph through any write API.
+type writer interface {
+	AddVertex(label string, props aplus.Props) (aplus.VertexID, error)
+	AddEdge(src, dst aplus.VertexID, label string, props aplus.Props) (aplus.EdgeID, error)
+	DeleteEdge(e aplus.EdgeID) error
+}
+
+func seedGraph(t testing.TB, w writer, nv, ne int, deletes bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	labels := []string{"P", "Q"}
+	for i := 0; i < nv; i++ {
+		if _, err := w.AddVertex(labels[i%2], aplus.Props{"x": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var eids []aplus.EdgeID
+	for i := 0; i < ne; i++ {
+		src := aplus.VertexID(rng.Intn(nv))
+		dst := aplus.VertexID(rng.Intn(nv))
+		e, err := w.AddEdge(src, dst, "K", aplus.Props{"w": rng.Intn(100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eids = append(eids, e)
+	}
+	if deletes {
+		for i := 0; i < ne/10; i++ {
+			if err := w.DeleteEdge(eids[rng.Intn(len(eids))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestShardParity asserts the acceptance criterion: counts, i-cost, and
+// profiled metrics from a K-shard cluster are bit-identical to a single
+// embedded DB over the same generated graph, for K in {1, 2, 8}, with
+// deletes in the delta, after a fold, and with a secondary view installed.
+func TestShardParity(t *testing.T) {
+	const nv, ne = 300, 1500
+	ref := aplus.New()
+	seedGraph(t, ref, nv, ne, true)
+
+	type phase struct {
+		name string
+		prep func(flush func() error, exec func(string) error) error
+	}
+	phases := []phase{
+		{"delta", func(func() error, func(string) error) error { return nil }},
+		{"folded", func(flush func() error, _ func(string) error) error { return flush() }},
+		{"with-view", func(_ func() error, exec func(string) error) error {
+			return exec("CREATE 1-HOP VIEW VW MATCH vs-[eadj]->vd INDEX AS FW PARTITION BY eadj.label")
+		}},
+	}
+	queries := []string{triangleQ, pathQ}
+
+	// Reference runs per phase.
+	type want struct {
+		n int64
+		m aplus.Metrics
+	}
+	refRuns := make(map[string]want)
+	for _, ph := range phases {
+		if err := ph.prep(ref.Flush, ref.Exec); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			n, m, err := ref.CountProfiledCtx(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRuns[ph.name+"/"+q] = want{n, m}
+		}
+	}
+
+	for _, k := range []int{1, 2, 8} {
+		c, err := New(Options{Shards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedGraph(t, c, nv, ne, true)
+		for _, ph := range phases {
+			if err := ph.prep(c.Flush, c.Exec); err != nil {
+				t.Fatalf("K=%d %s: %v", k, ph.name, err)
+			}
+			for _, q := range queries {
+				w := refRuns[ph.name+"/"+q]
+				n, m, err := c.CountProfiledCtx(context.Background(), q)
+				if err != nil {
+					t.Fatalf("K=%d %s %q: %v", k, ph.name, q, err)
+				}
+				if n != w.n {
+					t.Errorf("K=%d %s %q: count %d, want %d", k, ph.name, q, n, w.n)
+				}
+				if m.ICost != w.m.ICost || m.PredEvals != w.m.PredEvals {
+					t.Errorf("K=%d %s %q: metrics (%d,%d), want (%d,%d)",
+						k, ph.name, q, m.ICost, m.PredEvals, w.m.ICost, w.m.PredEvals)
+				}
+				if m.EstimatedICost != w.m.EstimatedICost {
+					t.Errorf("K=%d %s %q: est %v, want %v", k, ph.name, q, m.EstimatedICost, w.m.EstimatedICost)
+				}
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardRowParity asserts the fan-out Query path streams exactly the
+// embedded row set (as a multiset, order-independent).
+func TestShardRowParity(t *testing.T) {
+	const nv, ne = 150, 700
+	ref := aplus.New()
+	seedGraph(t, ref, nv, ne, false)
+	rowsOf := func(q interface {
+		Query(string, func(aplus.Row) bool) error
+	}) []string {
+		var rows []string
+		err := q.Query(pathQ, func(r aplus.Row) bool {
+			rows = append(rows, fmt.Sprintf("%d-%d-%d|%d-%d", r.Vertices["a"], r.Vertices["b"], r.Vertices["c"], r.Edges["e"], r.Edges["f"]))
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(rows)
+		return rows
+	}
+	want := rowsOf(ref)
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no rows")
+	}
+	for _, k := range []int{2, 8} {
+		c, err := New(Options{Shards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedGraph(t, c, nv, ne, false)
+		got := rowsOf(c)
+		if len(got) != len(want) {
+			t.Fatalf("K=%d: %d rows, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("K=%d: row %d = %s, want %s", k, i, got[i], want[i])
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestFanOutCancellation is the acceptance test: canceling a fan-out query
+// mid-flight returns a wrapped ErrQueryCanceled and QueriesInFlight
+// returns to 0 on every shard.
+func TestFanOutCancellation(t *testing.T) {
+	c, err := New(Options{Shards: 4, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Hub-heavy shape so the query is long enough to catch in flight.
+	err = c.Batch(func(b *Batch) error {
+		hubs := make([]aplus.VertexID, 40)
+		for i := range hubs {
+			v, err := b.AddVertex("H", nil)
+			if err != nil {
+				return err
+			}
+			hubs[i] = v
+		}
+		for _, h := range hubs {
+			for _, h2 := range hubs {
+				if _, err := b.AddEdge(h, h2, "K", nil); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rows := 0
+	qerr := c.QueryCtx(ctx, triangleQ, func(aplus.Row) bool {
+		rows++
+		if rows == 10 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(qerr, aplus.ErrQueryCanceled) {
+		t.Fatalf("canceled fan-out returned %v, want wrapped ErrQueryCanceled", qerr)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		inFlight := int64(0)
+		for i := 0; i < c.NumShards(); i++ {
+			inFlight += c.DB(i).Stats().QueriesInFlight
+		}
+		if inFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("QueriesInFlight still %d after cancel", inFlight)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Each shard observed the cancellation (counter or no-op if it drained
+	// before noticing; at least one must have counted it).
+	var canceled int64
+	for i := 0; i < c.NumShards(); i++ {
+		canceled += c.DB(i).Stats().QueriesCanceled
+	}
+	if canceled == 0 {
+		t.Fatal("no shard recorded a canceled query")
+	}
+}
+
+// TestFanOutBudget pins that per-shard budgets trip the whole fan-out with
+// a matchable sentinel.
+func TestFanOutBudget(t *testing.T) {
+	c, err := New(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedGraph(t, c, 100, 800, false)
+	_, _, err = c.CountProfiledLimited(context.Background(), triangleQ, aplus.QueryLimits{MaxICost: 1})
+	if !errors.Is(err, aplus.ErrBudgetExceeded) {
+		t.Fatalf("budget trip returned %v, want wrapped ErrBudgetExceeded", err)
+	}
+}
+
+// TestClusterDivergencePoisonsWrites forces an ID divergence by writing
+// directly to one replica behind the cluster's back.
+func TestClusterDivergencePoisonsWrites(t *testing.T) {
+	c, err := New(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddVertex("P", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-band write to shard 1 desynchronizes its ID allocator.
+	if _, err := c.DB(1).AddVertex("X", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.AddVertex("P", nil)
+	if !errors.Is(err, ErrClusterDiverged) {
+		t.Fatalf("diverged write returned %v, want ErrClusterDiverged", err)
+	}
+	// Writes stay poisoned; reads keep serving.
+	if _, err := c.AddVertex("P", nil); !errors.Is(err, ErrClusterDiverged) {
+		t.Fatalf("later write returned %v, want ErrClusterDiverged", err)
+	}
+	if err := c.Exec("DROP VIEW nope"); !errors.Is(err, ErrClusterDiverged) {
+		t.Fatalf("DDL after divergence returned %v, want ErrClusterDiverged", err)
+	}
+	st := c.Stats()
+	if !st.Diverged || st.DivergedCause == "" {
+		t.Fatalf("stats do not report divergence: %+v", st)
+	}
+	if _, err := c.Count("MATCH a-[e]->b"); err != nil {
+		t.Fatalf("read after divergence failed: %v", err)
+	}
+}
+
+// TestDurableClusterReopen writes through a durable cluster, closes it,
+// reopens, and asserts parity with an embedded reference (recovery runs
+// per shard through each shard's WAL).
+func TestDurableClusterReopen(t *testing.T) {
+	dir := t.TempDir()
+	const nv, ne = 120, 600
+	ref := aplus.New()
+	seedGraph(t, ref, nv, ne, true)
+	wantN, wantM, err := ref.CountProfiledCtx(context.Background(), triangleQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := New(Options{Shards: 2, Dir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedGraph(t, c, nv, ne, true)
+	n, m, err := c.CountProfiledCtx(context.Background(), triangleQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != wantN || m.ICost != wantM.ICost {
+		t.Fatalf("durable cluster: (%d,%d), want (%d,%d)", n, m.ICost, wantN, wantM.ICost)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a different shard count must be refused.
+	if _, err := New(Options{Shards: 4, Dir: dir}); err == nil {
+		t.Fatal("resharding an existing directory was not refused")
+	}
+
+	c2, err := New(Options{Shards: 2, Dir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	n, m, err = c2.CountProfiledCtx(context.Background(), triangleQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != wantN || m.ICost != wantM.ICost || m.PredEvals != wantM.PredEvals {
+		t.Fatalf("reopened cluster: (%d,%d,%d), want (%d,%d,%d)",
+			n, m.ICost, m.PredEvals, wantN, wantM.ICost, wantM.PredEvals)
+	}
+	// And it must still accept writes routed through the recovered WALs.
+	if _, err := c2.AddVertex("P", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterConcurrentReadsAndWrites stresses fan-out reads racing
+// replicated writes and folds (run under -race in CI).
+func TestClusterConcurrentReadsAndWrites(t *testing.T) {
+	c, err := New(Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedGraph(t, c, 80, 400, false)
+	done := make(chan error, 6)
+	for r := 0; r < 4; r++ {
+		go func() {
+			var ferr error
+			for i := 0; i < 30; i++ {
+				if _, err := c.Count(pathQ); err != nil {
+					ferr = err
+					break
+				}
+			}
+			done <- ferr
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			var ferr error
+			for i := 0; i < 20; i++ {
+				src := aplus.VertexID((w*20 + i) % 80)
+				if _, err := c.AddEdge(src, aplus.VertexID((i*7)%80), "K", nil); err != nil {
+					ferr = err
+					break
+				}
+				if i%10 == 9 {
+					if err := c.Flush(); err != nil {
+						ferr = err
+						break
+					}
+				}
+			}
+			done <- ferr
+		}(w)
+	}
+	for i := 0; i < 6; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replicas must still agree after the storm.
+	sts := c.Stats()
+	for i, st := range sts.Shards {
+		if st.NumVertices != sts.Shards[0].NumVertices || st.NumEdges != sts.Shards[0].NumEdges {
+			t.Fatalf("shard %d diverged: %dv/%de vs %dv/%de", i,
+				st.NumVertices, st.NumEdges, sts.Shards[0].NumVertices, sts.Shards[0].NumEdges)
+		}
+	}
+	if sts.Diverged {
+		t.Fatalf("cluster diverged: %s", sts.DivergedCause)
+	}
+}
+
+// TestBatchReplay pins batch atomicity across replicas, including the
+// fn-error path (nothing commits anywhere).
+func TestBatchReplay(t *testing.T) {
+	c, err := New(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Batch(func(b *Batch) error {
+		v1, err := b.AddVertex("P", aplus.Props{"name": "a"})
+		if err != nil {
+			return err
+		}
+		v2, err := b.AddVertex("P", nil)
+		if err != nil {
+			return err
+		}
+		e, err := b.AddEdge(v1, v2, "K", nil)
+		if err != nil {
+			return err
+		}
+		return b.DeleteEdge(e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err = c.Batch(func(b *Batch) error {
+		if _, err := b.AddVertex("P", nil); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("batch error = %v, want boom", err)
+	}
+	st := c.Stats()
+	for i, s := range st.Shards {
+		if s.NumVertices != 2 {
+			t.Fatalf("shard %d has %d vertices, want 2 (aborted batch leaked)", i, s.NumVertices)
+		}
+		if s.NumEdges != 0 {
+			t.Fatalf("shard %d has %d live edges, want 0", i, s.NumEdges)
+		}
+	}
+	if prop := c.VertexProp(0, "name"); prop != "a" {
+		t.Fatalf("VertexProp = %v, want a", prop)
+	}
+}
