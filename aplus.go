@@ -64,6 +64,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,7 @@ import (
 
 	"github.com/aplusdb/aplus/internal/exec"
 	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/obs"
 	"github.com/aplusdb/aplus/internal/opt"
 	"github.com/aplusdb/aplus/internal/plancache"
 	"github.com/aplusdb/aplus/internal/query"
@@ -185,8 +187,15 @@ type DB struct {
 	AdmissionPolicy AdmissionPolicy
 
 	// SlowQueryThreshold, when positive, counts every read at least this
-	// slow in Stats().SlowQueries.
+	// slow in Stats().SlowQueries, captures it as Stats().LastSlowQuery,
+	// and logs it to SlowQueryLog when one is set.
 	SlowQueryThreshold time.Duration
+
+	// SlowQueryLog, when set alongside a positive SlowQueryThreshold,
+	// receives one structured record per slow read: query text, duration,
+	// i-cost, rows, governance outcome, and the physical plan. The plan is
+	// rendered only for slow queries, never on the fast path.
+	SlowQueryLog *slog.Logger
 
 	// Shard, when Of > 1, marks this database as one full replica in a
 	// K-way hash-partitioned cluster and restricts every query's root scan
@@ -229,6 +238,12 @@ type DB struct {
 	slowQueries     atomic.Int64
 	queriesPanicked atomic.Int64
 	lastQueryPanic  atomic.Pointer[string]
+
+	// Latency histograms (lock-free, log-bucketed; see internal/obs) and
+	// the most recent slow-query capture, surfaced through Stats.
+	queryLatency  obs.Histogram
+	admissionWait obs.Histogram
+	lastSlowQuery atomic.Pointer[SlowQuery]
 
 	// injectWorkerFault, when set by tests, is plumbed into every query's
 	// ParallelOptions to inject a panic into a live worker goroutine.
@@ -795,6 +810,17 @@ type Stats struct {
 	QueriesPanicked int64
 	LastQueryPanic  string
 
+	// Latency histograms (log-bucketed p50/p95/p99, mergeable across
+	// shards): end-to-end governed-read latency, admission-gate wait, WAL
+	// fsync time (durable databases only), and delta-fold duration.
+	QueryLatency  LatencyStats
+	AdmissionWait LatencyStats
+	WALFsync      LatencyStats
+	FoldDuration  LatencyStats
+	// LastSlowQuery is the most recent read that crossed
+	// SlowQueryThreshold (nil when none has).
+	LastSlowQuery *SlowQuery
+
 	// Plan-cache observability: a hit reuses a compiled plan (skipping
 	// parse and plan search); misses include lookups against a store the
 	// cache has not seen yet (fold/DDL invalidation). All zero when
@@ -858,6 +884,7 @@ func (db *DB) Stats() Stats {
 		GroupedWrites:              ms.GroupedOps,
 		MergeRetries:               ms.MergeRetries,
 		RetryBackoff:               ms.RetryBackoff,
+		FoldDuration:               ms.FoldHist,
 	}
 	if db.eng != nil {
 		es := db.eng.Stats()
@@ -869,6 +896,7 @@ func (db *DB) Stats() Stats {
 		st.Degraded = es.Degraded
 		st.DegradedCause = es.DegradedCause
 		st.LastWALError = es.LastWALError
+		st.WALFsync = es.FsyncHist
 	}
 	db.governanceStats(&st)
 	db.planCacheStats(&st)

@@ -70,6 +70,11 @@
 // more than one. -json dumps every measured row as a machine-readable
 // JSON array for trajectory tracking across commits.
 //
+// -hist re-runs each measured table query a few times and annotates its
+// row with per-run latency p50/p99 (log-bucketed histogram quantiles).
+// The quantiles ride along in -json rows but are advisory: -baseline
+// gates only runtime, count, and i-cost, never the quantiles.
+//
 // -baseline loads a prior -json dump and prints per-row deltas against it;
 // the process exits non-zero when any matched row runs slower than
 // baseline*(1+tolerance), its i-cost grows beyond (1+icost-tolerance), or
@@ -111,6 +116,7 @@ func main() {
 	mixedBatch := flag.Int("mixed-batch", 64, "mixed: ops per committed batch")
 	mixedReads := flag.Int("mixed-reads", 200, "mixed: queries per reader per phase")
 	mixedRatio := flag.Float64("mixed-ratio", 0.2, "mixed: fraction of batch ops that are deletes")
+	hist := flag.Bool("hist", false, "re-run each table query a few times and add per-run latency p50/p99 to rows (advisory; excluded from -baseline gating)")
 	flag.Parse()
 	if *mixed {
 		*exp = "mixed"
@@ -149,7 +155,7 @@ func main() {
 		Out: os.Stdout, Scale: *scale, Verify: *verify, Workers: *workers,
 		MixedReaders: *mixedReaders, MixedWriters: *mixedWriters,
 		MixedBatch: *mixedBatch, MixedReads: *mixedReads, MixedWriteRatio: *mixedRatio,
-		DurableDir: durableDir,
+		DurableDir: durableDir, Hist: *hist,
 	}
 	if *faultSites > 0 {
 		o.FaultSites = *faultSites

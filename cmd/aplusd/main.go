@@ -7,6 +7,12 @@
 // and mirror to the replicas; `stats` and `health` expose the aggregated
 // observability counters an admission-controlling load balancer consumes.
 //
+// With -metrics, a second HTTP listener serves /metrics (Prometheus text
+// exposition: latency histograms and counters per shard plus a
+// shard="cluster" aggregate), /debug/vars (expvar), and /debug/pprof/.
+// With -slow-query, reads at least that slow are logged as structured
+// JSON to stderr and the most recent one is captured in `stats`.
+//
 // Quickstart:
 //
 //	aplusd -dir /var/lib/aplus -shards 2 -addr 127.0.0.1:7687 &
@@ -25,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +56,8 @@ func main() {
 	maxPending := flag.Int("max-pending-writes", 0, "reject writes while aggregate pending writes exceed this (0 = no backpressure)")
 	maxRows := flag.Int64("max-rows", 0, "default per-query row-stream cap (0 = unlimited)")
 	idle := flag.Duration("idle-timeout", 0, "disconnect connections idle at the prompt for this long (0 = never)")
+	metricsAddr := flag.String("metrics", "", "HTTP observability listen address serving /metrics (Prometheus text), /debug/vars, /debug/pprof/ (empty = disabled)")
+	slowQuery := flag.Duration("slow-query", 0, "per-shard slow-query threshold: reads at least this slow are counted, captured in stats, and logged as JSON to stderr (0 = disabled)")
 	flag.Parse()
 
 	var policy aplus.AdmissionPolicy
@@ -62,6 +71,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	var slowLog *slog.Logger
+	if *slowQuery > 0 {
+		slowLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+
 	cluster, err := shard.New(shard.Options{
 		Shards:               *shards,
 		Dir:                  *dir,
@@ -72,6 +86,8 @@ func main() {
 		QueryTimeout:         *queryTimeout,
 		MaxConcurrentQueries: *maxQueries,
 		AdmissionPolicy:      policy,
+		SlowQueryThreshold:   *slowQuery,
+		SlowQueryLog:         slowLog,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aplusd:", err)
@@ -89,6 +105,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aplusd:", err)
 		os.Exit(1)
 	}
+	var metrics *server.MetricsServer
+	if *metricsAddr != "" {
+		metrics, err = server.StartMetrics(cluster, *metricsAddr)
+		if err != nil {
+			srv.Close()
+			cluster.Close()
+			fmt.Fprintln(os.Stderr, "aplusd: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("aplusd metrics on %s\n", metrics.Addr())
+	}
 	st := cluster.Stats()
 	where := *dir
 	if where == "" {
@@ -102,6 +129,9 @@ func main() {
 	s := <-sig
 	fmt.Printf("aplusd: %v: shutting down\n", s)
 	start := time.Now()
+	if metrics != nil {
+		metrics.Close()
+	}
 	srv.Close()
 	if err := cluster.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "aplusd: close:", err)

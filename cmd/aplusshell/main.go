@@ -12,6 +12,8 @@
 //	RECONFIGURE PRIMARY INDEXES   index DDL
 //	CREATE 1-HOP VIEW ... / CREATE 2-HOP VIEW ... / DROP VIEW name
 //	:explain MATCH ...            show the physical plan
+//	:analyze MATCH ...            run the query with per-operator tracing
+//	                              and render the EXPLAIN ANALYZE span tree
 //	:rows N MATCH ...             print the first N matches
 //	:advise MATCH ... [; MATCH ...]   recommend indexes for a workload
 //	                              (local sessions only)
@@ -19,12 +21,14 @@
 //	:add edge SRC DST LABEL [k=v ...]   append an edge
 //	:flush                        fold pending writes (and checkpoint -db)
 //	:stats                        database, index, durability, plan-cache,
-//	                              and query governance counters
+//	                              query governance counters, and latency
+//	                              histograms (query, admission, fsync, fold)
 //	:shards                       per-shard epoch, WAL, and governance
 //	                              counters (one line in local sessions)
 //	:health                       durability health: degraded mode, last
 //	                              WAL/checkpoint errors, retry backoff,
-//	                              and the last query panic (if any)
+//	                              latency percentiles, and the last query
+//	                              panic / slow query (if any)
 //	:limits [...]                 show or set per-session query limits
 //	                              (timeout, i-cost, rows)
 //	:quit
@@ -131,6 +135,7 @@ type backend interface {
 	CountProfiledLimited(ctx context.Context, q string, l aplus.QueryLimits) (int64, aplus.Metrics, error)
 	QueryLimited(ctx context.Context, q string, l aplus.QueryLimits, fn func(aplus.Row) bool) error
 	Explain(q string) (string, error)
+	Analyze(ctx context.Context, q string, l aplus.QueryLimits) (*aplus.QueryTrace, error)
 	Exec(ddl string) error
 	Flush() error
 	AddVertex(label string, props aplus.Props) (aplus.VertexID, error)
@@ -153,6 +158,10 @@ type localBackend struct{ *aplus.DB }
 
 func (b localBackend) Stats() (aplus.Stats, error) { return b.DB.Stats(), nil }
 
+func (b localBackend) Analyze(ctx context.Context, q string, l aplus.QueryLimits) (*aplus.QueryTrace, error) {
+	return b.DB.ExplainAnalyzeLimited(ctx, q, l)
+}
+
 func (b localBackend) Shards() (shardsInfo, error) {
 	return shardsInfo{per: []aplus.Stats{b.DB.Stats()}}, nil
 }
@@ -172,8 +181,16 @@ func (b *remoteBackend) QueryLimited(ctx context.Context, q string, l aplus.Quer
 }
 
 func (b *remoteBackend) Explain(q string) (string, error) { return b.cl.Explain(q) }
-func (b *remoteBackend) Exec(ddl string) error            { return b.cl.Exec(ddl) }
-func (b *remoteBackend) Flush() error                     { return b.cl.Flush() }
+
+func (b *remoteBackend) Analyze(ctx context.Context, q string, l aplus.QueryLimits) (*aplus.QueryTrace, error) {
+	t, err := b.cl.Analyze(ctx, q, l)
+	if err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+func (b *remoteBackend) Exec(ddl string) error { return b.cl.Exec(ddl) }
+func (b *remoteBackend) Flush() error          { return b.cl.Flush() }
 
 func (b *remoteBackend) AddVertex(label string, props aplus.Props) (aplus.VertexID, error) {
 	return b.cl.AddVertex(label, props)
@@ -283,6 +300,17 @@ func eval(s *session, line string) error {
 		fmt.Printf("queries: in-flight=%d canceled=%d timed-out=%d rejected=%d slow=%d panicked=%d\n",
 			st.QueriesInFlight, st.QueriesCanceled, st.QueriesTimedOut,
 			st.QueriesRejected, st.SlowQueries, st.QueriesPanicked)
+		printHist := func(name string, h aplus.LatencyStats) {
+			if h.Count == 0 {
+				return
+			}
+			fmt.Printf("%s: n=%d p50=%v p95=%v p99=%v max=%v\n",
+				name, h.Count, h.P50, h.P95, h.P99, h.Max)
+		}
+		printHist("latency", st.QueryLatency)
+		printHist("admission-wait", st.AdmissionWait)
+		printHist("wal-fsync", st.WALFsync)
+		printHist("fold", st.FoldDuration)
 		return nil
 	case lower == ":shards":
 		info, err := db.Shards()
@@ -322,6 +350,14 @@ func eval(s *session, line string) error {
 		if st.LastQueryPanic != "" {
 			fmt.Printf("last query panic (isolated, %d total): %s\n", st.QueriesPanicked, st.LastQueryPanic)
 		}
+		if h := st.QueryLatency; h.Count > 0 {
+			fmt.Printf("query latency: p50=%v p95=%v p99=%v max=%v (%d queries)\n",
+				h.P50, h.P95, h.P99, h.Max, h.Count)
+		}
+		if sq := st.LastSlowQuery; sq != nil {
+			fmt.Printf("last slow query (%d total): %v %s (i-cost %d, rows %d, %s)\n",
+				st.SlowQueries, sq.Duration.Round(time.Microsecond), sq.Query, sq.ICost, sq.Rows, sq.Outcome)
+		}
 		return nil
 	case lower == ":limits" || strings.HasPrefix(lower, ":limits "):
 		return evalLimits(s, strings.TrimSpace(line[len(":limits"):]))
@@ -339,6 +375,19 @@ func eval(s *session, line string) error {
 			return err
 		}
 		fmt.Print(plan)
+		return nil
+	case strings.HasPrefix(lower, ":analyze "):
+		ctx, finish := s.queryCtx()
+		defer finish()
+		t, err := db.Analyze(ctx, line[len(":analyze "):], s.limits)
+		if t != nil {
+			// A governance stop still yields the partial trace; render it
+			// before reporting the stop.
+			fmt.Print(t.Render())
+		}
+		if err != nil {
+			return explainQueryError(err)
+		}
 		return nil
 	case strings.HasPrefix(lower, ":rows "):
 		rest := strings.TrimSpace(line[len(":rows "):])
@@ -394,7 +443,7 @@ func eval(s *session, line string) error {
 		fmt.Println("ok")
 		return nil
 	default:
-		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :rows, :advise, :add, :flush, :stats, :shards, :health, :limits, :quit)")
+		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :analyze, :rows, :advise, :add, :flush, :stats, :shards, :health, :limits, :quit)")
 	}
 }
 

@@ -144,6 +144,29 @@ func main() {
 	fmt.Printf("\ngoverned: %v (did %d rows, i-cost %d before the abort)\n",
 		err, be.PartialRows, be.Partial.ICost)
 
+	// Observability: ExplainAnalyze runs the query for real with
+	// per-operator tracing armed — one span per plan operator with rows,
+	// exclusive i-cost, and wall time, plus the per-worker split. The span
+	// sums are bit-identical to CountProfiled on the same snapshot; tracing
+	// is disarmed (zero-cost) for every other query. The same trace is
+	// available remotely via the `analyze` verb and aplusshell's
+	// `:analyze MATCH ...`.
+	trace, err := db.ExplainAnalyze(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", trace.Render())
+
+	// Every governed read also lands in lock-free latency histograms,
+	// surfaced as log-bucketed quantiles in Stats (and per shard plus
+	// cluster-aggregated on aplusd's -metrics Prometheus endpoint). Setting
+	// SlowQueryThreshold captures reads over the bar — count, most recent
+	// query with its plan, and a structured slog record when SlowQueryLog
+	// is set (aplusd: -slow-query 250ms).
+	ost := db.Stats()
+	fmt.Printf("\nquery latency: n=%d p50=%v p99=%v max=%v\n",
+		ost.QueryLatency.Count, ost.QueryLatency.P50, ost.QueryLatency.P99, ost.QueryLatency.Max)
+
 	// Durable databases: Open a directory instead of New, and every commit
 	// is crash-safe (written and fsync'd to the write-ahead log) before it
 	// becomes visible; reopening the directory recovers the exact state of

@@ -166,6 +166,16 @@ type governedRun struct {
 	cancel  context.CancelFunc
 	stopW   func() // context-watcher reaper
 	start   time.Time
+
+	// Observability context, filled in as the run progresses so finish()
+	// can describe the query when it turns out slow (see noteSlowQuery):
+	// the query text and plan, the rows/i-cost accumulated, and how the
+	// run ended ("" = ok).
+	cypher  string
+	plan    *exec.Plan
+	rows    int64
+	icost   int64
+	outcome string
 }
 
 // beginGoverned admits the query, applies the deadline, and arms the
@@ -179,10 +189,12 @@ func (db *DB) beginGoverned(ctx context.Context, limits QueryLimits) (*governedR
 	if err := ctx.Err(); err != nil {
 		return nil, nil, db.ctxError(ctx)
 	}
+	arrived := time.Now()
 	release, err := db.admit(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
+	db.admissionWait.RecordSince(arrived)
 	run := &governedRun{db: db, release: release, start: time.Now()}
 	db.queriesInFlight.Add(1)
 	timeout := limits.MaxDuration
@@ -200,8 +212,10 @@ func (db *DB) beginGoverned(ctx context.Context, limits QueryLimits) (*governedR
 }
 
 // finish tears a governed run down: reaps the context watcher, releases the
-// deadline timer and the admission slot, and maintains the in-flight and
-// slow-query counters. It must run on every exit path, including panics.
+// deadline timer and the admission slot, maintains the in-flight counter,
+// records the query's latency, and captures the slow-query record when the
+// run crossed the threshold. It must run on every exit path, including
+// panics.
 func (run *governedRun) finish() {
 	if run.stopW != nil {
 		run.stopW()
@@ -213,8 +227,10 @@ func (run *governedRun) finish() {
 		run.release()
 	}
 	run.db.queriesInFlight.Add(-1)
-	if t := run.db.SlowQueryThreshold; t > 0 && time.Since(run.start) >= t {
-		run.db.slowQueries.Add(1)
+	elapsed := time.Since(run.start)
+	run.db.queryLatency.Record(int64(elapsed))
+	if t := run.db.SlowQueryThreshold; t > 0 && elapsed >= t {
+		run.db.noteSlowQuery(run, elapsed)
 	}
 }
 
@@ -331,6 +347,7 @@ func (db *DB) countGoverned(ctx context.Context, cypher string, limits QueryLimi
 		return 0, Metrics{}, err
 	}
 	defer run.finish()
+	run.cypher = cypher
 	s, err := db.pin()
 	if err != nil {
 		return 0, Metrics{}, err
@@ -340,15 +357,19 @@ func (db *DB) countGoverned(ctx context.Context, cypher string, limits QueryLimi
 	if err != nil {
 		return 0, Metrics{}, err
 	}
+	run.plan = plan
 	rt.Gov = run.gov
 	opts := db.parallelOptions()
 	opts.InjectWorkerFault = db.injectWorkerFault
 	n, err := plan.CountParallel(rt, opts)
+	run.rows, run.icost = n, rt.ICost
 	m := Metrics{ICost: rt.ICost, PredEvals: rt.PredEvals, EstimatedICost: plan.EstimatedICost}
 	if err != nil {
+		run.outcome = "panic"
 		return 0, m, db.recordPanic(err)
 	}
 	if run.gov != nil && run.gov.Stopped() {
+		run.outcome = run.gov.Reason().String()
 		return 0, m, db.govError(run.gov, limits, m, n)
 	}
 	return n, m, nil
@@ -365,6 +386,7 @@ func (db *DB) queryGoverned(ctx context.Context, cypher string, limits QueryLimi
 		return err
 	}
 	defer run.finish()
+	run.cypher = cypher
 	s, err := db.pin()
 	if err != nil {
 		return err
@@ -374,6 +396,7 @@ func (db *DB) queryGoverned(ctx context.Context, cypher string, limits QueryLimi
 	if err != nil {
 		return err
 	}
+	run.plan = plan
 	db.activeQueries.Add(1)
 	defer db.activeQueries.Add(-1)
 	// Mark the goroutines that may run fn — this one (serial path and
@@ -405,19 +428,24 @@ func (db *DB) queryGoverned(ctx context.Context, cypher string, limits QueryLimi
 			}
 			return false
 		}
+		run.rows++ // serialized with other emit calls
 		return ok
 	})
+	run.icost = rt.ICost
 	if cbPanicked {
 		// The pool has drained (ExecuteParallel returned); re-raise the
 		// user's panic here so it surfaces on the goroutine that called
 		// QueryCtx, with the deferred Release/unmark/finish running during
 		// the unwind exactly as for any other panic.
+		run.outcome = "callback-panic"
 		panic(cbPanic)
 	}
 	if err != nil {
+		run.outcome = "panic"
 		return db.recordPanic(err)
 	}
 	if run.gov != nil && run.gov.Stopped() {
+		run.outcome = run.gov.Reason().String()
 		m := Metrics{ICost: rt.ICost, PredEvals: rt.PredEvals, EstimatedICost: plan.EstimatedICost}
 		return db.govError(run.gov, limits, m, run.gov.RowsSeen())
 	}
@@ -447,4 +475,7 @@ func (db *DB) governanceStats(st *Stats) {
 	if p := db.lastQueryPanic.Load(); p != nil {
 		st.LastQueryPanic = *p
 	}
+	st.QueryLatency = db.queryLatency.Snapshot()
+	st.AdmissionWait = db.admissionWait.Snapshot()
+	st.LastSlowQuery = db.lastSlowQuery.Load()
 }

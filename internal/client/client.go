@@ -272,6 +272,14 @@ func (c *Client) Explain(q string) (string, error) {
 	return resp.Plan, err
 }
 
+// Analyze runs the query for real with per-operator tracing on every shard
+// and returns the cluster-merged EXPLAIN ANALYZE trace.
+func (c *Client) Analyze(ctx context.Context, q string, limits aplus.QueryLimits) (aplus.QueryTrace, error) {
+	var resp proto.AnalyzeResp
+	err := c.call(ctx, "analyze", proto.AnalyzeReq{Q: q, Limits: proto.FromQueryLimits(limits)}, &resp)
+	return resp.Trace, err
+}
+
 // Exec broadcasts an index DDL to every shard.
 func (c *Client) Exec(ddl string) error {
 	return c.call(context.Background(), "exec", proto.ExecReq{DDL: ddl}, nil)

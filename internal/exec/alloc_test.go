@@ -267,6 +267,34 @@ func TestZeroAllocSegmentFetch(t *testing.T) {
 	assertZeroAlloc(t, rt, plan)
 }
 
+// TestZeroAllocDisarmedTrace pins the tracing contract: after a traced
+// execution (EXPLAIN ANALYZE) on the same warm runtime, disarming the
+// tracer restores the allocation-free steady state — the disarmed path is
+// one pointer test per step, nothing retained, nothing allocated.
+func TestZeroAllocDisarmedTrace(t *testing.T) {
+	rt := NewRuntime(allocStore(t))
+	plan := &Plan{
+		NumV: 3, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+				{Kind: ListPrimary, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 2},
+			}},
+		},
+	}
+	rt.Trace = &Trace{}
+	traced := plan.Count(rt)
+	if traced == 0 {
+		t.Fatal("degenerate test: no matches")
+	}
+	rt.Trace = nil
+	assertZeroAlloc(t, rt, plan)
+}
+
 // deltaRuntime builds a runtime pinned to a snapshot-style state with a
 // non-empty delta overlay: fresh edges buffered across many owners plus a
 // few deletes of base edges, over the frozen allocStore base. This is the

@@ -57,6 +57,15 @@ type Runtime struct {
 	// into every worker Runtime.
 	Shard ShardSpec
 
+	// Trace, when set, records a span per plan operator for the next
+	// execution (EXPLAIN ANALYZE). Like Gov it is an opt-in governor-style
+	// hook: nil (the default) disables tracing at the cost of one pointer
+	// test per pipeline step and adds no allocations. The morsel-parallel
+	// path gives every worker Runtime its own Trace and merges them into
+	// this one after the barrier, exactly like ICost/PredEvals — traced
+	// metric sums are bit-identical to an untraced run at any worker count.
+	Trace *Trace
+
 	// pipe caches the compiled pipeline (binding + scratch arena + closure
 	// chain) of the last plan this Runtime executed, and pipes holds one
 	// pipeline per plan seen, so warm re-executions are allocation-free

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultMorselSize is the number of root-scan positions handed to a worker
@@ -201,6 +202,9 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 	rts := make([]*Runtime, workers)
 	for w := 0; w < workers; w++ {
 		wrt := &Runtime{Store: rt.Store, G: rt.G, Delta: rt.Delta, Gov: rt.Gov, Shard: rt.Shard}
+		if rt.Trace != nil {
+			wrt.Trace = new(Trace)
+		}
 		rts[w] = wrt
 		var emit func(*Binding) bool
 		if !counting {
@@ -244,7 +248,24 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 				if hi > size {
 					hi = size
 				}
-				if !root.runRange(wrt, pl.scratch.op(0), pl.b, lo, hi, pl.next[1]) {
+				var ok bool
+				if pl.tr != nil {
+					// The worker loop bypasses step(0) (it drives the root
+					// by range), so the traced path measures the root span
+					// here: one call per morsel, inclusive deltas.
+					sp := &pl.tr.spans[0]
+					sp.Calls++
+					pl.tr.Morsels++
+					icost0, preds0 := wrt.ICost, wrt.PredEvals
+					t0 := time.Now()
+					ok = root.runRange(wrt, pl.scratch.op(0), pl.b, lo, hi, pl.next[1])
+					sp.Nanos += int64(time.Since(t0))
+					sp.ICost += wrt.ICost - icost0
+					sp.PredEvals += wrt.PredEvals - preds0
+				} else {
+					ok = root.runRange(wrt, pl.scratch.op(0), pl.b, lo, hi, pl.next[1])
+				}
+				if !ok {
 					// The pipeline aborted: emit returned false, or a mid-
 					// morsel governor poll tripped. Park the whole pool.
 					stopAll.Store(true)
@@ -271,9 +292,12 @@ func (p *Plan) runMorsels(rt *Runtime, o ParallelOptions, workers int, counting 
 	for w := range counts {
 		n += counts[w]
 	}
-	for _, wrt := range rts {
+	for w, wrt := range rts {
 		rt.ICost += wrt.ICost
 		rt.PredEvals += wrt.PredEvals
+		if rt.Trace != nil && wrt.Trace != nil {
+			rt.Trace.mergeWorker(wrt.Trace, w, counts[w], wrt.ICost, wrt.PredEvals)
+		}
 	}
 	return n, true, poolErr
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Plan is a linear pipeline of physical operators producing complete
@@ -52,6 +53,11 @@ type pipeline struct {
 	govTuples    int
 	govRows      int64
 	govICostBase int64
+
+	// tr mirrors rt.Trace for the duration of one run (nil = disarmed).
+	// It is re-latched by beginRun so a cached pipeline never keeps tracing
+	// an execution that no longer asks for it.
+	tr *Trace
 }
 
 // beginRun re-arms the pipeline's governance state for one execution. It
@@ -60,6 +66,10 @@ type pipeline struct {
 // governor, and the i-cost watermark must start at the Runtime's current
 // accumulator value.
 func (pl *pipeline) beginRun() {
+	pl.tr = pl.rt.Trace
+	if pl.tr != nil {
+		pl.tr.arm(len(pl.plan.Ops), pl.stop)
+	}
 	g := pl.rt.Gov
 	if g == nil {
 		pl.govEvery = 0
@@ -123,12 +133,42 @@ func (rt *Runtime) pipelineFor(p *Plan) *pipeline {
 }
 
 // step runs operators i.. of the pipeline, or the sink once i reaches the
-// stop boundary.
+// stop boundary. With tracing disarmed (the steady state) the only added
+// cost is the nil test; the traced twin carries all measurement overhead.
 func (pl *pipeline) step(i int) bool {
+	if pl.tr != nil {
+		return pl.stepTraced(i)
+	}
 	if i >= pl.stop {
 		return pl.sink()
 	}
 	return pl.plan.Ops[i].run(pl.rt, pl.scratch.op(i), pl.b, pl.next[i+1])
+}
+
+// stepTraced is step with span recording: it accumulates the operator's
+// invocation count and its inclusive wall-time/i-cost/predicate deltas
+// (operators run their continuation in-line, so a span covers the whole
+// downstream chain; Trace.Report telescopes the exclusive figures back
+// out). The sink's span is the final slot.
+func (pl *pipeline) stepTraced(i int) bool {
+	idx := i
+	if i >= pl.stop {
+		idx = len(pl.plan.Ops)
+	}
+	sp := &pl.tr.spans[idx]
+	sp.Calls++
+	icost0, preds0 := pl.rt.ICost, pl.rt.PredEvals
+	t0 := time.Now()
+	var ok bool
+	if i >= pl.stop {
+		ok = pl.sinkTraced()
+	} else {
+		ok = pl.plan.Ops[i].run(pl.rt, pl.scratch.op(i), pl.b, pl.next[i+1])
+	}
+	sp.Nanos += int64(time.Since(t0))
+	sp.ICost += pl.rt.ICost - icost0
+	sp.PredEvals += pl.rt.PredEvals - preds0
+	return ok
 }
 
 // sink consumes one boundary tuple: enumeration hands it to emit, counting
@@ -147,6 +187,33 @@ func (pl *pipeline) sink() bool {
 		rows = pl.plan.foldedCount(pl.rt, pl.b, pl.stop)
 		pl.n += rows
 	}
+	if pl.govEvery == 0 {
+		return true
+	}
+	pl.govRows += rows
+	pl.govTuples++
+	if pl.govTuples < pl.govEvery {
+		return true
+	}
+	return pl.govFlush()
+}
+
+// sinkTraced is sink with span recording: the caller (stepTraced) measures
+// the sink's inclusive figures; this twin additionally records produced
+// rows into the sink span and routes the counting fold through its traced
+// variant so each folded operator gets its own attribution.
+func (pl *pipeline) sinkTraced() bool {
+	var rows int64
+	if pl.emit != nil {
+		if !pl.emit(pl.b) {
+			return false
+		}
+		rows = 1
+	} else {
+		rows = pl.plan.foldedCountTraced(pl.rt, pl.b, pl.stop, pl.tr)
+		pl.n += rows
+	}
+	pl.tr.spans[len(pl.plan.Ops)].Rows += rows
 	if pl.govEvery == 0 {
 		return true
 	}
@@ -245,6 +312,43 @@ func (p *Plan) foldedCount(rt *Runtime, b *Binding, start int) int64 {
 		}
 	}
 	return total
+}
+
+// foldedCountTraced is foldedCount with per-operator span attribution: the
+// arithmetic charges are identical (so traced counts and i-cost stay
+// bit-identical to the untraced fold), but each folded operator's fetch,
+// i-cost share, and produced-tuple count land in its own span. These spans
+// are recorded exclusively — Trace.Report subtracts them from the sink.
+func (p *Plan) foldedCountTraced(rt *Runtime, b *Binding, start int, tr *Trace) int64 {
+	total := int64(1)
+	for j := start; j < len(p.Ops); j++ {
+		o := p.Ops[j].(*ExtendIntersectOp)
+		sp := &tr.spans[j]
+		sp.Calls++
+		icost0, preds0 := rt.ICost, rt.PredEvals
+		t0 := time.Now()
+		n := int64(o.Lists[0].FetchLen(rt, b))
+		rt.ICost += n * (total - 1) // the remaining fetches enumeration does
+		sp.Nanos += int64(time.Since(t0))
+		sp.ICost += rt.ICost - icost0
+		sp.PredEvals += rt.PredEvals - preds0
+		total *= n
+		sp.Rows += total
+		if total == 0 {
+			return 0 // enumeration never reaches the later lists
+		}
+	}
+	return total
+}
+
+// OpNames returns each operator's rendered description in pipeline order
+// (the per-line bodies of Explain), for trace rendering.
+func (p *Plan) OpNames() []string {
+	names := make([]string, len(p.Ops))
+	for i, op := range p.Ops {
+		names[i] = op.explain()
+	}
+	return names
 }
 
 // Explain renders the pipeline, one operator per line.

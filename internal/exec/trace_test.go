@@ -1,0 +1,209 @@
+package exec
+
+// Tracing correctness: the bit-identical oracle. A traced execution must
+// report exactly the count, ICost, and PredEvals of an untraced one at any
+// worker count, the exclusive per-operator spans must telescope back to
+// those totals exactly, and the per-operator attribution must itself be
+// deterministic across worker counts (morsel partitioning changes who does
+// the work, never how much per operator).
+
+import (
+	"testing"
+
+	"github.com/aplusdb/aplus/internal/index"
+)
+
+// trianglePlan is a 3-clique with a 2-way intersection (no fold suffix).
+func trianglePlan() *Plan {
+	return &Plan{
+		NumV: 3, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 1, EdgeSlot: 1},
+				{Kind: ListPrimary, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 2},
+			}},
+		},
+	}
+}
+
+// starPlan is a 3-arm fan-out whose tail folds under count pushdown.
+func starPlan() *Plan {
+	return &Plan{
+		NumV: 4, NumE: 3,
+		Ops: []Op{
+			&ScanVertexOp{Slot: 0},
+			&ExtendIntersectOp{TargetSlot: 1, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 0},
+			}},
+			&ExtendIntersectOp{TargetSlot: 2, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.FW, OwnerVertexSlot: 0, EdgeSlot: 1},
+			}},
+			&ExtendIntersectOp{TargetSlot: 3, Lists: []ListRef{
+				{Kind: ListPrimary, Dir: index.BW, OwnerVertexSlot: 0, EdgeSlot: 2},
+			}},
+		},
+	}
+}
+
+// tracedRun executes plan with tracing under the given worker count and
+// returns the runtime, trace, and count.
+func tracedRun(t *testing.T, s *index.Store, plan *Plan, workers int) (*Runtime, *Trace, int64) {
+	t.Helper()
+	rt := NewRuntime(s)
+	rt.Trace = &Trace{}
+	n, err := plan.CountParallel(rt, ParallelOptions{Workers: workers, MorselSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, rt.Trace, n
+}
+
+// spanTotals sums a metric over every exclusive span.
+func spanTotals(spans []OpSpan) (calls, rows, icost, preds, nanos int64) {
+	for _, sp := range spans {
+		calls += sp.Calls
+		rows += sp.Rows
+		icost += sp.ICost
+		preds += sp.PredEvals
+		nanos += sp.Nanos
+	}
+	return
+}
+
+func TestTraceSumsBitIdenticalToProfiled(t *testing.T) {
+	s := allocStore(t)
+	for _, plan := range []*Plan{trianglePlan(), starPlan()} {
+		// Untraced reference (serial).
+		ref := NewRuntime(s)
+		wantN := plan.Count(ref)
+		if wantN == 0 {
+			t.Fatal("degenerate trace test: no matches")
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			rt, tr, n := tracedRun(t, s, plan, workers)
+			if n != wantN {
+				t.Fatalf("workers=%d: traced count %d, untraced %d", workers, n, wantN)
+			}
+			if rt.ICost != ref.ICost || rt.PredEvals != ref.PredEvals {
+				t.Fatalf("workers=%d: traced metrics (%d,%d), untraced (%d,%d)",
+					workers, rt.ICost, rt.PredEvals, ref.ICost, ref.PredEvals)
+			}
+			spans := tr.Report()
+			if len(spans) != len(plan.Ops)+1 {
+				t.Fatalf("workers=%d: %d spans for %d ops", workers, len(spans), len(plan.Ops))
+			}
+			_, _, icost, preds, _ := spanTotals(spans)
+			if icost != rt.ICost || preds != rt.PredEvals {
+				t.Fatalf("workers=%d: span sums (%d,%d) != totals (%d,%d)",
+					workers, icost, preds, rt.ICost, rt.PredEvals)
+			}
+			if got := spans[len(spans)-1].Rows; got != wantN {
+				t.Fatalf("workers=%d: sink rows %d, count %d", workers, got, wantN)
+			}
+			// The per-worker split must itself sum to the totals.
+			if workers > 1 && len(tr.Workers) > 0 {
+				var wRows, wICost, wPreds int64
+				for _, w := range tr.Workers {
+					wRows += w.Rows
+					wICost += w.ICost
+					wPreds += w.PredEvals
+				}
+				if wRows != wantN || wICost != rt.ICost || wPreds != rt.PredEvals {
+					t.Fatalf("workers=%d: worker split sums (%d,%d,%d) != (%d,%d,%d)",
+						workers, wRows, wICost, wPreds, wantN, rt.ICost, rt.PredEvals)
+				}
+			}
+		}
+	}
+}
+
+// TestTracePerOpDeterministicAcrossWorkers pins that each operator's
+// attributed metrics (not just the totals) are identical at any worker
+// count: morsel partitioning redistributes work without changing it.
+func TestTracePerOpDeterministicAcrossWorkers(t *testing.T) {
+	s := allocStore(t)
+	for _, plan := range []*Plan{trianglePlan(), starPlan()} {
+		_, tr1, _ := tracedRun(t, s, plan, 1)
+		base := tr1.Report()
+		for _, workers := range []int{2, 4, 8} {
+			_, tr, _ := tracedRun(t, s, plan, workers)
+			spans := tr.Report()
+			for i := range spans {
+				if spans[i].ICost != base[i].ICost || spans[i].PredEvals != base[i].PredEvals || spans[i].Rows != base[i].Rows {
+					t.Fatalf("workers=%d op %d: span %+v, serial %+v", workers, i, spans[i], base[i])
+				}
+				// Call counts are also identical for every operator except
+				// the root scan, whose calls count morsels when parallel.
+				if i > 0 && spans[i].Calls != base[i].Calls {
+					t.Fatalf("workers=%d op %d: calls %d, serial %d", workers, i, spans[i].Calls, base[i].Calls)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceFoldAttribution pins that count pushdown's folded suffix is
+// traced per operator: the fold boundary is recorded, every folded
+// operator carries its own i-cost share, and the traced fold charges
+// exactly what enumeration would (the global invariant, per-op).
+func TestTraceFoldAttribution(t *testing.T) {
+	s := allocStore(t)
+	plan := starPlan()
+	if plan.countFoldStart() >= len(plan.Ops) {
+		t.Fatal("fold suffix not recognized")
+	}
+	rt, tr, n := tracedRun(t, s, plan, 4)
+	if fs := tr.FoldStart(); fs != plan.countFoldStart() {
+		t.Fatalf("trace fold start %d, plan %d", fs, plan.countFoldStart())
+	}
+	spans := tr.Report()
+	for i := tr.FoldStart(); i < len(plan.Ops); i++ {
+		if spans[i].ICost == 0 || spans[i].Rows == 0 || spans[i].Calls == 0 {
+			t.Fatalf("folded op %d has empty span %+v", i, spans[i])
+		}
+	}
+	// The last folded op's produced rows are the final count.
+	if got := spans[len(plan.Ops)-1].Rows; got != n {
+		t.Fatalf("last folded op rows %d, count %d", got, n)
+	}
+	// Enumeration parity: same count, same i-cost, via the traced path too.
+	rtEnum := NewRuntime(s)
+	rtEnum.Trace = &Trace{}
+	var enumerated int64
+	plan.Execute(rtEnum, func(*Binding) bool { enumerated++; return true })
+	if enumerated != n || rtEnum.ICost != rt.ICost {
+		t.Fatalf("enumeration (%d, icost %d) != folded (%d, icost %d)",
+			enumerated, rtEnum.ICost, n, rt.ICost)
+	}
+	espans := rtEnum.Trace.Report()
+	_, _, eicost, _, _ := spanTotals(espans)
+	if eicost != rtEnum.ICost {
+		t.Fatalf("enumeration span sum %d != icost %d", eicost, rtEnum.ICost)
+	}
+}
+
+// TestTraceWithGovernorPartial pins that an armed governor and an armed
+// tracer compose: a budget trip still yields spans whose sums equal the
+// partial metrics the runtime reports.
+func TestTraceWithGovernorPartial(t *testing.T) {
+	s := allocStore(t)
+	plan := trianglePlan()
+	rt := NewRuntime(s)
+	rt.Trace = &Trace{}
+	rt.Gov = &Governor{MaxICost: 10, CheckEvery: 1}
+	n, err := plan.CountParallel(rt, ParallelOptions{Workers: 2, MorselSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Gov.Stopped() || rt.Gov.Reason() != StopICost {
+		t.Fatalf("governor did not trip: stopped=%v reason=%v (n=%d)", rt.Gov.Stopped(), rt.Gov.Reason(), n)
+	}
+	_, _, icost, preds, _ := spanTotals(rt.Trace.Report())
+	if icost != rt.ICost || preds != rt.PredEvals {
+		t.Fatalf("partial span sums (%d,%d) != partial metrics (%d,%d)", icost, preds, rt.ICost, rt.PredEvals)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/aplusdb/aplus/internal/exec"
 	"github.com/aplusdb/aplus/internal/gen"
 	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/obs"
 	"github.com/aplusdb/aplus/internal/opt"
 	"github.com/aplusdb/aplus/internal/pred"
 	"github.com/aplusdb/aplus/internal/query"
@@ -34,6 +35,11 @@ type Options struct {
 	// Workers is the morsel-driven worker-pool size used for every query
 	// run (<= 1 means the serial path).
 	Workers int
+
+	// Hist re-runs each measured table query histRuns times and annotates
+	// its row with per-run latency quantiles (Row.P50/P99). Advisory only:
+	// the quantiles are never gated by CompareBaseline.
+	Hist bool
 
 	// Mixed-workload experiment knobs (see Mixed); zero values pick the
 	// defaults noted on each field.
@@ -82,6 +88,10 @@ type Row struct {
 	Setup float64
 	// IndexedEdges is |E_indexed| for Table IV.
 	IndexedEdges int64
+	// P50/P99 are per-run latency quantiles in seconds, populated only
+	// under Options.Hist (advisory; CompareBaseline ignores them).
+	P50 float64
+	P99 float64
 }
 
 // measure runs one query under a mode (with workers > 1, through the
@@ -107,6 +117,32 @@ func measure(s *index.Store, mode opt.Mode, q workload.Query, workers int) (floa
 		n = plan.Count(rt)
 	}
 	return time.Since(start).Seconds(), n, rt.ICost, nil
+}
+
+// histRuns is how many timed runs feed a row's latency quantiles under
+// Options.Hist (the primary measured run counts as the first).
+const histRuns = 5
+
+// withHist re-runs the row's query and annotates the row with p50/p99
+// per-run latency from a log-bucketed histogram; a pass-through unless
+// Options.Hist is set.
+func (o Options) withHist(r Row, s *index.Store, mode opt.Mode, q workload.Query, workers int) Row {
+	if !o.Hist {
+		return r
+	}
+	var h obs.Histogram
+	h.Record(int64(r.Seconds * 1e9))
+	for i := 1; i < histRuns; i++ {
+		secs, _, _, err := measure(s, mode, q, workers)
+		if err != nil {
+			return r
+		}
+		h.Record(int64(secs * 1e9))
+	}
+	st := h.Snapshot()
+	r.P50 = st.P50.Seconds()
+	r.P99 = st.P99.Seconds()
+	return r
 }
 
 func scaled(c gen.Config, scale float64) gen.Config {

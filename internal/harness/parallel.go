@@ -52,6 +52,7 @@ func ParallelScaling(o Options) []Row {
 				Config: cfg, Query: q.Name,
 				Seconds: secs, Count: n, ICost: icost,
 			}
+			r = o.withHist(r, s, opt.ModeDefault, q, workers)
 			rows = append(rows, r)
 			if workers == 1 {
 				baselines[q.Name] = r

@@ -74,6 +74,7 @@ func Table2(o Options) []Row {
 					Seconds: secs, Count: n, ICost: icost,
 					MemMB: memMB(s), Setup: ir,
 				}
+				r = o.withHist(r, s, opt.ModeDefault, q, o.Workers)
 				rows = append(rows, r)
 				var base *Row
 				if c.name != "D" {
@@ -131,6 +132,7 @@ func Table3(o Options) []Row {
 			counts["D"][q.Name] = n
 			r := Row{Table: "table3", Dataset: cfg.Name, Config: "D", Query: q.Name,
 				Seconds: secs, Count: n, ICost: icost, MemMB: memD}
+			r = o.withHist(r, s, opt.ModeDefault, q, o.Workers)
 			rows = append(rows, r)
 			baselines[q.Name] = r
 			printRow(w, r, nil)
@@ -148,6 +150,7 @@ func Table3(o Options) []Row {
 			counts["D+VPt"][q.Name] = n
 			r := Row{Table: "table3", Dataset: cfg.Name, Config: "D+VPt", Query: q.Name,
 				Seconds: secs, Count: n, ICost: icost, MemMB: memMB(s), Setup: ic}
+			r = o.withHist(r, s, opt.ModeDefault, q, o.Workers)
 			rows = append(rows, r)
 			b := baselines[q.Name]
 			printRow(w, r, &b)
@@ -195,6 +198,7 @@ func Table4(o Options) []Row {
 				r := Row{Table: "table4", Dataset: cfg.Name, Config: name, Query: q.Name,
 					Seconds: secs, Count: n, ICost: icost, MemMB: memMB(s), Setup: ic,
 					IndexedEdges: st.IndexedEdges}
+				r = o.withHist(r, s, opt.ModeDefault, q, o.Workers)
 				rows = append(rows, r)
 				if name == "D" {
 					baselines[q.Name] = r
@@ -276,6 +280,7 @@ func Table5(o Options) []Row {
 				counts[system.name][q.Name] = n
 				r := Row{Table: "table5", Dataset: ds.cfg.Name + dsSuffix(ds.vl, ds.el),
 					Config: system.name, Query: q.Name, Seconds: secs, Count: n, ICost: icost}
+				r = o.withHist(r, s, system.mode, q, o.Workers)
 				rows = append(rows, r)
 				if system.name == "D" {
 					baselines[q.Name] = r

@@ -4,8 +4,8 @@
 // (while a query streams) `row <json>`. Payloads are single-line JSON, so
 // the protocol is both trivially framed and debuggable with netcat.
 //
-// Verbs: open, count, profile, query, explain, exec, flush, addv, adde,
-// dele, stats, health, cancel, quit. `cancel` aborts the in-flight query
+// Verbs: open, count, profile, query, explain, analyze, exec, flush, addv,
+// adde, dele, stats, health, cancel, quit. `cancel` aborts the in-flight query
 // on the same connection and never gets a response line of its own (the
 // canceled query's final `err` is the acknowledgement); every other verb
 // gets exactly one final `ok`/`err`.
@@ -184,6 +184,19 @@ type ExplainReq struct {
 
 type ExplainResp struct {
 	Plan string `json:"plan"`
+}
+
+// AnalyzeReq runs the query for real with per-operator tracing
+// (EXPLAIN ANALYZE) across all shards.
+type AnalyzeReq struct {
+	Q      string `json:"q"`
+	Limits Limits `json:"limits,omitempty"`
+}
+
+// AnalyzeResp carries the cluster-merged trace: span sums are bit-identical
+// to what `profile` reports for the same query.
+type AnalyzeResp struct {
+	Trace aplus.QueryTrace `json:"trace"`
 }
 
 // ExecReq broadcasts an index DDL.

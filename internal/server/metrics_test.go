@@ -1,0 +1,119 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/aplusdb/aplus"
+	"github.com/aplusdb/aplus/internal/shard"
+)
+
+// TestServedAnalyzeVerb round-trips EXPLAIN ANALYZE over the wire and
+// checks the cluster-merged trace against the profile verb's metrics —
+// the same bit-identical contract the embedded API pins.
+func TestServedAnalyzeVerb(t *testing.T) {
+	_, _, cl := startServer(t, shard.Options{Shards: 2}, Options{})
+	seed(t, cl, 30)
+
+	want, wantM, err := cl.CountProfiled(context.Background(), triangleQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := cl.Analyze(context.Background(), triangleQ, aplus.QueryLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count != want {
+		t.Errorf("trace count = %d, want %d", tr.Count, want)
+	}
+	if tr.Metrics.ICost != wantM.ICost || tr.Metrics.PredEvals != wantM.PredEvals {
+		t.Errorf("trace metrics = %+v, want %+v", tr.Metrics, wantM)
+	}
+	var sumICost int64
+	for _, sp := range tr.Spans {
+		sumICost += sp.ICost
+	}
+	if sumICost != wantM.ICost {
+		t.Errorf("span i-cost sum = %d, want %d", sumICost, wantM.ICost)
+	}
+	if !strings.Contains(tr.Render(), "EXPLAIN ANALYZE") {
+		t.Error("trace does not render")
+	}
+}
+
+// TestMetricsEndpoint serves a cluster's /metrics over HTTP and asserts the
+// Prometheus exposition carries per-shard and cluster-aggregated series for
+// the latency histograms and key gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	c, _, cl := startServer(t, shard.Options{Shards: 2}, Options{})
+	seed(t, cl, 30)
+	if _, err := cl.Count(context.Background(), pathQ); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := StartMetrics(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	resp, err := http.Get("http://" + m.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE aplus_query_latency_seconds histogram",
+		`aplus_query_latency_seconds_count{shard="0"}`,
+		`aplus_query_latency_seconds_count{shard="1"}`,
+		`aplus_query_latency_seconds_count{shard="cluster"}`,
+		`aplus_query_latency_seconds_bucket{shard="cluster",le="+Inf"}`,
+		"# TYPE aplus_wal_fsync_seconds histogram",
+		"# TYPE aplus_vertices gauge",
+		`aplus_vertices{shard="cluster"} 30`,
+		`aplus_plan_cache_hits_total{shard="cluster"}`,
+		`aplus_degraded{shard="cluster"} 0`,
+		"aplus_diverged 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+
+	// The aggregate histogram count must equal the sum of the shards'.
+	st := c.Stats()
+	var perShard int64
+	for _, s := range st.Shards {
+		perShard += s.QueryLatency.Count
+	}
+	if perShard == 0 || st.Aggregate.QueryLatency.Count != perShard {
+		t.Errorf("aggregate latency count %d, shard sum %d",
+			st.Aggregate.QueryLatency.Count, perShard)
+	}
+
+	// expvar and pprof ride on the same listener.
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		r, err := http.Get("http://" + m.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", path, r.Status)
+		}
+	}
+}

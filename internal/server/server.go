@@ -318,6 +318,18 @@ func (s *Server) serveSimple(ctx context.Context, bw *bufio.Writer, verb, payloa
 			return
 		}
 		writeOK(bw, proto.ExplainResp{Plan: plan})
+	case "analyze":
+		req, err := decode[proto.AnalyzeReq](payload)
+		if err != nil {
+			writeBadRequest(bw, err.Error())
+			return
+		}
+		t, err := s.c.ExplainAnalyze(ctx, req.Q, s.limitsFor(req.Limits))
+		if err != nil {
+			writeErr(bw, err)
+			return
+		}
+		writeOK(bw, proto.AnalyzeResp{Trace: *t})
 	case "exec":
 		req, err := decode[proto.ExecReq](payload)
 		if err != nil {

@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"github.com/aplusdb/aplus"
+)
+
+// TestShardTraceParity extends the parity contract to tracing: the
+// cluster-merged EXPLAIN ANALYZE trace of a K-shard fan-out has the same
+// count and bit-identical span sums as an unsharded profiled run over the
+// same graph, for any K.
+func TestShardTraceParity(t *testing.T) {
+	const nv, ne = 300, 1500
+	ref := aplus.New()
+	seedGraph(t, ref, nv, ne, true)
+
+	type want struct {
+		n int64
+		m aplus.Metrics
+	}
+	queries := []string{triangleQ, pathQ}
+	refRuns := make(map[string]want)
+	for _, q := range queries {
+		n, m, err := ref.CountProfiledCtx(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRuns[q] = want{n, m}
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		c, err := New(Options{Shards: k, Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedGraph(t, c, nv, ne, true)
+		for _, q := range queries {
+			w := refRuns[q]
+			tr, err := c.ExplainAnalyze(context.Background(), q, aplus.QueryLimits{})
+			if err != nil {
+				t.Fatalf("K=%d %q: %v", k, q, err)
+			}
+			if tr.Count != w.n {
+				t.Errorf("K=%d %q: trace count %d, want %d", k, q, tr.Count, w.n)
+			}
+			if tr.Metrics.ICost != w.m.ICost || tr.Metrics.PredEvals != w.m.PredEvals {
+				t.Errorf("K=%d %q: trace metrics (%d,%d), want (%d,%d)",
+					k, q, tr.Metrics.ICost, tr.Metrics.PredEvals, w.m.ICost, w.m.PredEvals)
+			}
+			var sumICost, sumPreds int64
+			for _, sp := range tr.Spans {
+				sumICost += sp.ICost
+				sumPreds += sp.PredEvals
+			}
+			if sumICost != w.m.ICost || sumPreds != w.m.PredEvals {
+				t.Errorf("K=%d %q: span sums (%d,%d), want (%d,%d)",
+					k, q, sumICost, sumPreds, w.m.ICost, w.m.PredEvals)
+			}
+			var wICost int64
+			for _, ws := range tr.Workers {
+				if ws.Shard < 0 || ws.Shard >= k {
+					t.Errorf("K=%d %q: worker tagged shard %d", k, q, ws.Shard)
+				}
+				wICost += ws.ICost
+			}
+			if wICost != w.m.ICost {
+				t.Errorf("K=%d %q: worker i-cost sum %d, want %d", k, q, wICost, w.m.ICost)
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterStatsHistogramMerge asserts the aggregate latency histogram is
+// the merge of the per-shard ones: the sample count sums and the max is the
+// max across shards.
+func TestClusterStatsHistogramMerge(t *testing.T) {
+	c, err := New(Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seedGraph(t, c, 100, 400, false)
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.CountProfiledCtx(context.Background(), pathQ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	var perShard int64
+	var maxShard int64
+	for _, s := range st.Shards {
+		perShard += s.QueryLatency.Count
+		if m := int64(s.QueryLatency.Max); m > maxShard {
+			maxShard = m
+		}
+	}
+	if perShard == 0 {
+		t.Fatal("no per-shard latency samples recorded")
+	}
+	if got := st.Aggregate.QueryLatency.Count; got != perShard {
+		t.Errorf("aggregate latency count %d, want %d (sum of shards)", got, perShard)
+	}
+	if got := int64(st.Aggregate.QueryLatency.Max); got != maxShard {
+		t.Errorf("aggregate latency max %d, want %d", got, maxShard)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -88,6 +89,11 @@ type Options struct {
 	MaxConcurrentQueries int
 	AdmissionPolicy      aplus.AdmissionPolicy
 	SlowQueryThreshold   time.Duration
+
+	// SlowQueryLog, when set alongside a positive SlowQueryThreshold,
+	// receives every shard's slow-query records (each record carries the
+	// shard's work, so one logger may serve the whole cluster).
+	SlowQueryLog *slog.Logger
 }
 
 func (o Options) shards() int {
@@ -153,6 +159,7 @@ func New(o Options) (*Cluster, error) {
 		db.MorselSize = o.MorselSize
 		db.PlanCacheSize = o.PlanCacheSize
 		db.Limits = o.Limits
+		db.SlowQueryLog = o.SlowQueryLog
 		c.dbs = append(c.dbs, db)
 	}
 	// Replicas must agree on recovered state. Epochs are nondeterministic
@@ -553,6 +560,52 @@ func (c *Cluster) CountProfiledLimited(ctx context.Context, cypher string, limit
 	return total, mm, nil
 }
 
+// ExplainAnalyze runs the query for real on every shard with per-operator
+// tracing armed and returns the merged trace: counts, span counters, and
+// the per-worker split (tagged with the owning shard) sum exactly as
+// CountProfiledLimited's metrics do — bit-identical to an unsharded traced
+// run — while wall time takes the max, since shards execute concurrently.
+func (c *Cluster) ExplainAnalyze(ctx context.Context, cypher string, limits aplus.QueryLimits) (*aplus.QueryTrace, error) {
+	type res struct {
+		shard int
+		t     *aplus.QueryTrace
+		err   error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan res, len(c.dbs))
+	var panicked panicBox
+	for i, db := range c.dbs {
+		go func(i int, db *aplus.DB) {
+			defer panicked.forward(func() { ch <- res{shard: i, err: aplus.ErrQueryPanic} })
+			t, err := db.ExplainAnalyzeLimited(ctx, cypher, limits)
+			if err != nil {
+				cancel()
+			}
+			ch <- res{shard: i, t: t, err: err}
+		}(i, db)
+	}
+	merged := &aplus.QueryTrace{}
+	traces := make([]*aplus.QueryTrace, len(c.dbs))
+	var firstErr error
+	for range c.dbs {
+		r := <-ch
+		traces[r.shard] = r.t
+		if r.err != nil && preferError(firstErr, r.err) {
+			firstErr = fmt.Errorf("shard %d: %w", r.shard, r.err)
+		}
+	}
+	panicked.rethrow()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Merge in shard order so the worker split is deterministic.
+	for i, t := range traces {
+		merged.Merge(t, i)
+	}
+	return merged, nil
+}
+
 // Query streams matched rows from all shards into fn. fn is never called
 // concurrently with itself; rows arrive in nondeterministic shard order.
 // Returning false stops every shard. A panic in fn re-raises on the
@@ -703,6 +756,14 @@ func (c *Cluster) Stats() Stats {
 		agg.PlanCacheHits += st.PlanCacheHits
 		agg.PlanCacheMisses += st.PlanCacheMisses
 		agg.PlanCacheEntries += st.PlanCacheEntries
+		agg.QueryLatency = agg.QueryLatency.Merge(st.QueryLatency)
+		agg.AdmissionWait = agg.AdmissionWait.Merge(st.AdmissionWait)
+		agg.WALFsync = agg.WALFsync.Merge(st.WALFsync)
+		agg.FoldDuration = agg.FoldDuration.Merge(st.FoldDuration)
+		if sq := st.LastSlowQuery; sq != nil &&
+			(agg.LastSlowQuery == nil || sq.When.After(agg.LastSlowQuery.When)) {
+			agg.LastSlowQuery = sq
+		}
 		if st.Degraded && !agg.Degraded {
 			agg.Degraded = true
 			agg.DegradedCause = st.DegradedCause

@@ -224,6 +224,7 @@ func (m *Manager) foldSnapshot(s *Snapshot) (*index.Store, *storage.Graph, bool,
 		}
 	}
 	m.lastFoldNanos.Store(time.Since(start).Nanoseconds())
+	m.foldHist.Record(time.Since(start).Nanoseconds())
 	m.lastFoldDirty.Store(int64(dirty))
 	return st, g2, incremental, nil
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/obs"
 	"github.com/aplusdb/aplus/internal/storage"
 )
 
@@ -213,6 +214,8 @@ type Manager struct {
 	incFolds      atomic.Int64
 	lastFoldNanos atomic.Int64
 	lastFoldDirty atomic.Int64
+	// foldHist accumulates every published fold's build duration.
+	foldHist obs.Histogram
 	// mergeErr records the most recent background fold failure (cleared on
 	// the next success) so it is observable via Stats; synchronous callers
 	// (Flush) get the error returned directly.
@@ -357,6 +360,8 @@ type Stats struct {
 	// force between them (0 when the merger is healthy).
 	MergeRetries int64
 	RetryBackoff time.Duration
+	// FoldHist is the latency histogram of every published fold's build.
+	FoldHist obs.HistStats
 }
 
 // Stats reports chain observability counters.
@@ -381,6 +386,7 @@ func (m *Manager) Stats() Stats {
 	}
 	st.MergeRetries = m.mergeRetries.Load()
 	st.RetryBackoff = time.Duration(m.retryBackoff.Load())
+	st.FoldHist = m.foldHist.Snapshot()
 	return st
 }
 

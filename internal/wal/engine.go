@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"github.com/aplusdb/aplus/internal/index"
+	"github.com/aplusdb/aplus/internal/obs"
 	"github.com/aplusdb/aplus/internal/snap"
 	"github.com/aplusdb/aplus/internal/storage"
 	"github.com/aplusdb/aplus/internal/vfs"
@@ -70,6 +71,10 @@ type Engine struct {
 	// walErr is the most recent append failure of any kind (ENOSPC,
 	// injected fault, fsync), for observability.
 	walErr atomic.Pointer[string]
+
+	// fsyncHist records every WAL fsync's duration; each (re)opened log
+	// carries a pointer to it, so the series survives truncation reopens.
+	fsyncHist obs.Histogram
 }
 
 // Recovered is the durable state found in a database directory at open: the
@@ -177,6 +182,7 @@ func Open(dir string, fsync bool, fs vfs.FS) (*Engine, *Recovered, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	e.log.fsyncHist = &e.fsyncHist
 	if created && fsync {
 		// The log file was just created: persist its directory entry now,
 		// or the first crash could lose the whole (fsync-acknowledged) log
@@ -426,6 +432,7 @@ func (e *Engine) truncateWALLocked(cutoff uint64) error {
 // place and appends keep failing (the on-disk state is still consistent).
 func (e *Engine) reopenLogLocked(size int64) {
 	if nl, err := openLog(e.fs, filepath.Join(e.dir, WALFile), size, e.fsync); err == nil {
+		nl.fsyncHist = &e.fsyncHist
 		e.log = nl
 	}
 }
@@ -463,6 +470,8 @@ type Stats struct {
 	// LastWALError is the most recent append failure of any kind ("" if
 	// none) — set also for non-degrading failures like a full disk.
 	LastWALError string
+	// FsyncHist is the latency histogram of every WAL fsync since open.
+	FsyncHist obs.HistStats
 }
 
 // Stats reports durability counters.
@@ -487,6 +496,7 @@ func (e *Engine) Stats() Stats {
 	if msg := e.walErr.Load(); msg != nil {
 		st.LastWALError = *msg
 	}
+	st.FsyncHist = e.fsyncHist.Snapshot()
 	return st
 }
 

@@ -44,7 +44,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
+	"github.com/aplusdb/aplus/internal/obs"
 	"github.com/aplusdb/aplus/internal/vfs"
 )
 
@@ -89,6 +91,9 @@ type log struct {
 	poison error
 	// scratch is the reusable frame buffer, so each append is one write.
 	scratch []byte
+	// fsyncHist, when set by the engine, records each fsync's duration
+	// (the log itself stays ignorant of where the histogram lives).
+	fsyncHist *obs.Histogram
 }
 
 // openLog opens (creating if needed) the log file for appending at size.
@@ -130,7 +135,12 @@ func (l *log) append(payload []byte) error {
 		return err
 	}
 	if l.fsync {
-		if err := l.f.Sync(); err != nil {
+		t0 := time.Now()
+		err := l.f.Sync()
+		if l.fsyncHist != nil {
+			l.fsyncHist.RecordSince(t0)
+		}
+		if err != nil {
 			l.poison = fmt.Errorf("wal: fsync failed: %w", err)
 			return err
 		}
