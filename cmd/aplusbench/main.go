@@ -14,7 +14,7 @@
 //	aplusbench -served
 //
 // Experiments: table1, table2, table3, table4, table5, maintenance,
-// parallel, mixed, merge, durability, faults, governed, served, all
+// parallel, hubskew, mixed, merge, durability, faults, governed, served, all
 // ("all" excludes mixed, merge, durability, faults, governed, and served,
 // whose rows are
 // scheduling- or hardware-dependent — or pass/fail rather than a
@@ -97,7 +97,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|parallel|mixed|merge|durability|faults|governed|served|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|maintenance|parallel|hubskew|mixed|merge|durability|faults|governed|served|all")
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
 	verify := flag.Bool("verify", true, "cross-check counts across configurations")
 	workers := flag.Int("workers", 0, "query worker-pool size (0 = serial, N = morsel-driven with N workers)")
@@ -168,6 +168,7 @@ func main() {
 		"table5":      harness.Table5,
 		"maintenance": harness.Maintenance,
 		"parallel":    harness.ParallelScaling,
+		"hubskew":     harness.HubSkew,
 		"mixed":       harness.Mixed,
 		"merge":       harness.MergeBench,
 		"durability":  harness.Durability,
@@ -177,7 +178,7 @@ func main() {
 	}
 	var rows []harness.Row
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "maintenance", "parallel"} {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "table5", "maintenance", "parallel", "hubskew"} {
 			rows = append(rows, run[name](o)...)
 		}
 	} else {

@@ -14,6 +14,10 @@
 //	:explain MATCH ...            show the physical plan
 //	:analyze MATCH ...            run the query with per-operator tracing
 //	                              and render the EXPLAIN ANALYZE span tree
+//	:agg FUNC [VAR.PROP] MATCH ...   aggregate over all matches: FUNC is
+//	                              count|sum|min|max; sum/min/max read the
+//	                              integer property PROP of matched vertex
+//	                              VAR (e.g. :agg sum b.amount MATCH a-[e]->b)
 //	:rows N MATCH ...             print the first N matches
 //	:advise MATCH ... [; MATCH ...]   recommend indexes for a workload
 //	                              (local sessions only)
@@ -134,6 +138,7 @@ var errQuit = fmt.Errorf("quit")
 type backend interface {
 	CountProfiledLimited(ctx context.Context, q string, l aplus.QueryLimits) (int64, aplus.Metrics, error)
 	QueryLimited(ctx context.Context, q string, l aplus.QueryLimits, fn func(aplus.Row) bool) error
+	Aggregate(ctx context.Context, q string, fn aplus.AggFunc, variable, prop string, l aplus.QueryLimits) (aplus.AggValue, aplus.Metrics, error)
 	Explain(q string) (string, error)
 	Analyze(ctx context.Context, q string, l aplus.QueryLimits) (*aplus.QueryTrace, error)
 	Exec(ddl string) error
@@ -160,6 +165,10 @@ func (b localBackend) Stats() (aplus.Stats, error) { return b.DB.Stats(), nil }
 
 func (b localBackend) Analyze(ctx context.Context, q string, l aplus.QueryLimits) (*aplus.QueryTrace, error) {
 	return b.DB.ExplainAnalyzeLimited(ctx, q, l)
+}
+
+func (b localBackend) Aggregate(ctx context.Context, q string, fn aplus.AggFunc, variable, prop string, l aplus.QueryLimits) (aplus.AggValue, aplus.Metrics, error) {
+	return b.DB.AggregateLimited(ctx, q, fn, variable, prop, l)
 }
 
 func (b localBackend) Shards() (shardsInfo, error) {
@@ -189,6 +198,10 @@ func (b *remoteBackend) Analyze(ctx context.Context, q string, l aplus.QueryLimi
 	}
 	return &t, nil
 }
+func (b *remoteBackend) Aggregate(ctx context.Context, q string, fn aplus.AggFunc, variable, prop string, l aplus.QueryLimits) (aplus.AggValue, aplus.Metrics, error) {
+	return b.cl.Aggregate(ctx, q, fn, variable, prop, l)
+}
+
 func (b *remoteBackend) Exec(ddl string) error { return b.cl.Exec(ddl) }
 func (b *remoteBackend) Flush() error          { return b.cl.Flush() }
 
@@ -389,6 +402,8 @@ func eval(s *session, line string) error {
 			return explainQueryError(err)
 		}
 		return nil
+	case strings.HasPrefix(lower, ":agg "):
+		return evalAgg(s, strings.TrimSpace(line[len(":agg "):]))
 	case strings.HasPrefix(lower, ":rows "):
 		rest := strings.TrimSpace(line[len(":rows "):])
 		fields := strings.SplitN(rest, " ", 2)
@@ -443,8 +458,55 @@ func eval(s *session, line string) error {
 		fmt.Println("ok")
 		return nil
 	default:
-		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :analyze, :rows, :advise, :add, :flush, :stats, :shards, :health, :limits, :quit)")
+		return fmt.Errorf("unrecognised input (MATCH ..., DDL, :explain, :analyze, :agg, :rows, :advise, :add, :flush, :stats, :shards, :health, :limits, :quit)")
 	}
+}
+
+// evalAgg handles ":agg FUNC [VAR.PROP] MATCH ...": count takes no target;
+// sum/min/max aggregate the integer property PROP of matched vertex VAR.
+func evalAgg(s *session, rest string) error {
+	const usage = "usage: :agg count MATCH ... | :agg sum|min|max VAR.PROP MATCH ..."
+	name, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf(usage)
+	}
+	fn, err := aplus.ParseAggFunc(name)
+	if err != nil {
+		return err
+	}
+	rest = strings.TrimSpace(rest)
+	var variable, prop string
+	if fn != aplus.AggCount {
+		target, q, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf(usage)
+		}
+		variable, prop, ok = strings.Cut(target, ".")
+		if !ok || variable == "" || prop == "" {
+			return fmt.Errorf("aggregate target %q is not VAR.PROP", target)
+		}
+		rest = strings.TrimSpace(q)
+	}
+	if !strings.HasPrefix(strings.ToLower(rest), "match ") {
+		return fmt.Errorf(usage)
+	}
+	ctx, finish := s.queryCtx()
+	defer finish()
+	start := time.Now()
+	v, m, err := s.db.Aggregate(ctx, rest, fn, variable, prop, s.limits)
+	if err != nil {
+		return explainQueryError(err)
+	}
+	if fn == aplus.AggCount {
+		fmt.Printf("count=%d (i-cost %d, %v)\n", v.Value, m.ICost, time.Since(start).Round(time.Microsecond))
+	} else if !v.Valid {
+		fmt.Printf("%s(%s.%s)=NULL over %d matches (i-cost %d, %v)\n",
+			fn, variable, prop, v.Rows, m.ICost, time.Since(start).Round(time.Microsecond))
+	} else {
+		fmt.Printf("%s(%s.%s)=%d over %d matches (i-cost %d, %v)\n",
+			fn, variable, prop, v.Value, v.Rows, m.ICost, time.Since(start).Round(time.Microsecond))
+	}
+	return nil
 }
 
 // evalLimits shows or sets the session's query limits:

@@ -16,10 +16,13 @@ func main() {
 	db := aplus.New()
 
 	// Accounts v1..v5 and customers (Figure 1).
-	type acct struct{ acc, city string }
+	type acct struct {
+		acc, city string
+		balance   int
+	}
 	var accounts []aplus.VertexID
-	for _, a := range []acct{{"SV", "SF"}, {"CQ", "SF"}, {"SV", "BOS"}, {"CQ", "BOS"}, {"SV", "LA"}} {
-		v, err := db.AddVertex("Account", aplus.Props{"acc": a.acc, "city": a.city})
+	for _, a := range []acct{{"SV", "SF", 300}, {"CQ", "SF", 450}, {"SV", "BOS", 120}, {"CQ", "BOS", 80}, {"SV", "LA", 900}} {
+		v, err := db.AddVertex("Account", aplus.Props{"acc": a.acc, "city": a.city, "balance": a.balance})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -156,6 +159,24 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n%s", trace.Render())
+
+	// Aggregates: DB.Aggregate computes COUNT/SUM/MIN/MAX over all matches
+	// of a query without materializing them — trailing fan-outs are folded
+	// arithmetically (the same pushdown Count uses), and the parallel
+	// executor merges per-worker (and work-stolen) partials exactly, so the
+	// result is bit-identical at any Parallelism. SUM/MIN/MAX read an
+	// integer property of one matched vertex variable; matches missing the
+	// property count toward Rows but not the value (Valid reports whether
+	// any non-NULL value was seen). Also available as the `aggregate` wire
+	// verb and aplusshell's `:agg sum a1.balance MATCH ...`.
+	agg, err := db.Aggregate("MATCH (c:Customer)-[r1:O]->(a1:Account)", aplus.AggSum, "a1", "balance")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal balance across owned accounts: %d over %d ownerships\n", agg.Value, agg.Rows)
+	if mx, err := db.Aggregate(q, aplus.AggMax, "a2", "balance"); err == nil && mx.Valid {
+		fmt.Printf("largest receiving balance on Alice's wires: %d\n", mx.Value)
+	}
 
 	// Every governed read also lands in lock-free latency histograms,
 	// surfaced as log-bucketed quantiles in Stats (and per shard plus

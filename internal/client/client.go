@@ -197,6 +197,24 @@ func (c *Client) CountProfiledLimited(ctx context.Context, q string, limits aplu
 	return resp.N, aplus.Metrics{ICost: resp.ICost, PredEvals: resp.PredEvals, EstimatedICost: resp.EstICost}, err
 }
 
+// Aggregate evaluates a count/sum/min/max aggregate across the cluster
+// (remote DB.AggregateCtx); the merge is exact, so the result is
+// bit-identical to an embedded run over the same data. The merged metrics
+// ride along, as with CountProfiled.
+func (c *Client) Aggregate(ctx context.Context, q string, fn aplus.AggFunc, variable, prop string, limits aplus.QueryLimits) (aplus.AggValue, aplus.Metrics, error) {
+	var resp proto.AggregateResp
+	err := c.call(ctx, "aggregate", proto.AggregateReq{
+		Q:      q,
+		Func:   string(fn),
+		Var:    variable,
+		Prop:   prop,
+		Limits: proto.FromQueryLimits(limits),
+	}, &resp)
+	v := aplus.AggValue{Rows: resp.Rows, Value: resp.Value, Valid: resp.Valid}
+	m := aplus.Metrics{ICost: resp.ICost, PredEvals: resp.PredEvals, EstimatedICost: resp.EstICost}
+	return v, m, err
+}
+
 // QueryResult reports how a Query stream ended.
 type QueryResult struct {
 	Rows      int64

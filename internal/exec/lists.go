@@ -91,14 +91,15 @@ func (r ListRef) fetchBase(rt *Runtime, b *Binding, codes []uint16) index.AdjLis
 	return index.AdjList{}
 }
 
-// fetchWith resolves the list under the current binding, splices the pinned
-// snapshot's delta overlay into primary fetches (writing the merged entries
-// into list position li's reusable scratch buffer, so steady-state fetches
-// stay allocation-free), applies the sorted-segment restriction, and counts
-// the resulting length toward the runtime's i-cost. Secondary-index fetches
-// never need splicing: the planner hides secondary indexes while a snapshot
-// carries a non-empty delta.
-func (r ListRef) fetchWith(rt *Runtime, sc *opScratch, li int, b *Binding, codes []uint16) index.AdjList {
+// fetchSpliced resolves the list under the current binding and splices the
+// pinned snapshot's delta overlay into primary fetches (writing the merged
+// entries into list position li's reusable scratch buffer, so steady-state
+// fetches stay allocation-free), without segment restriction or i-cost
+// accounting. Fetching the same (binding, codes) twice — e.g. a thief
+// re-materializing a stolen sub-morsel's list — yields identical entries.
+// Secondary-index fetches never need splicing: the planner hides secondary
+// indexes while a snapshot carries a non-empty delta.
+func (r ListRef) fetchSpliced(rt *Runtime, sc *opScratch, li int, b *Binding, codes []uint16) index.AdjList {
 	l := r.fetchBase(rt, b, codes)
 	if rt.Delta != nil && r.Kind == ListPrimary {
 		owner := uint32(b.V[r.OwnerVertexSlot])
@@ -108,6 +109,13 @@ func (r ListRef) fetchWith(rt *Runtime, sc *opScratch, li int, b *Binding, codes
 			l = index.DirectList(buf.nbrs, buf.eids)
 		}
 	}
+	return l
+}
+
+// fetchWith is fetchSpliced plus the sorted-segment restriction and the
+// i-cost charge for the resulting length — the normal operator fetch path.
+func (r ListRef) fetchWith(rt *Runtime, sc *opScratch, li int, b *Binding, codes []uint16) index.AdjList {
+	l := r.fetchSpliced(rt, sc, li, b, codes)
 	if r.Seg != nil {
 		l = segmentList(rt, b, l, r.Seg)
 	}

@@ -45,6 +45,15 @@ type pipeline struct {
 	emit func(*Binding) bool
 	n    int64
 
+	// Aggregate sink state (see agg.go): aggOn selects the aggregate fold
+	// over the plain counting fold, agg is the armed spec, aggSlotOp the
+	// folded operator binding the aggregated slot (-1 when it is bound
+	// before the boundary), and aggRes the run's accumulator.
+	aggOn     bool
+	agg       AggSpec
+	aggSlotOp int
+	aggRes    AggResult
+
 	// Governance state (all zero when rt.Gov is nil): govEvery is the
 	// flush interval in sink tuples, govTuples counts tuples since the last
 	// flush, govRows the rows produced since, and govICostBase the rt.ICost
@@ -183,6 +192,9 @@ func (pl *pipeline) sink() bool {
 			return false
 		}
 		rows = 1
+	} else if pl.aggOn {
+		rows = pl.aggFold()
+		pl.n += rows
 	} else {
 		rows = pl.plan.foldedCount(pl.rt, pl.b, pl.stop)
 		pl.n += rows
@@ -209,6 +221,9 @@ func (pl *pipeline) sinkTraced() bool {
 			return false
 		}
 		rows = 1
+	} else if pl.aggOn {
+		rows = pl.aggFoldTraced()
+		pl.n += rows
 	} else {
 		rows = pl.plan.foldedCountTraced(pl.rt, pl.b, pl.stop, pl.tr)
 		pl.n += rows
@@ -233,6 +248,7 @@ func (p *Plan) Execute(rt *Runtime, emit func(*Binding) bool) {
 	pl := rt.pipelineFor(p)
 	pl.stop = len(p.Ops)
 	pl.emit = emit
+	pl.aggOn = false
 	pl.beginRun()
 	pl.step(0)
 	if pl.govEvery != 0 {
@@ -251,6 +267,7 @@ func (p *Plan) Count(rt *Runtime) int64 {
 	pl := rt.pipelineFor(p)
 	pl.stop = p.countFoldStart()
 	pl.emit = nil
+	pl.aggOn = false
 	pl.n = 0
 	pl.beginRun()
 	pl.step(0)

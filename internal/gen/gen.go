@@ -29,6 +29,10 @@ type Config struct {
 	Financial    bool // acc/city/amt/currency/date properties
 	Time         bool // time property on edges (MagicRecs)
 	Cities       int  // distinct cities (default 40)
+	// HubDegree, when positive, gives vertex 0 that many extra out-edges on
+	// top of the Chung–Lu sequence — a deliberate super-hub for skew
+	// ablations (work stealing on oversized adjacency lists).
+	HubDegree int
 }
 
 // Scaled dataset presets mirroring Table I at ~1/1000 vertex scale with the
@@ -110,9 +114,7 @@ func Build(cfg Config) *storage.Graph {
 		return storage.VertexID(i)
 	}
 
-	ne := int(float64(nv) * cfg.AvgDegree)
-	for i := 0; i < ne; i++ {
-		src, dst := pick(), pick()
+	addEdge := func(src, dst storage.VertexID) {
 		e, err := g.AddEdge(src, dst, fmt.Sprintf("E%d", rng.Intn(cfg.EdgeLabels)))
 		if err != nil {
 			panic(err)
@@ -125,6 +127,15 @@ func Build(cfg Config) *storage.Graph {
 		if cfg.Time {
 			mustSet(g.SetEdgeProp(e, "time", storage.Int(int64(rng.Intn(1_000_000)))))
 		}
+	}
+	ne := int(float64(nv) * cfg.AvgDegree)
+	for i := 0; i < ne; i++ {
+		addEdge(pick(), pick())
+	}
+	// Super-hub edges share the background graph's label and property
+	// distributions; only the source concentration differs.
+	for i := 0; i < cfg.HubDegree; i++ {
+		addEdge(0, pick())
 	}
 	if cfg.Financial {
 		for i := 0; i < nv; i++ {

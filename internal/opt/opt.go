@@ -101,7 +101,7 @@ func Optimize(s *index.Store, q *query.Graph, mode Mode) (*exec.Plan, error) {
 		return nil, fmt.Errorf("opt: no plan found (disconnected pattern?)")
 	}
 	plan := &exec.Plan{
-		Ops:            best.ops,
+		Ops:            sinkIndependentExtends(best.ops, len(q.Vertices), len(q.Edges)),
 		NumV:           len(q.Vertices),
 		NumE:           len(q.Edges),
 		EstimatedICost: best.cost,
@@ -113,6 +113,128 @@ func Optimize(s *index.Store, q *query.Graph, mode Mode) (*exec.Plan, error) {
 		plan.EdgeNames = append(plan.EdgeNames, e.Name)
 	}
 	return plan, nil
+}
+
+// sinkIndependentExtends moves interior pure EXTENDs (one list, no sorted
+// segment) whose bound variable and matched edge are never referenced by a
+// later operator to the plan tail, preserving relative order. Such
+// independent fan-outs contribute a pure multiplicity to every downstream
+// tuple; at the tail they land inside the counting/aggregate fold boundary
+// (exec's countFoldStart), which turns their enumeration into arithmetic.
+// The match multiset is unchanged — the sunk operator's extensions are
+// independent of everything that now runs before it — while the enumerated
+// i-cost drops to exactly what the fold charges for the reordered pipeline.
+func sinkIndependentExtends(ops []exec.Op, numV, numE int) []exec.Op {
+	n := len(ops)
+	if n < 3 {
+		return ops // nothing interior to move
+	}
+	readV := make([]bool, numV)
+	readE := make([]bool, numE)
+	sinkable := make([]bool, n)
+	any := false
+	// Walk tail-first: at index i the masks hold the slots operators i+1..
+	// read, so an operator is sinkable when nothing later reads what it
+	// binds. Operator 0 (the partitioned root scan) never sinks.
+	for i := n - 1; i >= 1; i-- {
+		if e, ok := ops[i].(*exec.ExtendIntersectOp); ok && len(e.Lists) == 1 && e.Lists[0].Seg == nil {
+			if !readV[e.TargetSlot] && !readE[e.Lists[0].EdgeSlot] {
+				sinkable[i] = true
+				any = true
+			}
+		}
+		markOpReads(ops[i], readV, readE)
+	}
+	if !any || trailingSinkableRun(sinkable) {
+		return ops // nothing moves: the sinkable ops already form the tail
+	}
+	body := make([]exec.Op, 0, n)
+	tail := make([]exec.Op, 0, n)
+	for i, op := range ops {
+		if sinkable[i] {
+			tail = append(tail, op)
+		} else {
+			body = append(body, op)
+		}
+	}
+	return append(body, tail...)
+}
+
+// trailingSinkableRun reports whether every sinkable operator already sits
+// in one contiguous run at the end of the plan (so sinking is a no-op).
+func trailingSinkableRun(sinkable []bool) bool {
+	i := len(sinkable) - 1
+	for i >= 0 && sinkable[i] {
+		i--
+	}
+	for ; i >= 0; i-- {
+		if sinkable[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// markOpReads marks the binding slots op reads under a bound prefix.
+func markOpReads(op exec.Op, readV, readE []bool) {
+	ref := func(r *exec.ListRef) {
+		if r.Kind == exec.ListEP {
+			readE[r.OwnerEdgeSlot] = true
+		} else {
+			readV[r.OwnerVertexSlot] = true
+		}
+		if r.Seg != nil && r.Seg.DynEq != nil {
+			markOperandRead(*r.Seg.DynEq, readV, readE)
+		}
+	}
+	terms := func(ts []exec.CompiledTerm) {
+		for _, t := range ts {
+			markOperandRead(t.Left, readV, readE)
+			markOperandRead(t.Right, readV, readE)
+		}
+	}
+	switch o := op.(type) {
+	case *exec.ExtendIntersectOp:
+		for i := range o.Lists {
+			ref(&o.Lists[i])
+		}
+	case *exec.MultiExtendOp:
+		for gi := range o.Groups {
+			for i := range o.Groups[gi].Lists {
+				ref(&o.Groups[gi].Lists[i])
+			}
+		}
+	case *exec.CloseEdgeOp:
+		readV[o.TargetSlot] = true
+		r := o.List
+		ref(&r)
+	case *exec.FilterOp:
+		terms(o.Terms)
+	case *exec.ScanVertexOp:
+		terms(o.Terms) // scans only ever lead a plan, but stay conservative
+	case *exec.ScanEdgeOp:
+		terms(o.Terms)
+	default:
+		// Unknown operator: assume it reads everything, so nothing sinks
+		// past it.
+		for i := range readV {
+			readV[i] = true
+		}
+		for i := range readE {
+			readE[i] = true
+		}
+	}
+}
+
+func markOperandRead(o exec.Operand, readV, readE []bool) {
+	if o.IsConst {
+		return
+	}
+	if o.IsEdge {
+		readE[o.Slot] = true
+	} else {
+		readV[o.Slot] = true
+	}
 }
 
 // scanState builds the initial state scanning query vertex i.

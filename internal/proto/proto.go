@@ -4,8 +4,8 @@
 // (while a query streams) `row <json>`. Payloads are single-line JSON, so
 // the protocol is both trivially framed and debuggable with netcat.
 //
-// Verbs: open, count, profile, query, explain, analyze, exec, flush, addv,
-// adde, dele, stats, health, cancel, quit. `cancel` aborts the in-flight query
+// Verbs: open, count, profile, aggregate, query, explain, analyze, exec,
+// flush, addv, adde, dele, stats, health, cancel, quit. `cancel` aborts the in-flight query
 // on the same connection and never gets a response line of its own (the
 // canceled query's final `err` is the acknowledgement); every other verb
 // gets exactly one final `ok`/`err`.
@@ -151,6 +151,27 @@ type CountReq struct {
 // CountResp carries the summed count and (for `profile`) merged metrics.
 type CountResp struct {
 	N         int64   `json:"n"`
+	ICost     int64   `json:"icost,omitempty"`
+	PredEvals int64   `json:"pred_evals,omitempty"`
+	EstICost  float64 `json:"est_icost,omitempty"`
+}
+
+// AggregateReq asks for a cluster-merged aggregate (`aggregate`): Func is
+// count/sum/min/max; Var and Prop name the aggregated vertex variable and
+// its integer property (ignored for count).
+type AggregateReq struct {
+	Q      string `json:"q"`
+	Func   string `json:"func"`
+	Var    string `json:"var,omitempty"`
+	Prop   string `json:"prop,omitempty"`
+	Limits Limits `json:"limits,omitempty"`
+}
+
+// AggregateResp carries the exactly merged aggregate plus profiled metrics.
+type AggregateResp struct {
+	Rows      int64   `json:"rows"`
+	Value     int64   `json:"value"`
+	Valid     bool    `json:"valid"`
 	ICost     int64   `json:"icost,omitempty"`
 	PredEvals int64   `json:"pred_evals,omitempty"`
 	EstICost  float64 `json:"est_icost,omitempty"`

@@ -306,6 +306,30 @@ func (s *Server) serveSimple(ctx context.Context, bw *bufio.Writer, verb, payloa
 			resp.EstICost = m.EstimatedICost
 		}
 		writeOK(bw, resp)
+	case "aggregate":
+		req, err := decode[proto.AggregateReq](payload)
+		if err != nil {
+			writeBadRequest(bw, err.Error())
+			return
+		}
+		fn, err := aplus.ParseAggFunc(req.Func)
+		if err != nil {
+			writeBadRequest(bw, err.Error())
+			return
+		}
+		v, m, err := s.c.Aggregate(ctx, req.Q, fn, req.Var, req.Prop, s.limitsFor(req.Limits))
+		if err != nil {
+			writeErr(bw, err)
+			return
+		}
+		writeOK(bw, proto.AggregateResp{
+			Rows:      v.Rows,
+			Value:     v.Value,
+			Valid:     v.Valid,
+			ICost:     m.ICost,
+			PredEvals: m.PredEvals,
+			EstICost:  m.EstimatedICost,
+		})
 	case "explain":
 		req, err := decode[proto.ExplainReq](payload)
 		if err != nil {

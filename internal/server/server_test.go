@@ -133,6 +133,50 @@ func TestServedParityWithEmbedded(t *testing.T) {
 	}
 }
 
+// TestServedAggregateParity asserts the aggregate verb round-trips: every
+// function served over the wire matches the embedded DB bit for bit, and a
+// bad function name maps to the bad-request error.
+func TestServedAggregateParity(t *testing.T) {
+	_, _, cl := startServer(t, shard.Options{Shards: 2}, Options{})
+	seedProps := func(w writer) {
+		for i := 0; i < 30; i++ {
+			if _, err := w.AddVertex("P", aplus.Props{"x": i*3 - 10}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			for _, d := range []int{1, 2, 5} {
+				if _, err := w.AddEdge(aplus.VertexID(i), aplus.VertexID((i+d)%30), "K", nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	seedProps(cl)
+	ref := aplus.New()
+	seedProps(refWriter{ref})
+
+	for _, fn := range []aplus.AggFunc{aplus.AggCount, aplus.AggSum, aplus.AggMin, aplus.AggMax} {
+		want, wantM, err := ref.AggregateLimited(context.Background(), pathQ, fn, "c", "x", aplus.QueryLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, m, err := cl.Aggregate(context.Background(), pathQ, fn, "c", "x", aplus.QueryLimits{})
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		if got != want {
+			t.Errorf("%s: served %+v, embedded %+v", fn, got, want)
+		}
+		if m.ICost != wantM.ICost || m.PredEvals != wantM.PredEvals {
+			t.Errorf("%s: served metrics (%d,%d), embedded (%d,%d)", fn, m.ICost, m.PredEvals, wantM.ICost, wantM.PredEvals)
+		}
+	}
+	if _, _, err := cl.Aggregate(context.Background(), pathQ, "median", "c", "x", aplus.QueryLimits{}); err == nil {
+		t.Error("unknown aggregate function did not error over the wire")
+	}
+}
+
 // refWriter adapts *aplus.DB to the writer interface (method sets match,
 // but seed takes the interface).
 type refWriter struct{ db *aplus.DB }

@@ -560,6 +560,57 @@ func (c *Cluster) CountProfiledLimited(ctx context.Context, cypher string, limit
 	return total, mm, nil
 }
 
+// Aggregate evaluates fn (count/sum/min/max) across all shards and merges
+// the per-shard partials exactly: rows and sums add, extrema compare, and
+// validity ORs, so the cluster result is bit-identical to an unsharded
+// DB.Aggregate — the partition-of-the-root invariant extended to aggregate
+// values. Metrics merge as in CountProfiledLimited.
+func (c *Cluster) Aggregate(ctx context.Context, cypher string, fn aplus.AggFunc, variable, prop string, limits aplus.QueryLimits) (aplus.AggValue, aplus.Metrics, error) {
+	type res struct {
+		shard int
+		v     aplus.AggValue
+		m     aplus.Metrics
+		err   error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan res, len(c.dbs))
+	var panicked panicBox
+	for i, db := range c.dbs {
+		go func(i int, db *aplus.DB) {
+			defer panicked.forward(func() { ch <- res{shard: i, err: aplus.ErrQueryPanic} })
+			v, m, err := db.AggregateLimited(ctx, cypher, fn, variable, prop, limits)
+			if err != nil {
+				cancel() // first-error-wins: stop sibling shards
+			}
+			ch <- res{shard: i, v: v, m: m, err: err}
+		}(i, db)
+	}
+	var total aplus.AggValue
+	var mm aplus.Metrics
+	var firstErr error
+	for range c.dbs {
+		r := <-ch
+		if r.err != nil {
+			if preferError(firstErr, r.err) {
+				firstErr = fmt.Errorf("shard %d: %w", r.shard, r.err)
+			}
+			continue
+		}
+		total.Merge(fn, r.v)
+		mm.ICost += r.m.ICost
+		mm.PredEvals += r.m.PredEvals
+		if r.shard == 0 {
+			mm.EstimatedICost = r.m.EstimatedICost
+		}
+	}
+	panicked.rethrow()
+	if firstErr != nil {
+		return aplus.AggValue{}, aplus.Metrics{}, firstErr
+	}
+	return total, mm, nil
+}
+
 // ExplainAnalyze runs the query for real on every shard with per-operator
 // tracing armed and returns the merged trace: counts, span counters, and
 // the per-worker split (tagged with the owning shard) sum exactly as

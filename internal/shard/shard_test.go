@@ -127,6 +127,46 @@ func TestShardParity(t *testing.T) {
 	}
 }
 
+// TestShardAggregateParity asserts cross-shard aggregate merging is exact:
+// every aggregate function over a K-shard cluster returns bit-identical
+// values and merged metrics to the embedded DB on the same graph (deletes
+// in the delta included), for K in {1, 2, 8}.
+func TestShardAggregateParity(t *testing.T) {
+	const nv, ne = 200, 1000
+	ref := aplus.New()
+	seedGraph(t, ref, nv, ne, true)
+	funcs := []aplus.AggFunc{aplus.AggCount, aplus.AggSum, aplus.AggMin, aplus.AggMax}
+	for _, k := range []int{1, 2, 8} {
+		c, err := New(Options{Shards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedGraph(t, c, nv, ne, true)
+		for _, fn := range funcs {
+			for _, variable := range []string{"a", "c"} {
+				want, wantM, err := ref.AggregateLimited(context.Background(), pathQ, fn, variable, "x", aplus.QueryLimits{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, m, err := c.Aggregate(context.Background(), pathQ, fn, variable, "x", aplus.QueryLimits{})
+				if err != nil {
+					t.Fatalf("K=%d %s(%s.x): %v", k, fn, variable, err)
+				}
+				if got != want {
+					t.Errorf("K=%d %s(%s.x): %+v, want %+v", k, fn, variable, got, want)
+				}
+				if m.ICost != wantM.ICost || m.PredEvals != wantM.PredEvals {
+					t.Errorf("K=%d %s(%s.x): metrics (%d,%d), want (%d,%d)",
+						k, fn, variable, m.ICost, m.PredEvals, wantM.ICost, wantM.PredEvals)
+				}
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestShardRowParity asserts the fan-out Query path streams exactly the
 // embedded row set (as a multiset, order-independent).
 func TestShardRowParity(t *testing.T) {

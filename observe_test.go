@@ -71,6 +71,81 @@ func TestExplainAnalyzeMatchesProfiled(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeStolenAttribution extends the tracing oracle to the
+// work-stealing path: a super-hub DB at 8 workers reports stolen
+// sub-morsels, charges them to the executing workers (the per-worker sums
+// still equal the profiled metrics exactly), and keeps span sums
+// bit-identical to an unstolen profiled run.
+func TestExplainAnalyzeStolenAttribution(t *testing.T) {
+	db := New()
+	var vs []VertexID
+	for i := 0; i < 48; i++ {
+		v, err := db.AddVertex("V", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	for i := range vs {
+		if _, err := db.AddEdge(vs[i], vs[(i*5+1)%len(vs)], "E", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.AddEdge(vs[i], vs[(i*11+2)%len(vs)], "E", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The super-hub: vertex 0's list dwarfs the morsel size, so its tail is
+	// re-partitioned onto the steal queue.
+	for k := 0; k < 6000; k++ {
+		if _, err := db.AddEdge(vs[0], vs[(k*7+1)%len(vs)], "E", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const hubQ = "MATCH a-[e1]->b-[e2]->c"
+	db.Parallelism = 8
+	db.MorselSize = 8
+	want, wantM, err := db.CountProfiled(hubQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db.ExplainAnalyze(hubQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count != want {
+		t.Errorf("trace count = %d, want %d", tr.Count, want)
+	}
+	if tr.Metrics.ICost != wantM.ICost || tr.Metrics.PredEvals != wantM.PredEvals {
+		t.Errorf("trace metrics = %+v, want %+v", tr.Metrics, wantM)
+	}
+	if tr.Stolen == 0 {
+		t.Fatal("hub query reported no stolen sub-morsels")
+	}
+	var sumICost, sumPreds int64
+	for _, sp := range tr.Spans {
+		sumICost += sp.ICost
+		sumPreds += sp.PredEvals
+	}
+	if sumICost != wantM.ICost || sumPreds != wantM.PredEvals {
+		t.Errorf("span sums (%d,%d) != profiled (%d,%d)", sumICost, sumPreds, wantM.ICost, wantM.PredEvals)
+	}
+	var wICost, wRows, wStolen int64
+	for _, ws := range tr.Workers {
+		wICost += ws.ICost
+		wRows += ws.Rows
+		wStolen += ws.Stolen
+	}
+	if wICost != wantM.ICost || wRows != want {
+		t.Errorf("worker sums (icost %d, rows %d) != profiled (%d, %d)", wICost, wRows, wantM.ICost, want)
+	}
+	if wStolen != tr.Stolen {
+		t.Errorf("worker stolen sum %d != trace stolen %d", wStolen, tr.Stolen)
+	}
+	if out := tr.Render(); !strings.Contains(out, "stolen=") {
+		t.Errorf("rendering of a stolen run omits the stolen counter:\n%s", out)
+	}
+}
+
 // TestExplainAnalyzeRender smoke-tests the human rendering: header totals,
 // one numbered line per span, and the sink marker.
 func TestExplainAnalyzeRender(t *testing.T) {
